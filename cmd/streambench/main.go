@@ -1,0 +1,59 @@
+// Command streambench regenerates the figures of "Stream Programming
+// on General-Purpose Processors" (MICRO 2005) on the simulated Pentium
+// 4 testbed.
+//
+// Usage:
+//
+//	streambench -list
+//	streambench -exp fig9
+//	streambench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"streamgpp/internal/bench"
+	"streamgpp/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig8, fig9, fig11a..fig11d) or 'all'")
+	quick := flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	m := sim.MustNew(sim.PentiumD8300())
+	fmt.Println(m.Describe())
+	fmt.Println()
+
+	run := func(e bench.Experiment) {
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "streambench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		e, ok := bench.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "streambench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		run(e)
+	}
+}

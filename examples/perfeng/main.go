@@ -1,0 +1,124 @@
+// Performance engineering walkthrough: the diagnostic workflow a
+// developer follows to understand and tune a stream program, using the
+// public API only:
+//
+//  1. Advise — the §V-A suitability analysis, before running anything.
+//
+//  2. Trace  — where the cycles actually went: a per-context timeline
+//     and per-operation totals.
+//
+//  3. Tune   — the stream scheduler's strip-size search.
+//
+//     go run ./examples/perfeng
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"streamgpp"
+)
+
+const n = 120_000
+
+// buildProgram constructs the example pipeline (two kernels, random
+// gathers, producer-consumer intermediate) on a fresh machine.
+func buildProgram(stripElems int) (*streamgpp.Machine, *streamgpp.Program, *streamgpp.Graph, error) {
+	m := streamgpp.NewMachine()
+	layout := streamgpp.Layout("rec", streamgpp.F("v", 8))
+	a := streamgpp.NewArray(m, "a", layout, n)
+	b := streamgpp.NewArray(m, "b", layout, n)
+	out := streamgpp.NewArray(m, "out", layout, n)
+	a.Fill(func(i, f int) float64 { return float64(i%101) / 100 })
+	b.Fill(func(i, f int) float64 { return float64(i%37) / 36 })
+	idx := streamgpp.NewIndexArray(m, "idx", n)
+	for i := range idx.Idx {
+		idx.Idx[i] = int32((i * 17) % n)
+	}
+
+	k1 := &streamgpp.Kernel{Name: "mix", OpsPerElem: 40,
+		Fn: func(ins, outs []*streamgpp.Stream, start, cnt int) int64 {
+			for i := start; i < start+cnt; i++ {
+				outs[0].Set(i, 0, ins[0].At(i, 0)*0.7+ins[1].At(i, 0)*0.3)
+			}
+			return 0
+		}}
+	k2 := &streamgpp.Kernel{Name: "shape", OpsPerElem: 30,
+		Fn: func(ins, outs []*streamgpp.Stream, start, cnt int) int64 {
+			for i := start; i < start+cnt; i++ {
+				v := ins[0].At(i, 0)
+				outs[0].Set(i, 0, v/(1+v*v))
+			}
+			return 0
+		}}
+
+	g := streamgpp.NewGraph("perfeng")
+	as := g.Input(streamgpp.StreamOf("as", n, layout, layout.AllFields()), streamgpp.Bind(a).Indexed(idx))
+	bs := g.Input(streamgpp.StreamOf("bs", n, layout, layout.AllFields()), streamgpp.Bind(b))
+	mids := g.AddKernel(k1, []*streamgpp.Edge{as, bs},
+		[]*streamgpp.Stream{streamgpp.NewStream("mids", n, streamgpp.F("v", 8))})
+	outs := g.AddKernel(k2, []*streamgpp.Edge{mids[0]},
+		[]*streamgpp.Stream{streamgpp.NewStream("outs", n, streamgpp.F("v", 8))})
+	g.Output(outs[0], streamgpp.Bind(out))
+
+	opt := streamgpp.DefaultOptions(streamgpp.DefaultSRF(m))
+	opt.StripElems = stripElems
+	prog, err := streamgpp.Compile(g, opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, prog, g, nil
+}
+
+func main() {
+	// 1. Advise.
+	_, _, g, err := buildProgram(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err := streamgpp.Advise(g, streamgpp.PentiumD8300())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep.Render(os.Stdout)
+	fmt.Println()
+
+	// 2. Trace one execution.
+	m, prog, _, err := buildProgram(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := streamgpp.DefaultExec()
+	tr := &streamgpp.Trace{}
+	cfg.Trace = tr
+	res := streamgpp.RunStream(m, prog, cfg)
+	fmt.Printf("executed in %d cycles; timeline:\n", res.Cycles)
+	tr.Gantt(os.Stdout, 76)
+	fmt.Println("\nper-operation totals:")
+	tr.Summary(os.Stdout)
+	fmt.Println()
+
+	// 3. Tune the strip size.
+	auto := prog.Phases[0].StripElems
+	tuned, err := streamgpp.TuneStripSize(streamgpp.HalvingCandidates(auto, 256), streamgpp.DefaultExec(),
+		func(strip int) (*streamgpp.Machine, *streamgpp.Program, error) {
+			mm, pp, _, err := buildProgram(strip)
+			return mm, pp, err
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("strip-size search (auto = %d elements):\n", auto)
+	for strip, cycles := range tuned.Tried {
+		label := fmt.Sprintf("%d", strip)
+		if strip == 0 {
+			label = "auto"
+		}
+		fmt.Printf("  strip %-6s -> %d cycles\n", label, cycles)
+	}
+	fmt.Printf("best: strip=%d at %d cycles\n", tuned.StripElems, tuned.Cycles)
+}

@@ -1,0 +1,94 @@
+// Producer-consumer pipeline: the paper's Fig. 2 example program,
+// written against the public API. Two kernels chained by a direct
+// stream — the intermediate never reaches memory — with random gathers
+// in and an indexed scatter out.
+//
+//	d[i]          = a[i] + b[i] + c[i]        (kernel1)
+//	y[index5[i]]  = d[i] + x[i]               (kernel2)
+//
+// The example also shows the diagnostics a performance engineer would
+// reach for: the SDF graph, the strip plan, the work-queue high-water
+// mark and the SRF residency.
+//
+//	go run ./examples/prodcon
+package main
+
+import (
+	"fmt"
+
+	"streamgpp"
+)
+
+const n = 200_000
+
+func main() {
+	m := streamgpp.NewMachine()
+	layout := streamgpp.Layout("rec", streamgpp.F("v", 8))
+
+	a := streamgpp.NewArray(m, "a", layout, n)
+	b := streamgpp.NewArray(m, "b", layout, n)
+	c := streamgpp.NewArray(m, "c", layout, n)
+	x := streamgpp.NewArray(m, "x", layout, n)
+	y := streamgpp.NewArray(m, "y", layout, n)
+	for _, arr := range []*streamgpp.Array{a, b, c, x} {
+		arr.Fill(func(i, f int) float64 { return float64((i*31)%977) / 977 })
+	}
+	index5 := streamgpp.NewIndexArray(m, "index5", n)
+	for i := range index5.Idx {
+		index5.Idx[i] = int32((i*131 + 17) % n)
+	}
+
+	kernel1 := &streamgpp.Kernel{
+		Name: "kernel1", OpsPerElem: 12,
+		Fn: func(ins, outs []*streamgpp.Stream, start, cnt int) int64 {
+			for i := start; i < start+cnt; i++ {
+				outs[0].Set(i, 0, ins[0].At(i, 0)+ins[1].At(i, 0)+ins[2].At(i, 0))
+			}
+			return 0
+		},
+	}
+	kernel2 := &streamgpp.Kernel{
+		Name: "kernel2", OpsPerElem: 10,
+		Fn: func(ins, outs []*streamgpp.Stream, start, cnt int) int64 {
+			for i := start; i < start+cnt; i++ {
+				outs[0].Set(i, 0, ins[0].At(i, 0)+ins[1].At(i, 0))
+			}
+			return 0
+		},
+	}
+
+	g := streamgpp.NewGraph("fig2")
+	as := g.Input(streamgpp.StreamOf("as", n, layout, layout.AllFields()), streamgpp.Bind(a))
+	bs := g.Input(streamgpp.StreamOf("bs", n, layout, layout.AllFields()), streamgpp.Bind(b))
+	cs := g.Input(streamgpp.StreamOf("cs", n, layout, layout.AllFields()), streamgpp.Bind(c))
+	ds := g.AddKernel(kernel1, []*streamgpp.Edge{as, bs, cs},
+		[]*streamgpp.Stream{streamgpp.NewStream("ds", n, streamgpp.F("v", 8))})
+	xs := g.Input(streamgpp.StreamOf("xs", n, layout, layout.AllFields()), streamgpp.Bind(x))
+	ys := g.AddKernel(kernel2, []*streamgpp.Edge{ds[0], xs},
+		[]*streamgpp.Stream{streamgpp.NewStream("ys", n, streamgpp.F("v", 8))})
+	g.Output(ys[0], streamgpp.Bind(y).Indexed(index5))
+
+	fmt.Print(g.String())
+	fmt.Printf("producer-consumer locality saves %.1f KB of writeback per pass\n\n",
+		float64(g.SavedWritebackBytes())/1024)
+
+	srf := streamgpp.DefaultSRF(m)
+	prog, err := streamgpp.Compile(g, streamgpp.DefaultOptions(srf))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(prog.Summary())
+
+	res := streamgpp.RunStream(m, prog, streamgpp.DefaultExec())
+	fmt.Printf("\nexecuted %d tasks in %d cycles (%.2f ms simulated)\n",
+		len(prog.Tasks), res.Cycles, 1e3*m.Config().CyclesToSeconds(res.Cycles))
+	fmt.Printf("work-queue high-water mark: %d of %d slots\n",
+		res.Queue.MaxOccupancy(), res.Queue.Capacity())
+	fmt.Printf("SRF residency after run: %.0f%%\n", 100*srf.Residency(m))
+
+	// Spot-check against a direct computation.
+	i := n / 2
+	want := a.At(i, 0) + b.At(i, 0) + c.At(i, 0) + x.At(i, 0)
+	got := y.At(int(index5.Idx[i]), 0)
+	fmt.Printf("spot check y[index5[%d]]: got %.6f want %.6f\n", i, got, want)
+}

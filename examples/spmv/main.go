@@ -1,0 +1,137 @@
+// Sparse matrix-vector multiply written against the public API: the
+// streamSPAS pattern of Fig. 10(d). The input vector is gathered once
+// per non-zero (the duplicating copy the paper discusses), multiplied
+// against the sequentially streamed values, and the products
+// accumulate into the result through a scatter-add.
+//
+// Run it at two matrix sizes to see the paper's Fig. 11(d) effect: at
+// cache-resident sizes the regular CSR loop wins; as the matrix
+// outgrows the cache the stream version recovers.
+//
+//	go run ./examples/spmv
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamgpp"
+)
+
+const nnzPerRow = 46 // the paper's ratio
+
+func run(rows int) {
+	nnz := rows * nnzPerRow
+
+	// --------- shared matrix construction (banded, FEM-like) ---------
+	build := func(m *streamgpp.Machine) (vals, x, y *streamgpp.Array, colIdx, rowOf *streamgpp.IndexArray, rowPtr []int32) {
+		l := streamgpp.Layout("v", streamgpp.F("v", 8))
+		vals = streamgpp.NewArray(m, "vals", l, nnz)
+		x = streamgpp.NewArray(m, "x", l, rows)
+		y = streamgpp.NewArray(m, "y", l, rows)
+		colIdx = streamgpp.NewIndexArray(m, "colidx", nnz)
+		rowOf = streamgpp.NewIndexArray(m, "rowof", nnz)
+		rowPtr = make([]int32, rows+1)
+		rng := rand.New(rand.NewSource(7))
+		// 3D-FEM-like coupling: bandwidth ~ rows^(2/3).
+		band := 1
+		for band*band*band < rows*rows {
+			band++
+		}
+		if band < nnzPerRow {
+			band = nnzPerRow
+		}
+		k := 0
+		for r := 0; r < rows; r++ {
+			rowPtr[r] = int32(k)
+			for j := 0; j < nnzPerRow; j++ {
+				c := r + rng.Intn(2*band+1) - band
+				if c < 0 {
+					c = -c
+				}
+				if c >= rows {
+					c = 2*rows - 2 - c
+				}
+				colIdx.Idx[k] = int32(c)
+				rowOf.Idx[k] = int32(r)
+				vals.Set(k, 0, rng.Float64())
+				k++
+			}
+		}
+		rowPtr[rows] = int32(k)
+		for i := 0; i < rows; i++ {
+			x.Set(i, 0, rng.Float64())
+		}
+		return
+	}
+
+	// --------- regular CSR loop ---------
+	mReg := streamgpp.NewMachine()
+	vals1, x1, y1, col1, _, ptr1 := build(mReg)
+	regular := streamgpp.RunRegular(mReg, streamgpp.DefaultExec(), streamgpp.Loop{
+		Name: "csr", N: rows,
+		Ops: func(r int) int64 { return int64(ptr1[r+1]-ptr1[r]) * 4 },
+		Refs: func(r int, emit func(addr uint64, size int, write bool)) {
+			for k := ptr1[r]; k < ptr1[r+1]; k++ {
+				emit(col1.ElemAddr(int(k)), 4, false)
+				emit(vals1.FieldAddr(int(k), 0), 8, false)
+				emit(x1.FieldAddr(int(col1.Idx[k]), 0), 8, false)
+			}
+			emit(y1.FieldAddr(r, 0), 8, true)
+		},
+		Body: func(r int) {
+			var acc float64
+			for k := ptr1[r]; k < ptr1[r+1]; k++ {
+				acc += vals1.At(int(k), 0) * x1.At(int(col1.Idx[k]), 0)
+			}
+			y1.Set(r, 0, acc)
+		},
+	})
+
+	// --------- stream version ---------
+	mStr := streamgpp.NewMachine()
+	vals2, x2, y2, col2, rowOf2, _ := build(mStr)
+	mul := &streamgpp.Kernel{
+		Name: "SpMatVec", OpsPerElem: 4,
+		Fn: func(ins, outs []*streamgpp.Stream, start, cnt int) int64 {
+			for i := start; i < start+cnt; i++ {
+				outs[0].Set(i, 0, ins[0].At(i, 0)*ins[1].At(i, 0))
+			}
+			return 0
+		},
+	}
+	g := streamgpp.NewGraph("spmv")
+	xv := g.Input(streamgpp.StreamOf("xv", nnz, x2.Layout, x2.Layout.AllFields()),
+		streamgpp.Bind(x2).Indexed(col2))
+	vs := g.Input(streamgpp.StreamOf("vals", nnz, vals2.Layout, vals2.Layout.AllFields()),
+		streamgpp.Bind(vals2))
+	prod := g.AddKernel(mul, []*streamgpp.Edge{xv, vs},
+		[]*streamgpp.Stream{streamgpp.NewStream("prod", nnz, streamgpp.F("p", 8))})
+	g.Output(prod[0], streamgpp.Bind(y2).Indexed(rowOf2).Accumulate())
+
+	prog, err := streamgpp.Compile(g, streamgpp.DefaultOptions(streamgpp.DefaultSRF(mStr)))
+	if err != nil {
+		panic(err)
+	}
+	stream := streamgpp.RunStream(mStr, prog, streamgpp.DefaultExec())
+
+	// --------- compare ---------
+	var maxDiff float64
+	for r := 0; r < rows; r++ {
+		d := y1.At(r, 0) - y2.At(r, 0)
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("rows=%-7d nnz=%-8d regular=%-10d stream=%-10d speedup=%.2fx  (max |Δy| = %.1e)\n",
+		rows, nnz, regular.Cycles, stream.Cycles, streamgpp.Speedup(regular, stream), maxDiff)
+}
+
+func main() {
+	fmt.Println("SpMV, nnz/row = 46 (the paper's ratio):")
+	run(2_000)  // x fits easily in cache: the regular loop wins
+	run(48_000) // the matrix outgrows the cache: the stream version recovers
+}

@@ -1,0 +1,3 @@
+module streamgpp
+
+go 1.22

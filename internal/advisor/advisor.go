@@ -1,0 +1,265 @@
+// Package advisor implements the application-suitability analysis of
+// §V-A: given a stream program's SDF graph and a machine configuration,
+// it estimates the traffic and computation of one pass, checks the
+// paper's list of characteristics that make an application "a good
+// candidate for streaming on general purpose architectures" — memory
+// bottlenecks, element counts much bigger than the cache, huge records,
+// producer-consumer locality — and predicts whether the stream version
+// will pay off before anything is executed.
+//
+// The estimates are static and deliberately simple (they use the same
+// machine parameters the simulator does); the tests validate them
+// against measured runs of the bundled applications.
+package advisor
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"streamgpp/internal/sdf"
+	"streamgpp/internal/sim"
+	"streamgpp/internal/svm"
+)
+
+// Verdict is the advisor's conclusion.
+type Verdict int
+
+// Verdicts, from promising to hopeless.
+const (
+	Favorable Verdict = iota
+	Marginal
+	Unfavorable
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	return [...]string{"favorable", "marginal", "unfavorable"}[v]
+}
+
+// Check is one §V-A characteristic.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Report is the static analysis of one stream program.
+type Report struct {
+	Graph  string
+	Phases int
+
+	// Traffic estimates for one pass, in bytes.
+	GatherBytes    uint64
+	ScatterBytes   uint64
+	RandomBytes    uint64 // portion moved through indexed access
+	SavedWriteback uint64 // producer-consumer streams that never leave the SRF
+	WorkingSet     uint64 // distinct array bytes touched
+
+	// Computation estimate for one pass.
+	KernelOps int64
+
+	// ArithmeticIntensity is kernel ops per byte of traffic.
+	ArithmeticIntensity float64
+
+	// Cycle estimates on the given machine.
+	EstMemCycles  float64
+	EstCompCycles float64
+	EstCycles     float64 // max of the two plus pipeline overhead
+
+	Checks  []Check
+	Verdict Verdict
+}
+
+// pipelineOverhead accounts for strip ramp-up, dispatch and phase
+// barriers on top of the ideal max(memory, compute) overlap.
+const pipelineOverhead = 1.18
+
+// Analyze produces the report for a validated graph on the given
+// machine.
+func Analyze(g *sdf.Graph, cfg sim.Config) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	phases, err := g.Phases()
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{Graph: g.Name, Phases: len(phases)}
+	arrays := map[*svm.Array]bool{}
+	recordBytes := 0
+	recordCount := 0
+
+	for _, e := range g.Edges {
+		n := uint64(e.Stream.N)
+		if b := e.Gather; b != nil {
+			bytes := gatherFetchBytes(e, cfg)
+			r.GatherBytes += bytes
+			if b.Index != nil || len(b.Multi) > 0 {
+				r.RandomBytes += bytes
+			}
+			if !arrays[b.Array] {
+				arrays[b.Array] = true
+				r.WorkingSet += b.Array.Bytes()
+			}
+			recordBytes += b.Array.Layout.Stride
+			recordCount++
+		}
+		if b := e.Scatter; b != nil {
+			bytes := n * uint64(e.Stream.ElemBytes())
+			if b.Mode == svm.ModeAdd {
+				bytes *= 2 // read-modify-write
+				// RMW scatters run temporally; a destination that fits
+				// the cache alongside the SRF absorbs the re-reads.
+				if a := 2 * b.Array.Bytes(); a < bytes && b.Array.Bytes() < uint64(cfg.L2Bytes)/2 {
+					bytes = a + n*svm.IndexElemBytes
+				}
+				r.RandomBytes += bytes
+			}
+			if b.Index != nil {
+				bytes += n * svm.IndexElemBytes
+			}
+			r.ScatterBytes += bytes
+			if !arrays[b.Array] {
+				arrays[b.Array] = true
+				r.WorkingSet += b.Array.Bytes()
+			}
+		}
+		if e.Producer != nil && len(e.Consumers) > 0 && e.Scatter == nil {
+			r.SavedWriteback += n * uint64(e.Stream.ElemBytes())
+		}
+	}
+	for _, node := range g.Nodes {
+		r.KernelOps += node.Kernel.OpsPerElem * int64(node.N)
+	}
+
+	total := r.GatherBytes + r.ScatterBytes
+	if total > 0 {
+		r.ArithmeticIntensity = float64(r.KernelOps) / float64(total)
+	}
+
+	// Cycle estimates: the memory thread moves the traffic at the
+	// sustained non-temporal bulk rate; the compute thread runs the
+	// kernels at the SMT-shared rate.
+	rate := cfg.BusBytesPerCycle * cfg.BusEff * cfg.NTSeqLoadFactor
+	r.EstMemCycles = float64(total) / rate
+	r.EstCompCycles = float64(r.KernelOps) * cfg.CPI / cfg.SMTComputeMemFactor
+	m := r.EstMemCycles
+	if r.EstCompCycles > m {
+		m = r.EstCompCycles
+	}
+	r.EstCycles = m * pipelineOverhead
+
+	// §V-A checklist.
+	l2 := uint64(cfg.L2Bytes)
+	memBound := r.EstMemCycles > 0.6*r.EstCompCycles
+	r.Checks = append(r.Checks, Check{
+		Name: "memory bottleneck", OK: memBound,
+		Detail: fmt.Sprintf("est. memory %.0f vs compute %.0f cycles", r.EstMemCycles, r.EstCompCycles),
+	})
+	big := r.WorkingSet > 2*l2
+	r.Checks = append(r.Checks, Check{
+		Name: "elements much bigger than the cache", OK: big,
+		Detail: fmt.Sprintf("working set %.1f KB vs L2 %d KB", float64(r.WorkingSet)/1024, l2>>10),
+	})
+	avgRecord := 0
+	if recordCount > 0 {
+		avgRecord = recordBytes / recordCount
+	}
+	huge := avgRecord >= 64
+	r.Checks = append(r.Checks, Check{
+		Name: "huge records", OK: huge,
+		Detail: fmt.Sprintf("average gathered record %d B", avgRecord),
+	})
+	pc := r.SavedWriteback > 0
+	r.Checks = append(r.Checks, Check{
+		Name: "producer-consumer locality", OK: pc,
+		Detail: fmt.Sprintf("%.1f KB of intermediates stay in the SRF", float64(r.SavedWriteback)/1024),
+	})
+
+	ok := 0
+	for _, c := range r.Checks {
+		if c.OK {
+			ok++
+		}
+	}
+	switch {
+	case memBound && big:
+		r.Verdict = Favorable
+	case ok >= 2:
+		r.Verdict = Marginal
+	default:
+		r.Verdict = Unfavorable
+	}
+	return r, nil
+}
+
+// gatherFetchBytes estimates the bytes a gather actually pulls over the
+// bus: sequential gathers stream every record's stride; indexed ones
+// fetch whole lines unless the selection already spans one.
+func gatherFetchBytes(e *sdf.Edge, cfg sim.Config) uint64 {
+	b := e.Gather
+	n := uint64(e.Stream.N)
+	sel := b.Array.Layout.SelectedBytes(b.Fields)
+	switch {
+	case len(b.Multi) > 0:
+		// Single-pass multi-gather: assume index locality lets each
+		// line be fetched about once per pass over the array, bounded
+		// by the useful bytes.
+		useful := n * uint64(sel) * uint64(len(b.Multi))
+		array := b.Array.Bytes()
+		if array < useful {
+			return array
+		}
+		return useful
+	case b.Index != nil:
+		line := uint64(cfg.L2Line)
+		per := uint64(sel)
+		if per < line {
+			per = line // each random touch fetches a whole line
+		}
+		fetch := n*per + n*svm.IndexElemBytes // data lines + the index stream
+		// When the whole array fits in the non-temporal ways, each of
+		// its lines is fetched at most once however dense the indices.
+		ntCap := uint64(cfg.L2NTWays) * uint64(cfg.L2Bytes/cfg.L2Ways)
+		if a := b.Array.Bytes(); a <= ntCap && fetch > a {
+			return a + n*svm.IndexElemBytes
+		}
+		return fetch
+	default:
+		// Sequential: the stream walks every record, pulling its
+		// stride (selection only trims SRF space, not line fetches
+		// when fields share lines).
+		stride := uint64(b.Array.Layout.Stride)
+		if uint64(sel) < stride && stride > uint64(cfg.L2Line) {
+			// Very sparse selection of huge records skips lines.
+			s := uint64(sel)
+			if s < uint64(cfg.L2Line) {
+				s = uint64(cfg.L2Line)
+			}
+			return n * s
+		}
+		return n * stride
+	}
+}
+
+// Render writes the report as text.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "advisor report for %s (%d phase(s))\n", r.Graph, r.Phases)
+	fmt.Fprintf(w, "  traffic: %.1f KB gathered + %.1f KB scattered (%.1f KB via indexed access)\n",
+		float64(r.GatherBytes)/1024, float64(r.ScatterBytes)/1024, float64(r.RandomBytes)/1024)
+	fmt.Fprintf(w, "  producer-consumer savings: %.1f KB; working set %.1f KB\n",
+		float64(r.SavedWriteback)/1024, float64(r.WorkingSet)/1024)
+	fmt.Fprintf(w, "  kernels: %d ops (arithmetic intensity %.2f ops/B)\n", r.KernelOps, r.ArithmeticIntensity)
+	fmt.Fprintf(w, "  estimate: memory %.0f cycles, compute %.0f cycles -> ~%.0f cycles streamed\n",
+		r.EstMemCycles, r.EstCompCycles, r.EstCycles)
+	for _, c := range r.Checks {
+		mark := "✗"
+		if c.OK {
+			mark = "✓"
+		}
+		fmt.Fprintf(w, "  %s %-38s %s\n", mark, c.Name, c.Detail)
+	}
+	fmt.Fprintf(w, "  verdict: %s\n", strings.ToUpper(r.Verdict.String()))
+}

@@ -1,0 +1,164 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"streamgpp/internal/exec"
+)
+
+func TestMeshConstruction(t *testing.T) {
+	m := NewMesh(4, 5)
+	if m.Cells != 40 {
+		t.Fatalf("cells %d", m.Cells)
+	}
+	// Faces: diag (20) + bottom (20) + right (20) + top boundary (5) +
+	// left boundary (4).
+	if m.Faces != 69 {
+		t.Fatalf("faces %d", m.Faces)
+	}
+	for f := 0; f < m.Faces; f++ {
+		if m.Left[f] < 0 || int(m.Left[f]) >= m.Cells || m.Right[f] < 0 || int(m.Right[f]) >= m.Cells {
+			t.Fatalf("face %d references cell out of range", f)
+		}
+		if m.Boundary[f] && m.Left[f] != m.Right[f] {
+			t.Fatalf("boundary face %d has distinct sides", f)
+		}
+	}
+}
+
+func TestMeshEveryCellHasFaces(t *testing.T) {
+	m := NewMesh(6, 7)
+	touch := make([]int, m.Cells)
+	for f := 0; f < m.Faces; f++ {
+		touch[m.Left[f]]++
+		if m.Right[f] != m.Left[f] {
+			touch[m.Right[f]]++
+		}
+	}
+	for c, n := range touch {
+		if n < 2 {
+			t.Fatalf("cell %d touched by only %d faces", c, n)
+		}
+	}
+}
+
+func TestPaperMeshSize(t *testing.T) {
+	m := PaperMesh()
+	if m.Cells != 4816 {
+		t.Fatalf("paper mesh has %d cells, want 4816", m.Cells)
+	}
+}
+
+func TestMeshForCells(t *testing.T) {
+	for _, n := range []int{100, 1000, 4816, 20000} {
+		m := MeshForCells(n)
+		if m.Cells < n*8/10 || m.Cells > n*13/10 {
+			t.Fatalf("MeshForCells(%d) = %d cells", n, m.Cells)
+		}
+	}
+}
+
+func TestParamsValidateAndName(t *testing.T) {
+	if EulerLin.Name() != "Euler-lin" || MHDQuad.Name() != "MHD-quad" {
+		t.Fatalf("names %s %s", EulerLin.Name(), MHDQuad.Name())
+	}
+	if err := (Params{NPDE: 0, Dof: 3, Steps: 1}).Validate(); err == nil {
+		t.Error("NPDE=0 accepted")
+	}
+	if err := (Params{NPDE: 4, Dof: 3, Steps: 0}).Validate(); err == nil {
+		t.Error("Steps=0 accepted")
+	}
+	if EulerQuad.K() != 40 || MHDQuad.K() != 60 {
+		t.Fatalf("K: %d %d", EulerQuad.K(), MHDQuad.K())
+	}
+}
+
+func TestConservation(t *testing.T) {
+	// Interior fluxes cancel and boundary faces are reflective, so the
+	// residual sums to zero per mode; the per-cell mass matrices then
+	// redistribute it, so the mode-0 total is conserved only up to the
+	// matrix variation. Guard against gross sign/accounting errors.
+	p := Params{Mesh: NewMesh(8, 8), NPDE: 2, Dof: 2, Steps: 5}
+	inst, err := NewInstance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total0 := 0.0
+	for c := 0; c < inst.Mesh.Cells; c++ {
+		total0 += inst.U.At(c, 0)
+	}
+	inst.RunRegular(exec.Defaults())
+	total1 := 0.0
+	for c := 0; c < inst.Mesh.Cells; c++ {
+		total1 += inst.U.At(c, 0)
+	}
+	if math.Abs(total1-total0) > 1e-3*math.Abs(total0) {
+		t.Fatalf("mode-0 mass drifted: %v -> %v", total0, total1)
+	}
+}
+
+func TestStateEvolves(t *testing.T) {
+	p := Params{Mesh: NewMesh(8, 8), NPDE: 2, Dof: 2, Steps: 2}
+	inst, _ := NewInstance(p)
+	before := inst.U.CloneData()
+	inst.RunRegular(exec.Defaults())
+	same := true
+	for i := range before {
+		if before[i] != inst.U.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("state did not evolve")
+	}
+}
+
+func TestStreamMatchesRegularSmall(t *testing.T) {
+	p := Params{Mesh: NewMesh(10, 10), NPDE: 3, Dof: 2, Steps: 3}
+	res, err := Run(p, exec.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regular.Cycles == 0 || res.Stream.Cycles == 0 {
+		t.Fatal("zero cycles")
+	}
+}
+
+func TestAllPaperConfigsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-size configs are slow")
+	}
+	for _, p := range []Params{EulerLin, EulerQuad, MHDLin, MHDQuad} {
+		p.Steps = 1
+		res, err := Run(p, exec.Defaults())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		t.Logf("%s: speedup %.3f (reg %d, str %d)", p.Name(), res.Speedup, res.Regular.Cycles, res.Stream.Cycles)
+	}
+}
+
+func TestSpeedupInPaperBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-size configs are slow")
+	}
+	// Fig. 11(a): 1.13x–1.26x, with smaller speedups for the
+	// compute-bound quadratic spaces.
+	lin, err := Run(EulerLin, exec.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := Run(EulerQuad, exec.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Euler-lin %.3f, Euler-quad %.3f", lin.Speedup, quad.Speedup)
+	if lin.Speedup < 1.02 || lin.Speedup > 1.6 {
+		t.Errorf("Euler-lin speedup %.2f, paper band 1.13–1.26", lin.Speedup)
+	}
+	if quad.Speedup > lin.Speedup+0.02 {
+		t.Errorf("quadratic (%.2f) should not beat linear (%.2f): it is compute-bound", quad.Speedup, lin.Speedup)
+	}
+}

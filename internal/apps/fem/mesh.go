@@ -1,0 +1,180 @@
+// Package fem implements streamFEM (§IV-C.1, Fig. 10(a)): a simplified
+// discontinuous-Galerkin conservation-law solver on an unstructured
+// triangular mesh, in regular and streaming style.
+//
+// The paper's test case is a blast-wave computation over 4816
+// triangular cells, run for two PDE sets (Euler: 4 equations, MHD: 6)
+// and two polynomial spaces (linear: 3 degrees of freedom, quadratic:
+// 10). Those four parameters fix what matters for the mapping study —
+// record sizes (nPDE×dof×8 bytes per cell, 96 B to 480 B) and
+// arithmetic intensity — so this implementation keeps them as knobs
+// while simplifying the physics to per-field Rusanov fluxes with
+// mode-weighted residual projection (the real DG quadrature adds
+// arithmetic but no new access patterns; see DESIGN.md).
+package fem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mesh is an unstructured triangular mesh produced by triangulating a
+// rows×cols quad grid (two triangles per quad), matching the paper's
+// 4816-cell test case at 56×43.
+type Mesh struct {
+	Cells int
+	Faces int
+	// Left and Right are the cells adjacent to each face. Boundary
+	// faces use Right == Left (a ghost mirror), which makes their net
+	// flux contribution cancel — a reflective wall.
+	Left, Right []int32
+	// Vel is the face-normal advection velocity; Len the face length.
+	Vel, Len []float64
+	// Area is the cell area.
+	Area []float64
+	// Boundary marks ghost faces.
+	Boundary []bool
+	// CellFaces lists each cell's three faces and Signs the side the
+	// cell is on (-1 = left/outflow, +1 = right/inflow, 0 = boundary,
+	// whose two ghost contributions cancel). This is the cell→face map
+	// streamFEM's GatherCell kernel uses to accumulate residuals by
+	// gathering fluxes instead of scatter-adding them (Fig. 10(a)).
+	CellFaces [][3]int32
+	Signs     [][3]float64
+}
+
+// NewMesh triangulates a rows×cols quad grid. Cells = 2×rows×cols.
+func NewMesh(rows, cols int) *Mesh {
+	if rows <= 0 || cols <= 0 {
+		panic("fem: mesh dimensions must be positive")
+	}
+	m := &Mesh{Cells: 2 * rows * cols}
+	// Cell ids: quad (r,c) holds triangle A = 2*(r*cols+c) (lower
+	// right: bottom and right edges) and B = A+1 (upper left: top and
+	// left edges), separated by the diagonal.
+	triA := func(r, c int) int32 { return int32(2 * (r*cols + c)) }
+	triB := func(r, c int) int32 { return triA(r, c) + 1 }
+
+	addFace := func(l, r int32, vel, length float64) {
+		boundary := r < 0
+		if boundary {
+			r = l
+		}
+		m.Left = append(m.Left, l)
+		m.Right = append(m.Right, r)
+		m.Vel = append(m.Vel, vel)
+		m.Len = append(m.Len, length)
+		m.Boundary = append(m.Boundary, boundary)
+	}
+
+	// A deterministic, smoothly varying velocity field.
+	vel := func(r, c int, dir int) float64 {
+		x := float64(c)/float64(cols) - 0.5
+		y := float64(r)/float64(rows) - 0.5
+		switch dir {
+		case 0: // horizontal face: normal is y
+			return math.Sin(2*math.Pi*x) + 0.3
+		case 1: // vertical face: normal is x
+			return math.Cos(2*math.Pi*y) - 0.2
+		default: // diagonal
+			return 0.5 * (math.Sin(2*math.Pi*x) + math.Cos(2*math.Pi*y))
+		}
+	}
+
+	diag := math.Sqrt2
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Diagonal face between the quad's two triangles.
+			addFace(triA(r, c), triB(r, c), vel(r, c, 2), diag)
+			// Bottom face: A(r,c) against B(r-1,c).
+			if r > 0 {
+				addFace(triA(r, c), triB(r-1, c), vel(r, c, 0), 1)
+			} else {
+				addFace(triA(r, c), -1, vel(r, c, 0), 1)
+			}
+			// Right face: A(r,c) against B(r,c+1).
+			if c+1 < cols {
+				addFace(triA(r, c), triB(r, c+1), vel(r, c, 1), 1)
+			} else {
+				addFace(triA(r, c), -1, vel(r, c, 1), 1)
+			}
+			// Grid-boundary top/left faces (owned by B).
+			if r == rows-1 {
+				addFace(triB(r, c), -1, vel(r+1, c, 0), 1)
+			}
+			if c == 0 {
+				addFace(triB(r, c), -1, vel(r, c-1, 1), 1)
+			}
+		}
+	}
+	m.Faces = len(m.Left)
+	m.Area = make([]float64, m.Cells)
+	for i := range m.Area {
+		m.Area[i] = 0.5
+	}
+
+	// Invert the face list into the per-cell map.
+	m.CellFaces = make([][3]int32, m.Cells)
+	m.Signs = make([][3]float64, m.Cells)
+	count := make([]int, m.Cells)
+	attach := func(cell int32, face int, sign float64) {
+		c := int(cell)
+		if count[c] >= 3 {
+			panic(fmt.Sprintf("fem: cell %d has more than 3 faces", c))
+		}
+		m.CellFaces[c][count[c]] = int32(face)
+		m.Signs[c][count[c]] = sign
+		count[c]++
+	}
+	for f := 0; f < m.Faces; f++ {
+		if m.Boundary[f] {
+			attach(m.Left[f], f, 0) // ghost contributions cancel
+			continue
+		}
+		attach(m.Left[f], f, -1)
+		attach(m.Right[f], f, +1)
+	}
+	for c, n := range count {
+		if n != 3 {
+			panic(fmt.Sprintf("fem: cell %d has %d faces, want 3", c, n))
+		}
+	}
+	return m
+}
+
+// PaperMesh returns the 4816-cell mesh of the paper's evaluation
+// (56 × 43 quads).
+func PaperMesh() *Mesh { return NewMesh(56, 43) }
+
+// MeshForCells picks grid dimensions giving approximately n cells.
+func MeshForCells(n int) *Mesh {
+	if n < 2 {
+		n = 2
+	}
+	side := int(math.Sqrt(float64(n) / 2))
+	if side < 1 {
+		side = 1
+	}
+	cols := (n/2 + side - 1) / side
+	return NewMesh(side, cols)
+}
+
+// InitBlastWave sets a blast-wave initial condition: field values are a
+// background level with a strong pulse near the mesh centre, the
+// paper's shock-capturing test case.
+func (m *Mesh) InitBlastWave(k, dof int, set func(cell, field int, v float64)) {
+	centre := m.Cells / 2
+	for c := 0; c < m.Cells; c++ {
+		d := float64(c-centre) / float64(m.Cells)
+		pulse := math.Exp(-d * d * 400)
+		for p := 0; p < k; p++ {
+			for mmode := 0; mmode < dof; mmode++ {
+				v := 0.1 + pulse*(1+0.1*float64(p))
+				if mmode > 0 {
+					v *= 0.05 / float64(mmode) // higher modes start small
+				}
+				set(c, p*dof+mmode, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package micro
+
+import (
+	"testing"
+
+	"streamgpp/internal/exec"
+	"streamgpp/internal/sim"
+)
+
+// The improved micro-architecture of §V-A (bigger TLB, more NT ways,
+// deeper prefetch) must speed up the stream versions of the
+// random-access micro-benchmarks — the paper's closing claim.
+func TestImprovedMachineHelpsStreamGATSCAT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	base, err := RunGATSCAT(Params{N: 100000, Comp: 2, Seed: 9}, exec.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := sim.ImprovedStream()
+	fut, err := RunGATSCAT(Params{N: 100000, Comp: 2, Seed: 9, Machine: &improved}, exec.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := float64(base.Stream.Cycles) / float64(fut.Stream.Cycles)
+	t.Logf("stream cycles: 2005=%d future=%d (gain %.2fx)", base.Stream.Cycles, fut.Stream.Cycles, gain)
+	if gain < 1.05 {
+		t.Errorf("improved machine gained only %.2fx on stream GAT-SCAT", gain)
+	}
+}
+
+func TestMicroResultsIndependentOfMachineOverride(t *testing.T) {
+	// Functional outputs must not depend on the timing model.
+	improved := sim.ImprovedStream()
+	a, err := RunLDST(Params{N: 20000, Comp: 2, Seed: 5}, exec.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLDST(Params{N: 20000, Comp: 2, Seed: 5, Machine: &improved}, exec.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run() already verified regular == stream internally on each
+	// machine; cross-check the cycle counts differ (the timing model
+	// did change) to make sure the override took effect.
+	if a.Stream.Cycles == b.Stream.Cycles && a.Regular.Cycles == b.Regular.Cycles {
+		t.Error("machine override had no effect")
+	}
+}

@@ -1,0 +1,159 @@
+// Package bitvec implements small fixed-capacity bit vectors.
+//
+// The distributed work queue (internal/wq) encodes the dependencies of
+// every in-flight task as a bit vector, exactly as described in §III-B.1
+// of the paper: "Each element of the queue maintains a bit-vector
+// indicating which tasks it depends on ... setting and clearing
+// dependence information could be performed rapidly (using simple or
+// and and instructions)". The queue bounds the number of in-flight
+// tasks (64 in the paper) so a vector fits in one or two machine words.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vec is a bit vector with a fixed capacity chosen at construction.
+// The zero value is unusable; use New. Vec values with the same
+// capacity may be combined with And/Or.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty vector able to hold bits [0, n).
+func New(n int) Vec {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative capacity %d", n))
+	}
+	return Vec{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the capacity of the vector in bits.
+func (v Vec) Len() int { return v.n }
+
+func (v Vec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Set sets bit i.
+func (v Vec) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (i % wordBits)
+}
+
+// Clear clears bit i.
+func (v Vec) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (i % wordBits)
+}
+
+// Test reports whether bit i is set.
+func (v Vec) Test(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+// Any reports whether any bit is set.
+func (v Vec) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// None reports whether no bit is set.
+func (v Vec) None() bool { return !v.Any() }
+
+// Count returns the number of set bits.
+func (v Vec) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndNot clears every bit of v that is set in o (v &^= o).
+// It panics if the capacities differ.
+func (v Vec) AndNot(o Vec) {
+	v.same(o)
+	for i, w := range o.words {
+		v.words[i] &^= w
+	}
+}
+
+// Or sets every bit of v that is set in o (v |= o).
+// It panics if the capacities differ.
+func (v Vec) Or(o Vec) {
+	v.same(o)
+	for i, w := range o.words {
+		v.words[i] |= w
+	}
+}
+
+// Intersects reports whether v and o share a set bit.
+func (v Vec) Intersects(o Vec) bool {
+	v.same(o)
+	for i, w := range o.words {
+		if v.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (v Vec) same(o Vec) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: capacity mismatch %d vs %d", v.n, o.n))
+	}
+}
+
+// Reset clears all bits.
+func (v Vec) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of v.
+func (v Vec) Clone() Vec {
+	w := New(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// ForEach calls f for every set bit, in ascending order.
+func (v Vec) ForEach(f func(i int)) {
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &^= 1 << b
+		}
+	}
+}
+
+// String renders the set bits as "{1, 5, 63}".
+func (v Vec) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	v.ForEach(func(i int) {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,176 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		if v.Test(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+		v.Set(i)
+		if !v.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Clear(i)
+		if v.Test(i) {
+			t.Fatalf("bit %d set after Clear", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Test(%d) did not panic", i)
+				}
+			}()
+			v.Test(i)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New(-1) did not panic")
+			}
+		}()
+		New(-1)
+	}()
+}
+
+func TestAnyNoneCount(t *testing.T) {
+	v := New(64)
+	if v.Any() || !v.None() || v.Count() != 0 {
+		t.Fatal("fresh vector not empty")
+	}
+	v.Set(3)
+	v.Set(63)
+	if !v.Any() || v.None() || v.Count() != 2 {
+		t.Fatalf("Any=%v None=%v Count=%d", v.Any(), v.None(), v.Count())
+	}
+}
+
+func TestAndNotOr(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Set(1)
+	a.Set(65)
+	b.Set(65)
+	b.Set(2)
+	a.AndNot(b)
+	if a.Test(65) || !a.Test(1) {
+		t.Fatal("AndNot wrong")
+	}
+	a.Or(b)
+	if !a.Test(2) || !a.Test(65) || !a.Test(1) {
+		t.Fatal("Or wrong")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Set(69)
+	if a.Intersects(b) {
+		t.Fatal("empty intersection reported")
+	}
+	b.Set(69)
+	if !a.Intersects(b) {
+		t.Fatal("intersection missed")
+	}
+}
+
+func TestMismatchedCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on capacity mismatch")
+		}
+	}()
+	New(10).Or(New(20))
+}
+
+func TestForEachOrder(t *testing.T) {
+	v := New(130)
+	want := []int{0, 7, 64, 129}
+	for _, i := range want {
+		v.Set(i)
+	}
+	var got []int
+	v.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := New(10)
+	v.Set(5)
+	w := v.Clone()
+	w.Clear(5)
+	if !v.Test(5) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestResetAndString(t *testing.T) {
+	v := New(10)
+	v.Set(1)
+	v.Set(5)
+	if s := v.String(); s != "{1, 5}" {
+		t.Fatalf("String = %q", s)
+	}
+	v.Reset()
+	if v.Any() {
+		t.Fatal("Reset left bits")
+	}
+	if s := v.String(); s != "{}" {
+		t.Fatalf("empty String = %q", s)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	v := New(0)
+	if v.Any() || v.Count() != 0 || v.Len() != 0 {
+		t.Fatal("zero-capacity vector misbehaves")
+	}
+}
+
+// Property: Count equals the number of distinct set indices.
+func TestCountMatchesDistinctSets(t *testing.T) {
+	f := func(idx []uint8) bool {
+		v := New(256)
+		distinct := map[int]bool{}
+		for _, i := range idx {
+			v.Set(int(i))
+			distinct[int(i)] = true
+		}
+		return v.Count() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AndNot(x, x) empties any vector.
+func TestSelfAndNotEmpties(t *testing.T) {
+	f := func(idx []uint8) bool {
+		v := New(256)
+		for _, i := range idx {
+			v.Set(int(i))
+		}
+		v.AndNot(v)
+		return v.None()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

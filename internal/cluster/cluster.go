@@ -1,0 +1,171 @@
+// Package cluster implements the multi-node Stream Virtual Machine
+// execution model the paper scopes out ("The SVM execution model for
+// more than one node contains multiple sets of these processors and
+// memories and network links to connect the nodes. In this paper, we
+// focus only on mapping a single node", §II-B footnote): several
+// simulated machines connected by point-to-point links, running
+// shards of one stream program with explicit stream transfers between
+// steps.
+//
+// The model is deliberately SPMD: the element space is block-
+// partitioned across nodes, each node compiles and runs its shard of
+// the SDF program on its own two-context machine, and between steps
+// the nodes exchange halo streams over the links. Node simulations are
+// independent (each machine has its own virtual clock), so a step's
+// makespan is the slowest node plus its communication — the standard
+// bulk-synchronous bound.
+package cluster
+
+import (
+	"fmt"
+)
+
+// LinkConfig models one point-to-point network link.
+type LinkConfig struct {
+	// BytesPerCycle is the link bandwidth in bytes per core cycle of
+	// the (homogeneous) nodes.
+	BytesPerCycle float64
+	// LatencyCycles is the per-message latency.
+	LatencyCycles uint64
+}
+
+// DefaultLink is a 2 GB/s full-duplex interconnect with ~1 µs latency
+// on the 3.4 GHz nodes — an InfiniBand-class link of the paper's era.
+func DefaultLink() LinkConfig {
+	return LinkConfig{
+		BytesPerCycle: 2.0e9 / 3.4e9,
+		LatencyCycles: 3400,
+	}
+}
+
+// Validate reports invalid link parameters.
+func (l LinkConfig) Validate() error {
+	if l.BytesPerCycle <= 0 {
+		return fmt.Errorf("cluster: link bandwidth must be positive")
+	}
+	return nil
+}
+
+// TransferCycles returns the time to move bytes across the link.
+func (l LinkConfig) TransferCycles(bytes uint64) uint64 {
+	return l.LatencyCycles + uint64(float64(bytes)/l.BytesPerCycle+0.5)
+}
+
+// Shard is one node's slice of the global element space.
+type Shard struct {
+	Node     int
+	Lo, Hi   int // global element range [Lo, Hi)
+	Elements int
+}
+
+// Partition block-partitions n elements across nodes.
+func Partition(n, nodes int) ([]Shard, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: %d nodes", nodes)
+	}
+	if n < nodes {
+		return nil, fmt.Errorf("cluster: cannot partition %d elements across %d nodes", n, nodes)
+	}
+	out := make([]Shard, nodes)
+	base := n / nodes
+	rem := n % nodes
+	lo := 0
+	for i := range out {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		out[i] = Shard{Node: i, Lo: lo, Hi: lo + sz, Elements: sz}
+		lo += sz
+	}
+	return out, nil
+}
+
+// NodeResult reports one node's execution of one step.
+type NodeResult struct {
+	Shard      Shard
+	ComputeCyc uint64 // the node's stream-program execution
+	CommCyc    uint64 // its halo exchange
+	TotalCyc   uint64
+}
+
+// StepResult reports one bulk-synchronous step.
+type StepResult struct {
+	Nodes    []NodeResult
+	Makespan uint64 // slowest node including communication
+}
+
+// Program is one node's runnable shard: Run executes the local stream
+// program and returns its simulated cycles; HaloBytes is the data the
+// node must exchange with its neighbours after the step.
+type Program struct {
+	Run       func() uint64
+	HaloBytes uint64
+}
+
+// RunStep executes one bulk-synchronous step: every node runs its
+// shard, then exchanges halos pairwise over the link. Nodes are
+// simulated sequentially (each owns an independent virtual clock), so
+// the result is deterministic.
+func RunStep(link LinkConfig, programs []Program) (StepResult, error) {
+	if err := link.Validate(); err != nil {
+		return StepResult{}, err
+	}
+	if len(programs) == 0 {
+		return StepResult{}, fmt.Errorf("cluster: no node programs")
+	}
+	res := StepResult{}
+	for i, p := range programs {
+		if p.Run == nil {
+			return StepResult{}, fmt.Errorf("cluster: node %d has no program", i)
+		}
+		nr := NodeResult{Shard: Shard{Node: i}}
+		nr.ComputeCyc = p.Run()
+		if len(programs) > 1 && p.HaloBytes > 0 {
+			// Exchange with both neighbours (full duplex, overlapped
+			// send/receive: one transfer time per neighbour pair).
+			nr.CommCyc = link.TransferCycles(p.HaloBytes)
+		}
+		nr.TotalCyc = nr.ComputeCyc + nr.CommCyc
+		if nr.TotalCyc > res.Makespan {
+			res.Makespan = nr.TotalCyc
+		}
+		res.Nodes = append(res.Nodes, nr)
+	}
+	return res, nil
+}
+
+// ScalingPoint is one entry of a strong-scaling study.
+type ScalingPoint struct {
+	Nodes    int
+	Makespan uint64
+	Speedup  float64 // single-node makespan / this makespan
+	Eff      float64 // Speedup / Nodes
+}
+
+// StrongScaling runs the same global problem on 1..maxNodes nodes.
+// build must return the per-node programs for the given node count.
+func StrongScaling(link LinkConfig, maxNodes int, build func(nodes int) ([]Program, error)) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	var single uint64
+	for n := 1; n <= maxNodes; n++ {
+		progs, err := build(n)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building %d-node programs: %w", n, err)
+		}
+		step, err := RunStep(link, progs)
+		if err != nil {
+			return nil, err
+		}
+		if n == 1 {
+			single = step.Makespan
+		}
+		p := ScalingPoint{Nodes: n, Makespan: step.Makespan}
+		if step.Makespan > 0 {
+			p.Speedup = float64(single) / float64(step.Makespan)
+			p.Eff = p.Speedup / float64(n)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionCoversExactly(t *testing.T) {
+	f := func(rawN uint16, rawK uint8) bool {
+		n := int(rawN)%10000 + 1
+		k := int(rawK)%8 + 1
+		if n < k {
+			n = k
+		}
+		shards, err := Partition(n, k)
+		if err != nil {
+			return false
+		}
+		covered := 0
+		prev := 0
+		for i, s := range shards {
+			if s.Lo != prev || s.Hi <= s.Lo || s.Elements != s.Hi-s.Lo || s.Node != i {
+				return false
+			}
+			covered += s.Elements
+			prev = s.Hi
+		}
+		return covered == n && prev == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	shards, err := Partition(103, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shards {
+		if s.Elements < 25 || s.Elements > 26 {
+			t.Fatalf("imbalanced shard %+v", s)
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(10, 0); err == nil {
+		t.Error("0 nodes accepted")
+	}
+	if _, err := Partition(3, 4); err == nil {
+		t.Error("more nodes than elements accepted")
+	}
+}
+
+func TestLinkTransferCycles(t *testing.T) {
+	l := DefaultLink()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	zero := l.TransferCycles(0)
+	if zero != l.LatencyCycles {
+		t.Fatalf("empty transfer %d, want latency %d", zero, l.LatencyCycles)
+	}
+	big := l.TransferCycles(1 << 20)
+	if big <= zero {
+		t.Fatal("bandwidth term missing")
+	}
+	bad := LinkConfig{}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestRunStepMakespan(t *testing.T) {
+	link := DefaultLink()
+	progs := []Program{
+		{Run: func() uint64 { return 100 }, HaloBytes: 0},
+		{Run: func() uint64 { return 5000 }, HaloBytes: 16},
+	}
+	res, err := RunStep(link, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5000 + link.TransferCycles(16)
+	if res.Makespan != want {
+		t.Fatalf("makespan %d, want %d", res.Makespan, want)
+	}
+	if res.Nodes[0].CommCyc == 0 && progs[0].HaloBytes > 0 {
+		t.Fatal("comm not charged")
+	}
+}
+
+func TestRunStepSingleNodeNoComm(t *testing.T) {
+	res, err := RunStep(DefaultLink(), []Program{{Run: func() uint64 { return 42 }, HaloBytes: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes[0].CommCyc != 0 {
+		t.Fatal("single node charged communication")
+	}
+}
+
+func TestRunStepErrors(t *testing.T) {
+	if _, err := RunStep(DefaultLink(), nil); err == nil {
+		t.Error("empty programs accepted")
+	}
+	if _, err := RunStep(DefaultLink(), []Program{{}}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	if _, err := RunStep(LinkConfig{}, []Program{{Run: func() uint64 { return 1 }}}); err == nil {
+		t.Error("invalid link accepted")
+	}
+}
+
+// The distributed stencil must match the serial reference exactly —
+// halo exchange and sharding introduce no numerical difference.
+func TestStencilMatchesReference(t *testing.T) {
+	const n, steps = 4096, 4
+	st, err := NewStencil1D(n, 3, DefaultLink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(st.Field, steps)
+	for s := 0; s < steps; s++ {
+		if _, err := st.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(st.Field[i]-want[i]) > 1e-12 {
+			t.Fatalf("field[%d] = %v, want %v", i, st.Field[i], want[i])
+		}
+	}
+}
+
+// Different node counts must agree with each other.
+func TestStencilNodeCountInvariance(t *testing.T) {
+	const n, steps = 2048, 3
+	results := map[int][]float64{}
+	for _, nodes := range []int{1, 2, 4} {
+		st, err := NewStencil1D(n, nodes, DefaultLink())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < steps; s++ {
+			if _, err := st.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		results[nodes] = append([]float64(nil), st.Field...)
+	}
+	for i := 0; i < n; i++ {
+		if results[1][i] != results[2][i] || results[2][i] != results[4][i] {
+			t.Fatalf("node counts disagree at %d: %v %v %v", i, results[1][i], results[2][i], results[4][i])
+		}
+	}
+}
+
+func TestStrongScalingImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	const n = 65536
+	points, err := StrongScaling(DefaultLink(), 4, func(nodes int) ([]Program, error) {
+		st, err := NewStencil1D(n, nodes, DefaultLink())
+		if err != nil {
+			return nil, err
+		}
+		progs := make([]Program, nodes)
+		for k := range st.nodes {
+			nd := st.nodes[k]
+			progs[k] = Program{
+				HaloBytes: 16,
+				Run: func() uint64 {
+					return runNode(nd)
+				},
+			}
+		}
+		return progs, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points %v", points)
+	}
+	if points[0].Speedup != 1 {
+		t.Fatalf("single-node speedup %v", points[0].Speedup)
+	}
+	for _, p := range points {
+		t.Logf("nodes=%d makespan=%d speedup=%.2f eff=%.0f%%", p.Nodes, p.Makespan, p.Speedup, 100*p.Eff)
+	}
+	// 4 nodes must beat 1 node substantially on a 64K-element stencil.
+	if points[3].Speedup < 2.0 {
+		t.Errorf("4-node speedup %.2f, want >= 2", points[3].Speedup)
+	}
+	// And efficiency should decay monotonically-ish (comm overhead).
+	if points[3].Eff > points[1].Eff+0.05 {
+		t.Errorf("efficiency should not grow with nodes: %v", points)
+	}
+}
+
+// runNode executes one node's compiled program once.
+func runNode(nd *stencilNode) uint64 {
+	return stepOne(nd)
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+
+	"streamgpp/internal/compiler"
+	"streamgpp/internal/exec"
+	"streamgpp/internal/sdf"
+	"streamgpp/internal/sim"
+	"streamgpp/internal/svm"
+)
+
+// Stencil1D is a distributed advection stencil — the simplest stream
+// program with inter-node communication: each node owns a block of a
+// 1D periodic field plus two ghost cells, runs the three-point update
+// as a local stream program (multi-index gather of the neighbours,
+// kernel, sequential scatter), and exchanges its boundary cells with
+// its neighbours after every step.
+type Stencil1D struct {
+	N     int // global elements
+	Nodes int
+	Link  LinkConfig
+
+	shards []Shard
+	nodes  []*stencilNode
+	// Global field state (gathered from node-local arrays after every
+	// step for verification).
+	Field []float64
+}
+
+type stencilNode struct {
+	m     *sim.Machine
+	phi   *svm.Array // local block + 2 ghosts: [ghostL, lo..hi), ghostR]
+	out   *svm.Array // updated local block (no ghosts)
+	nbrLo *svm.IndexArray
+	nbrHi *svm.IndexArray
+	prog  *compiler.Program
+	ecfg  exec.Config
+	n     int
+}
+
+// stencil update: phiNew[i] = phi[i] - c*(phi[i] - phi[i-1]) + d*(phi[i+1] - 2phi[i] + phi[i-1])
+const (
+	stencilC   = 0.2
+	stencilD   = 0.05
+	stencilOps = 12
+)
+
+func stencilStep(lo, mid, hi float64) float64 {
+	return mid - stencilC*(mid-lo) + stencilD*(hi-2*mid+lo)
+}
+
+// NewStencil1D builds the distributed problem. The initial field is a
+// periodic pulse.
+func NewStencil1D(n, nodes int, link LinkConfig) (*Stencil1D, error) {
+	shards, err := Partition(n, nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Stencil1D{N: n, Nodes: nodes, Link: link, shards: shards, Field: make([]float64, n)}
+	for i := range s.Field {
+		x := float64(i)/float64(n) - 0.3
+		s.Field[i] = 1 / (1 + 100*x*x)
+	}
+	for _, sh := range shards {
+		nd, err := newStencilNode(sh)
+		if err != nil {
+			return nil, err
+		}
+		s.nodes = append(s.nodes, nd)
+	}
+	s.scatterGlobal()
+	return s, nil
+}
+
+func newStencilNode(sh Shard) (*stencilNode, error) {
+	m := sim.MustNew(sim.PentiumD8300())
+	n := sh.Elements
+	l := svm.Layout("phi", svm.F("v", 8))
+	nd := &stencilNode{
+		m:     m,
+		phi:   svm.NewArray(m, "phi", l, n+2), // [0]=left ghost, [n+1]=right ghost
+		out:   svm.NewArray(m, "out", l, n),
+		nbrLo: svm.NewIndexArray(m, "lo", n),
+		nbrHi: svm.NewIndexArray(m, "hi", n),
+		ecfg:  exec.Defaults(),
+		n:     n,
+	}
+	for i := 0; i < n; i++ {
+		nd.nbrLo.Idx[i] = int32(i)     // phi[1+i-1]
+		nd.nbrHi.Idx[i] = int32(i + 2) // phi[1+i+1]
+	}
+
+	update := &svm.Kernel{
+		Name: "Stencil", OpsPerElem: stencilOps,
+		Fn: func(ins, outs []*svm.Stream, start, cnt int) int64 {
+			lohi, mid := ins[0], ins[1]
+			o := outs[0]
+			for i := start; i < start+cnt; i++ {
+				o.Set(i, 0, stencilStep(lohi.At(i, 0), mid.At(i, 0), lohi.At(i, 1)))
+			}
+			return 0
+		},
+	}
+	g := sdf.New(fmt.Sprintf("stencil-node%d", sh.Node))
+	lohi := g.Input(svm.NewStream("lohi", n, svm.F("lo", 8), svm.F("hi", 8)),
+		sdf.Bind(nd.phi).MultiIndexed(nd.nbrLo, nd.nbrHi))
+	// The interior cells themselves stream sequentially from offset 1.
+	mids := g.Input(svm.NewStream("mid", n, svm.F("v", 8)), sdf.Bind(nd.phi).Indexed(midIndex(m, n)))
+	outs := g.AddKernel(update, []*sdf.Edge{lohi, mids},
+		[]*svm.Stream{svm.NewStream("o", n, svm.F("v", 8))})
+	g.Output(outs[0], sdf.Bind(nd.out))
+
+	prog, err := compiler.Compile(g, compiler.DefaultOptions(svm.DefaultSRF(m)))
+	if err != nil {
+		return nil, err
+	}
+	nd.prog = prog
+	return nd, nil
+}
+
+// midIndex builds the identity-shifted index [1, 2, ... n].
+func midIndex(m *sim.Machine, n int) *svm.IndexArray {
+	ix := svm.NewIndexArray(m, "mid", n)
+	for i := 0; i < n; i++ {
+		ix.Idx[i] = int32(i + 1)
+	}
+	return ix
+}
+
+// scatterGlobal copies the global field into every node's local block
+// and refreshes the ghosts (the halo exchange, functionally).
+func (s *Stencil1D) scatterGlobal() {
+	for k, sh := range s.shards {
+		nd := s.nodes[k]
+		for i := 0; i < sh.Elements; i++ {
+			nd.phi.Set(1+i, 0, s.Field[sh.Lo+i])
+		}
+		nd.phi.Set(0, 0, s.Field[(sh.Lo-1+s.N)%s.N])
+		nd.phi.Set(1+sh.Elements, 0, s.Field[sh.Hi%s.N])
+	}
+}
+
+// gatherGlobal collects the node-local results into the global field.
+func (s *Stencil1D) gatherGlobal() {
+	for k, sh := range s.shards {
+		nd := s.nodes[k]
+		for i := 0; i < sh.Elements; i++ {
+			s.Field[sh.Lo+i] = nd.out.At(i, 0)
+		}
+	}
+}
+
+// Step runs one bulk-synchronous step across all nodes and returns its
+// timing.
+func (s *Stencil1D) Step() (StepResult, error) {
+	programs := make([]Program, s.Nodes)
+	for k := range s.nodes {
+		nd := s.nodes[k]
+		programs[k] = Program{
+			HaloBytes: 2 * 8, // one boundary cell to each neighbour
+			Run: func() uint64 {
+				return exec.RunStream2Ctx(nd.m, nd.prog, nd.ecfg).Cycles
+			},
+		}
+	}
+	res, err := RunStep(s.Link, programs)
+	if err != nil {
+		return res, err
+	}
+	s.gatherGlobal()
+	s.scatterGlobal()
+	return res, nil
+}
+
+// Reference advances a copy of the field serially, for verification.
+func Reference(field []float64, steps int) []float64 {
+	n := len(field)
+	cur := append([]float64(nil), field...)
+	next := make([]float64, n)
+	for s := 0; s < steps; s++ {
+		for i := 0; i < n; i++ {
+			lo := cur[(i-1+n)%n]
+			hi := cur[(i+1)%n]
+			next[i] = stencilStep(lo, cur[i], hi)
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// stepOne runs one node's program once (test/bench helper).
+func stepOne(nd *stencilNode) uint64 {
+	return exec.RunStream2Ctx(nd.m, nd.prog, nd.ecfg).Cycles
+}
+
+// NodePrograms exposes the per-node programs for external scaling
+// studies (cmd/streambench and the benchmarks).
+func (s *Stencil1D) NodePrograms() []Program {
+	out := make([]Program, s.Nodes)
+	for k := range s.nodes {
+		nd := s.nodes[k]
+		out[k] = Program{HaloBytes: 16, Run: func() uint64 { return stepOne(nd) }}
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"streamgpp/internal/sdf"
+	"streamgpp/internal/sim"
+	"streamgpp/internal/svm"
+	"streamgpp/internal/wq"
+)
+
+func testMachine() *sim.Machine { return sim.MustNew(sim.PentiumD8300()) }
+
+func sumKernel(name string) *svm.Kernel {
+	return &svm.Kernel{
+		Name:       name,
+		OpsPerElem: 8,
+		Fn: func(ins, outs []*svm.Stream, start, n int) int64 {
+			for i := start; i < start+n; i++ {
+				var s float64
+				for _, in := range ins {
+					s += in.At(i, 0)
+				}
+				for _, o := range outs {
+					o.Set(i, 0, s)
+				}
+			}
+			return 0
+		},
+	}
+}
+
+// pipelineGraph builds a two-kernel single-phase program over n
+// elements: out = (a + b) + x.
+func pipelineGraph(m *sim.Machine, n int) (*sdf.Graph, *svm.Array, *svm.Array, *svm.Array, *svm.Array) {
+	l := svm.Layout("rec", svm.F("v", 8))
+	a := svm.NewArray(m, "a", l, n)
+	b := svm.NewArray(m, "b", l, n)
+	x := svm.NewArray(m, "x", l, n)
+	y := svm.NewArray(m, "y", l, n)
+	g := sdf.New("pipe")
+	as := g.Input(svm.StreamOf("as", n, l, l.AllFields()), sdf.Bind(a))
+	bs := g.Input(svm.StreamOf("bs", n, l, l.AllFields()), sdf.Bind(b))
+	ds := g.AddKernel(sumKernel("k1"), []*sdf.Edge{as, bs}, []*svm.Stream{svm.NewStream("ds", n, svm.F("v", 8))})
+	xs := g.Input(svm.StreamOf("xs", n, l, l.AllFields()), sdf.Bind(x))
+	ys := g.AddKernel(sumKernel("k2"), []*sdf.Edge{ds[0], xs}, []*svm.Stream{svm.NewStream("ys", n, svm.F("v", 8))})
+	g.Output(ys[0], sdf.Bind(y))
+	return g, a, b, x, y
+}
+
+func TestCompileBasics(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 10000)
+	srf := svm.DefaultSRF(m)
+	p, err := Compile(g, DefaultOptions(srf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases) != 1 {
+		t.Fatalf("phases %d", len(p.Phases))
+	}
+	pl := p.Phases[0]
+	if pl.StripElems <= 0 || pl.Strips != (10000+pl.StripElems-1)/pl.StripElems {
+		t.Fatalf("plan %+v", pl)
+	}
+	// Tasks: per strip, 3 gathers + 1 fused kernel + 1 scatter.
+	want := pl.Strips * 5
+	if len(p.Tasks) != want {
+		t.Fatalf("tasks %d, want %d", len(p.Tasks), want)
+	}
+	if !strings.Contains(p.Summary(), "fused") {
+		t.Fatalf("summary: %s", p.Summary())
+	}
+}
+
+func TestCompileWithoutFusionEmitsPerKernelTasks(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 10000)
+	srf := svm.DefaultSRF(m)
+	opt := DefaultOptions(srf)
+	opt.FuseKernels = false
+	p, err := Compile(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := p.Phases[0]
+	if len(p.Tasks) != pl.Strips*6 { // 3 gathers + 2 kernels + 1 scatter
+		t.Fatalf("tasks %d, want %d", len(p.Tasks), pl.Strips*6)
+	}
+}
+
+// Task IDs must be dense and increasing, and every dependency must
+// point backwards.
+func TestScheduleDepsPointBackwards(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 50000)
+	p, err := Compile(g, DefaultOptions(svm.DefaultSRF(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tk := range p.Tasks {
+		if tk.ID != i {
+			t.Fatalf("task %d has ID %d", i, tk.ID)
+		}
+		for _, d := range tk.Deps {
+			if d >= tk.ID {
+				t.Fatalf("task %d depends forward on %d", tk.ID, d)
+			}
+		}
+		if tk.Run == nil {
+			t.Fatalf("task %d has no body", tk.ID)
+		}
+	}
+}
+
+// The schedule must flow through a 64-slot queue without distant
+// dependencies (a dep further back than the queue window deadlocks the
+// control thread).
+func TestScheduleDepsWithinQueueWindow(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 100000)
+	p, err := Compile(g, DefaultOptions(svm.DefaultSRF(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range p.Tasks {
+		for _, d := range tk.Deps {
+			if tk.ID-d > wq.DefaultCapacity {
+				t.Fatalf("task %d depends on %d, %d tasks back (> queue capacity %d)",
+					tk.ID, d, tk.ID-d, wq.DefaultCapacity)
+			}
+		}
+	}
+}
+
+// Executing the tasks in schedule order must produce exactly the
+// reference results (strip-mining covers every element exactly once).
+func TestScheduleFunctionalEquivalence(t *testing.T) {
+	m := testMachine()
+	n := 12345 // deliberately not a multiple of any strip size
+	g, a, b, x, y := pipelineGraph(m, n)
+	for _, arr := range []*svm.Array{a, b, x} {
+		arr.Fill(func(i, f int) float64 { return float64(i%97) + 0.5 })
+	}
+	p, err := Compile(g, DefaultOptions(svm.DefaultSRF(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range p.Tasks {
+		tk.Run(nil)
+	}
+	for i := 0; i < n; i++ {
+		want := a.At(i, 0) + b.At(i, 0) + x.At(i, 0)
+		if y.At(i, 0) != want {
+			t.Fatalf("y[%d] = %v, want %v", i, y.At(i, 0), want)
+		}
+	}
+}
+
+func TestForcedStripSize(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 1000)
+	opt := DefaultOptions(svm.DefaultSRF(m))
+	opt.StripElems = 100
+	p, err := Compile(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Phases[0].StripElems != 100 || p.Phases[0].Strips != 10 {
+		t.Fatalf("plan %+v", p.Phases[0])
+	}
+}
+
+func TestStripLargerThanNClamped(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 10)
+	opt := DefaultOptions(svm.DefaultSRF(m))
+	opt.StripElems = 1000
+	p, err := Compile(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Phases[0].StripElems != 10 || p.Phases[0].Strips != 1 {
+		t.Fatalf("plan %+v", p.Phases[0])
+	}
+}
+
+func TestSRFBuffersWithinCapacityAndDisjoint(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 100000)
+	srf := svm.DefaultSRF(m)
+	if _, err := Compile(g, DefaultOptions(srf)); err != nil {
+		t.Fatal(err)
+	}
+	allocs := srf.Allocs()
+	if len(allocs) != 5*2 { // 5 edges × 2 buffers
+		t.Fatalf("allocations %d", len(allocs))
+	}
+	var total uint64
+	for i, a := range allocs {
+		total += a.Size
+		if a.Base < srf.Region.Base || a.End() > srf.Region.Base+srf.Capacity() {
+			t.Fatalf("alloc %d outside SRF", i)
+		}
+		for j := i + 1; j < len(allocs); j++ {
+			b := allocs[j]
+			if a.Base < b.End() && b.Base < a.End() {
+				t.Fatalf("allocs %d and %d overlap", i, j)
+			}
+		}
+	}
+	if total > srf.Capacity() {
+		t.Fatalf("allocated %d > capacity %d", total, srf.Capacity())
+	}
+}
+
+func TestCompileRejectsMissingSRF(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 100)
+	if _, err := Compile(g, Options{}); err == nil {
+		t.Fatal("nil SRF accepted")
+	}
+}
+
+func TestCompileRejectsInvalidGraph(t *testing.T) {
+	m := testMachine()
+	g := sdf.New("empty")
+	if _, err := Compile(g, DefaultOptions(svm.DefaultSRF(m))); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestCompileRejectsIndexedIntraPhaseHazard(t *testing.T) {
+	m := testMachine()
+	l := svm.Layout("rec", svm.F("v", 8))
+	arr := svm.NewArray(m, "arr", l, 100)
+	idx := svm.NewIndexArray(m, "idx", 100)
+	g := sdf.New("hazard")
+	in := g.Input(svm.StreamOf("in", 100, l, l.AllFields()), sdf.Bind(arr))
+	out := g.AddKernel(sumKernel("k"), []*sdf.Edge{in}, []*svm.Stream{svm.NewStream("o", 100, svm.F("v", 8))})
+	g.Output(out[0], sdf.Bind(arr).Indexed(idx))
+	if _, err := Compile(g, DefaultOptions(svm.DefaultSRF(m))); err == nil {
+		t.Fatal("indexed read/write of one array in one phase accepted")
+	}
+}
+
+func TestCompileAllowsAlignedIntraPhaseUpdate(t *testing.T) {
+	// FindMaxAndUpdate-style: sequential gather and sequential scatter
+	// of the same array is strip-aligned and safe.
+	m := testMachine()
+	l := svm.Layout("rec", svm.F("v", 8))
+	arr := svm.NewArray(m, "arr", l, 100)
+	g := sdf.New("update")
+	in := g.Input(svm.StreamOf("in", 100, l, l.AllFields()), sdf.Bind(arr))
+	out := g.AddKernel(sumKernel("k"), []*sdf.Edge{in}, []*svm.Stream{svm.NewStream("o", 100, svm.F("v", 8))})
+	g.Output(out[0], sdf.Bind(arr))
+	if _, err := Compile(g, DefaultOptions(svm.DefaultSRF(m))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPhaseScheduleBarrier(t *testing.T) {
+	m := testMachine()
+	l := svm.Layout("rec", svm.F("v", 8))
+	src := svm.NewArray(m, "src", l, 4000)
+	mid := svm.NewArray(m, "mid", l, 4000)
+	dst := svm.NewArray(m, "dst", l, 2000)
+	idx := svm.NewIndexArray(m, "idx", 2000)
+	for i := range idx.Idx {
+		idx.Idx[i] = int32(i * 2)
+	}
+	g := sdf.New("2phase")
+	ss := g.Input(svm.StreamOf("ss", 4000, l, l.AllFields()), sdf.Bind(src))
+	k1 := g.AddKernel(sumKernel("k1"), []*sdf.Edge{ss}, []*svm.Stream{svm.NewStream("m", 4000, svm.F("v", 8))})
+	g.Output(k1[0], sdf.Bind(mid))
+	ms := g.Input(svm.StreamOf("ms", 2000, l, l.AllFields()), sdf.Bind(mid).Indexed(idx))
+	k2 := g.AddKernel(sumKernel("k2"), []*sdf.Edge{ms}, []*svm.Stream{svm.NewStream("o", 2000, svm.F("v", 8))})
+	g.Output(k2[0], sdf.Bind(dst))
+
+	opt := DefaultOptions(svm.DefaultSRF(m))
+	opt.StripElems = 500
+	p, err := Compile(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Functional check across the barrier.
+	src.Fill(func(i, f int) float64 { return float64(i) })
+	for _, tk := range p.Tasks {
+		tk.Run(nil)
+	}
+	for i := 0; i < 2000; i++ {
+		if dst.At(i, 0) != float64(2*i) {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst.At(i, 0), float64(2*i))
+		}
+	}
+
+	// The first gather of phase 2 must depend on phase-1 tasks.
+	var phase2FirstGather *wq.Task
+	for i := range p.Tasks {
+		if strings.HasPrefix(p.Tasks[i].Name, "ms") {
+			phase2FirstGather = &p.Tasks[i]
+			break
+		}
+	}
+	if phase2FirstGather == nil {
+		t.Fatal("no phase-2 gather found")
+	}
+	if len(phase2FirstGather.Deps) == 0 {
+		t.Fatal("phase-2 gather has no barrier dependencies")
+	}
+}
+
+func TestDoubleBufferAblation(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 10000)
+	srf := svm.DefaultSRF(m)
+	opt := DefaultOptions(srf)
+	opt.DoubleBuffer = false
+	p, err := Compile(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-buffered: one buffer per edge.
+	if len(srf.Allocs()) != 5 {
+		t.Fatalf("single-buffer allocs %d", len(srf.Allocs()))
+	}
+	_ = p
+}

@@ -1,0 +1,199 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"streamgpp/internal/sdf"
+	"streamgpp/internal/svm"
+	"streamgpp/internal/wq"
+)
+
+// multiGraph builds a program whose input is a single-pass multi-index
+// gather (two index arrays over one array).
+func multiGraph(t *testing.T, n int) (*sdf.Graph, *svm.Array, *svm.Array, *svm.IndexArray, *svm.IndexArray, *svm.SRF) {
+	t.Helper()
+	m := testMachine()
+	l := svm.Layout("rec", svm.F("v", 8))
+	src := svm.NewArray(m, "src", l, n)
+	dst := svm.NewArray(m, "dst", l, n)
+	src.Fill(func(i, f int) float64 { return float64(i) })
+	i1 := svm.NewIndexArray(m, "i1", n)
+	i2 := svm.NewIndexArray(m, "i2", n)
+	for i := 0; i < n; i++ {
+		i1.Idx[i] = int32((i + 1) % n)
+		i2.Idx[i] = int32((i + n - 1) % n)
+	}
+	k := &svm.Kernel{
+		Name: "sub", OpsPerElem: 4,
+		Fn: func(ins, outs []*svm.Stream, start, cnt int) int64 {
+			for i := start; i < start+cnt; i++ {
+				outs[0].Set(i, 0, ins[0].At(i, 0)-ins[0].At(i, 1))
+			}
+			return 0
+		},
+	}
+	g := sdf.New("multi")
+	in := g.Input(svm.NewStream("in", n, svm.F("a", 8), svm.F("b", 8)),
+		sdf.Bind(src).MultiIndexed(i1, i2))
+	out := g.AddKernel(k, []*sdf.Edge{in}, []*svm.Stream{svm.NewStream("o", n, svm.F("v", 8))})
+	g.Output(out[0], sdf.Bind(dst))
+	return g, src, dst, i1, i2, svm.DefaultSRF(m)
+}
+
+func TestCompiledMultiGatherFunctional(t *testing.T) {
+	const n = 5000
+	g, src, dst, i1, i2, srf := multiGraph(t, n)
+	p, err := Compile(g, DefaultOptions(srf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range p.Tasks {
+		tk.Run(nil)
+	}
+	for i := 0; i < n; i++ {
+		want := src.At(int(i1.Idx[i]), 0) - src.At(int(i2.Idx[i]), 0)
+		if dst.At(i, 0) != want {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst.At(i, 0), want)
+		}
+	}
+}
+
+func TestScheduleTaskNamesCarryStripNumbers(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 10000)
+	opt := DefaultOptions(svm.DefaultSRF(m))
+	opt.StripElems = 2500
+	p, err := Compile(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect as0..as3 among gathers and ys0..ys3 among scatters.
+	seen := map[string]bool{}
+	for _, tk := range p.Tasks {
+		seen[tk.Name] = true
+	}
+	for _, want := range []string{"as0", "as3", "ys0", "ys3", "k1+k20"} {
+		if !seen[want] {
+			t.Fatalf("schedule missing task %q; have %v", want, keys(seen))
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestMaxStripElemsCap(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 100000)
+	opt := DefaultOptions(svm.DefaultSRF(m))
+	opt.MaxStripElems = 777
+	p, err := Compile(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Phases[0].StripElems != 777 {
+		t.Fatalf("strip %d, want the 777 cap", p.Phases[0].StripElems)
+	}
+}
+
+func TestKindsAssignedToQueues(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 10000)
+	p, err := Compile(g, DefaultOptions(svm.DefaultSRF(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gathers, kernels, scatters int
+	for _, tk := range p.Tasks {
+		switch tk.Kind {
+		case wq.Gather:
+			gathers++
+		case wq.KernelRun:
+			kernels++
+		case wq.Scatter:
+			scatters++
+		}
+	}
+	strips := p.Phases[0].Strips
+	if gathers != 3*strips || kernels != strips || scatters != strips {
+		t.Fatalf("G/K/S = %d/%d/%d for %d strips", gathers, kernels, scatters, strips)
+	}
+}
+
+func TestSummaryMentionsEveryPhase(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 10000)
+	p, err := Compile(g, DefaultOptions(svm.DefaultSRF(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Summary()
+	if !strings.Contains(s, "phase 0") || !strings.Contains(s, "tasks") {
+		t.Fatalf("summary: %s", s)
+	}
+}
+
+// Double-buffer dependence structure: the gather of strip s must depend
+// on the kernel of strip s-2, never s-1 (that would serialise the
+// pipeline).
+func TestDoubleBufferDependenceDistance(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _ := pipelineGraph(m, 25000)
+	opt := DefaultOptions(svm.DefaultSRF(m))
+	opt.StripElems = 2500
+	p, err := Compile(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]wq.Task{}
+	for _, tk := range p.Tasks {
+		byID[tk.ID] = tk
+	}
+	for _, tk := range p.Tasks {
+		if tk.Kind != wq.Gather || !strings.HasPrefix(tk.Name, "as") {
+			continue
+		}
+		strip := tk.Name[len("as"):]
+		for _, d := range tk.Deps {
+			dep := byID[d]
+			if dep.Kind != wq.KernelRun {
+				continue
+			}
+			// Kernel name ends with its strip number; it must be two
+			// strips back.
+			if !strings.HasSuffix(dep.Name, stripMinus(strip, 2)) {
+				t.Fatalf("gather %s depends on kernel %s (want strip-2)", tk.Name, dep.Name)
+			}
+		}
+	}
+}
+
+func stripMinus(s string, k int) string {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	n -= k
+	if n < 0 {
+		return "@" // never matches
+	}
+	return itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

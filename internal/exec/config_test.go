@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"testing"
+
+	"streamgpp/internal/compiler"
+	"streamgpp/internal/svm"
+)
+
+// A smaller work-queue window must still complete correctly (the
+// control thread blocks on ErrFull and resumes).
+func TestSmallQueueCapacityStillCompletes(t *testing.T) {
+	s := newFig2(30000, 8)
+	want := s.reference()
+	p, err := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Defaults()
+	cfg.QueueCapacity = 8
+	res := RunStream2Ctx(s.m, p, cfg)
+	if res.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+	for i := 0; i < s.n; i++ {
+		if s.y.At(i, 0) != want[i] {
+			t.Fatalf("y[%d] wrong with capacity 8", i)
+		}
+	}
+	if res.Queue.MaxOccupancy() > 8 {
+		t.Fatalf("occupancy %d exceeded capacity 8", res.Queue.MaxOccupancy())
+	}
+}
+
+// Higher control overhead must slow the run, never break it.
+func TestControlOverheadMonotone(t *testing.T) {
+	run := func(overhead uint64) uint64 {
+		s := newFig2(30000, 8)
+		p, err := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Defaults()
+		cfg.ControlOverheadCycles = overhead
+		return RunStream2Ctx(s.m, p, cfg).Cycles
+	}
+	// A modest overhead hides in the control thread's slack on this
+	// memory-bound program; an extreme one must show up in the makespan.
+	cheap, dear := run(2), run(20000)
+	if dear <= cheap {
+		t.Fatalf("control overhead had no cost: %d vs %d", cheap, dear)
+	}
+}
+
+// Wider regular MLP can only help the baseline.
+func TestRegularMLPMonotone(t *testing.T) {
+	run := func(mlp int) uint64 {
+		s := newFig2(60000, 2)
+		cfg := Defaults()
+		cfg.RegularMLP = mlp
+		return RunRegular(s.m, cfg, s.regularLoops()...).Cycles
+	}
+	narrow, wide := run(1), run(8)
+	if wide > narrow {
+		t.Fatalf("MLP 8 (%d) slower than MLP 1 (%d)", wide, narrow)
+	}
+}
+
+// RegularRefOps inflates the baseline proportionally to its reference
+// count.
+func TestRegularRefOpsCharged(t *testing.T) {
+	run := func(refOps int64) uint64 {
+		s := newFig2(20000, 8)
+		cfg := Defaults()
+		cfg.RegularRefOps = refOps
+		return RunRegular(s.m, cfg, s.regularLoops()...).Cycles
+	}
+	none, some := run(0), run(10)
+	if some <= none {
+		t.Fatal("RegularRefOps not charged")
+	}
+	// 7 refs per element over two loops at 10 ops each ≈ 70n extra ops.
+	extra := some - none
+	if extra < 20000*50 {
+		t.Fatalf("ref ops charge too small: %d", extra)
+	}
+}
+
+// KindCycles must partition the busy time across G/K/S sensibly.
+func TestKindCyclesAccounting(t *testing.T) {
+	s := newFig2(30000, 8)
+	p, err := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunStream2Ctx(s.m, p, Defaults())
+	for k, c := range res.KindCycles {
+		if c == 0 {
+			t.Fatalf("kind %d has no cycles", k)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package exec runs compiled stream programs and regular-code
+// baselines on the simulated machine, implementing the mappings of
+// §III-B.2:
+//
+//   - RunStream2Ctx: the paper's chosen mapping for two hardware
+//     contexts — one context runs the control thread interleaved with
+//     the compute thread (control work overlaps the pipeline ends), the
+//     other context is the memory thread driving bulk gathers and
+//     scatters. The threads communicate through the distributed work
+//     queue and idle with a configurable wait policy (MONITOR/MWAIT by
+//     default, as the paper adopted).
+//   - RunStream1Ctx: the single-context fallback — the Gather, Kernel
+//     and Scatter stages software-pipelined on one thread.
+//   - RunRegular: the conventional-code baseline — interleaved
+//     load/compute/store loops with hardware prefetching and a bounded
+//     out-of-order miss window.
+package exec
+
+import (
+	"fmt"
+
+	"streamgpp/internal/compiler"
+	"streamgpp/internal/sim"
+	"streamgpp/internal/wq"
+)
+
+// Config tunes the executors.
+type Config struct {
+	// WaitPolicy is how idle threads wait on the work queue.
+	WaitPolicy sim.WaitPolicy
+	// QueueCapacity bounds in-flight tasks (the paper uses 64 so
+	// dependence bit-vectors stay cheap).
+	QueueCapacity int
+	// RegularMLP is the out-of-order miss window of the regular-code
+	// baseline (independent misses the pipeline overlaps).
+	RegularMLP int
+	// RegularIssue is the per-access issue cost of regular code.
+	RegularIssue uint64
+	// RegularOverlapCycles is how much load-to-use latency the
+	// out-of-order window hides: an iteration's computation depends on
+	// its loads, and only this many cycles of that wait can overlap
+	// with earlier work (~ROB depth ÷ issue rate on the Pentium 4).
+	RegularOverlapCycles uint64
+	// ControlOverheadCycles models the control thread's cost to
+	// enqueue one task (dependence encoding plus the queue store).
+	ControlOverheadCycles uint64
+	// Trace, when non-nil, records every task execution (context,
+	// kind, start/end cycles) for timeline analysis.
+	Trace *Trace
+	// RegularCPIFactor inflates the regular baseline's compute cost
+	// multiplicatively. Left at 1.0 by default (it would prevent the
+	// stream/regular convergence at high arithmetic intensity that the
+	// paper observes); kept for ablations.
+	RegularCPIFactor float64
+	// RegularRefOps charges the regular baseline this many extra
+	// compute ops per memory reference: the address generation, index
+	// arithmetic and loop bookkeeping a scalar gather/scatter loop
+	// executes around every access, which the stream version moves
+	// into the bulk-copy engine on the other hardware context. This
+	// term scales with references, not computation, so compute-bound
+	// loops still converge to the kernel's cost.
+	RegularRefOps int64
+}
+
+// Defaults returns the evaluation configuration.
+func Defaults() Config {
+	return Config{
+		WaitPolicy:            sim.PolicyMwait,
+		QueueCapacity:         wq.DefaultCapacity,
+		RegularMLP:            2,
+		RegularIssue:          1,
+		RegularOverlapCycles:  60,
+		ControlOverheadCycles: 12,
+		RegularCPIFactor:      1.0,
+		RegularRefOps:         2,
+	}
+}
+
+// Result reports one execution.
+type Result struct {
+	Cycles uint64
+	Run    sim.RunStats
+	Queue  *wq.DWQ // post-run queue (for occupancy stats)
+	// KindCycles accumulates context-local cycles spent executing tasks
+	// of each wq.Kind (gather, kernel, scatter) — a profiling aid.
+	KindCycles [3]uint64
+}
+
+// RunStream2Ctx executes the program on both hardware contexts.
+// Context 0 time-multiplexes the control thread (enqueuing tasks) with
+// the compute thread (kernels); context 1 is the memory thread.
+func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
+	q := wq.New(cfg.QueueCapacity)
+	// One notification cell covers both "new task enqueued" and "task
+	// completed": either can unblock either thread, and MONITOR watches
+	// a single address anyway.
+	work := m.NewEvent()
+	next := 0
+	finished := false
+	total := len(p.Tasks)
+
+	var kindCycles [3]uint64
+
+	// tryRun claims and executes one ready task from the given queue,
+	// returning whether it did any work.
+	tryRun := func(c *sim.CPU, qid wq.QueueID) bool {
+		slot, t, ok := q.NextReady(qid)
+		if !ok {
+			return false
+		}
+		before := c.Now()
+		t.Run(c)
+		kindCycles[t.Kind] += c.Now() - before
+		if cfg.Trace != nil {
+			cfg.Trace.record(TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(), Start: before, End: c.Now()})
+		}
+		q.Complete(slot)
+		c.Signal(work)
+		return true
+	}
+
+	st := m.Run(
+		// Context 0: control + compute.
+		func(c *sim.CPU) {
+			for int(q.Completed()) < total {
+				// Control part: enqueue as much of the schedule as fits.
+				enqueued := false
+				for next < total {
+					if err := q.Enqueue(p.Tasks[next]); err != nil {
+						if err == wq.ErrFull {
+							break
+						}
+						panic(err)
+					}
+					c.Compute(int64(cfg.ControlOverheadCycles))
+					next++
+					enqueued = true
+				}
+				if enqueued {
+					c.Signal(work)
+				}
+				// Compute part: run a ready kernel.
+				if tryRun(c, wq.ComputeQueue) {
+					continue
+				}
+				if int(q.Completed()) >= total {
+					break
+				}
+				// Nothing to do: wait for a completion to unblock a
+				// kernel or free a slot.
+				c.Wait(work, cfg.WaitPolicy, func() bool {
+					return q.ReadyIn(wq.ComputeQueue) > 0 ||
+						(next < total && q.InFlight() < q.Capacity()) ||
+						int(q.Completed()) >= total
+				})
+			}
+			finished = true
+			c.Signal(work)
+		},
+		// Context 1: memory thread.
+		func(c *sim.CPU) {
+			for {
+				if tryRun(c, wq.MemQueue) {
+					continue
+				}
+				if finished && int(q.Completed()) >= total {
+					return
+				}
+				c.Wait(work, cfg.WaitPolicy, func() bool {
+					return q.ReadyIn(wq.MemQueue) > 0 || finished
+				})
+				if finished && q.ReadyIn(wq.MemQueue) == 0 && int(q.Completed()) >= total {
+					return
+				}
+			}
+		},
+	)
+	if int(q.Completed()) != total {
+		panic(fmt.Sprintf("exec: %d of %d tasks completed", q.Completed(), total))
+	}
+	return Result{Cycles: st.Cycles, Run: st, Queue: q, KindCycles: kindCycles}
+}
+
+// RunStream1Ctx executes the program on a single hardware context by
+// software-pipelining the schedule: tasks run in enqueue order, which
+// interleaves next-strip gathers with current-strip kernels but cannot
+// overlap them in time. The bulk-transfer and SRF-pinning benefits
+// remain; the thread-level overlap does not.
+func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
+	var kindCycles [3]uint64
+	st := m.Run(func(c *sim.CPU) {
+		for _, t := range p.Tasks {
+			before := c.Now()
+			t.Run(c)
+			kindCycles[t.Kind] += c.Now() - before
+			if cfg.Trace != nil {
+				cfg.Trace.record(TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(), Start: before, End: c.Now()})
+			}
+		}
+	})
+	return Result{Cycles: st.Cycles, Run: st, KindCycles: kindCycles}
+}
+
+// Loop is one loop nest of a regular (conventional C-style) program:
+// per iteration it performs Refs memory accesses intermixed with
+// OpsPerIter compute operations, exactly as compiled scalar code would.
+type Loop struct {
+	Name string
+	N    int
+	// Ops returns the compute cost of iteration i (constant for most
+	// loops; data-dependent for conditionals).
+	Ops func(i int) int64
+	// Refs emits iteration i's memory references through emit. They are
+	// issued through the bounded out-of-order window.
+	Refs func(i int, emit func(addr sim.Addr, size int, write bool))
+	// Body performs the functional computation of iteration i (may be
+	// nil when the loop exists only for its timing).
+	Body func(i int)
+}
+
+// RunRegular executes the loops back to back on one context: the
+// regular-code baseline of §IV. Memory references issue through a
+// window of RegularMLP outstanding accesses that overlaps with the
+// loop's computation, modelling the dynamically scheduled pipeline
+// "speculatively executing ahead to discover cache misses" (§VI).
+func RunRegular(m *sim.Machine, cfg Config, loops ...Loop) Result {
+	st := m.Run(func(c *sim.CPU) {
+		for _, l := range loops {
+			pipe := c.NewPipe(cfg.RegularMLP, cfg.RegularIssue, sim.StateCompute)
+			var readsDone uint64
+			var refs int64
+			emit := func(addr sim.Addr, size int, write bool) {
+				refs++
+				r := pipe.Access(addr, size, write, sim.HintNone)
+				if !write && r.Done > readsDone {
+					readsDone = r.Done
+				}
+			}
+			for i := 0; i < l.N; i++ {
+				readsDone = 0
+				refs = 0
+				if l.Refs != nil {
+					l.Refs(i, emit)
+				}
+				if l.Body != nil {
+					l.Body(i)
+				}
+				if l.Ops != nil {
+					if ops := l.Ops(i); ops > 0 {
+						// The iteration's arithmetic depends on its
+						// loads; the OoO window hides only
+						// RegularOverlapCycles of that wait.
+						if readsDone > cfg.RegularOverlapCycles {
+							c.StallUntil(readsDone - cfg.RegularOverlapCycles)
+						}
+						if cfg.RegularCPIFactor > 1 {
+							ops = int64(float64(ops) * cfg.RegularCPIFactor)
+						}
+						c.Compute(ops + refs*cfg.RegularRefOps)
+					}
+				}
+			}
+			pipe.Drain()
+		}
+	})
+	return Result{Cycles: st.Cycles, Run: st}
+}
+
+// Speedup returns regular/stream cycle ratio — the paper's metric
+// (§IV-A step 7).
+func Speedup(regular, stream Result) float64 {
+	if stream.Cycles == 0 {
+		return 0
+	}
+	return float64(regular.Cycles) / float64(stream.Cycles)
+}

@@ -1,0 +1,330 @@
+package exec
+
+import (
+	"testing"
+
+	"streamgpp/internal/compiler"
+	"streamgpp/internal/sdf"
+	"streamgpp/internal/sim"
+	"streamgpp/internal/svm"
+)
+
+func testMachine() *sim.Machine { return sim.MustNew(sim.PentiumD8300()) }
+
+// fig2Setup builds the paper's Fig. 1/2 example in both styles: the
+// stream graph (kernel1: d = a+b+c; kernel2: y[index5[i]] = d+x) and
+// the equivalent regular loops.
+type fig2Setup struct {
+	m             *sim.Machine
+	a, b, c, x, y *svm.Array
+	d             *svm.Array // the regular code's intermediate array
+	idx5          *svm.IndexArray
+	n             int
+	opsPerElem    int64
+}
+
+func newFig2(n int, opsPerElem int64) *fig2Setup {
+	m := testMachine()
+	l := svm.Layout("rec", svm.F("v", 8))
+	s := &fig2Setup{
+		m: m, n: n, opsPerElem: opsPerElem,
+		a: svm.NewArray(m, "a", l, n), b: svm.NewArray(m, "b", l, n),
+		c: svm.NewArray(m, "c", l, n), x: svm.NewArray(m, "x", l, n),
+		y: svm.NewArray(m, "y", l, n), d: svm.NewArray(m, "d", l, n),
+		idx5: svm.NewIndexArray(m, "index5", n),
+	}
+	for _, arr := range []*svm.Array{s.a, s.b, s.c, s.x} {
+		arr.Fill(func(i, f int) float64 { return float64((i*13)%101) / 7 })
+	}
+	for i := range s.idx5.Idx {
+		s.idx5.Idx[i] = int32((i*31 + 7) % n)
+	}
+	return s
+}
+
+func (s *fig2Setup) graph() *sdf.Graph {
+	l := s.a.Layout
+	k1 := &svm.Kernel{Name: "kernel1", OpsPerElem: s.opsPerElem,
+		Fn: func(ins, outs []*svm.Stream, start, n int) int64 {
+			for i := start; i < start+n; i++ {
+				outs[0].Set(i, 0, ins[0].At(i, 0)+ins[1].At(i, 0)+ins[2].At(i, 0))
+			}
+			return 0
+		}}
+	k2 := &svm.Kernel{Name: "kernel2", OpsPerElem: s.opsPerElem,
+		Fn: func(ins, outs []*svm.Stream, start, n int) int64 {
+			for i := start; i < start+n; i++ {
+				outs[0].Set(i, 0, ins[0].At(i, 0)+ins[1].At(i, 0))
+			}
+			return 0
+		}}
+	g := sdf.New("fig2")
+	as := g.Input(svm.StreamOf("as", s.n, l, l.AllFields()), sdf.Bind(s.a))
+	bs := g.Input(svm.StreamOf("bs", s.n, l, l.AllFields()), sdf.Bind(s.b))
+	cs := g.Input(svm.StreamOf("cs", s.n, l, l.AllFields()), sdf.Bind(s.c))
+	ds := g.AddKernel(k1, []*sdf.Edge{as, bs, cs}, []*svm.Stream{svm.NewStream("ds", s.n, svm.F("v", 8))})
+	xs := g.Input(svm.StreamOf("xs", s.n, l, l.AllFields()), sdf.Bind(s.x))
+	ys := g.AddKernel(k2, []*sdf.Edge{ds[0], xs}, []*svm.Stream{svm.NewStream("ys", s.n, svm.F("v", 8))})
+	g.Output(ys[0], sdf.Bind(s.y).Indexed(s.idx5))
+	return g
+}
+
+// regularLoops is the Fig. 1 version: two loops with an intermediate
+// array d.
+func (s *fig2Setup) regularLoops() []Loop {
+	return []Loop{
+		{
+			Name: "loop1", N: s.n,
+			Ops: func(i int) int64 { return s.opsPerElem },
+			Refs: func(i int, emit func(sim.Addr, int, bool)) {
+				emit(s.a.FieldAddr(i, 0), 8, false)
+				emit(s.b.FieldAddr(i, 0), 8, false)
+				emit(s.c.FieldAddr(i, 0), 8, false)
+				emit(s.d.FieldAddr(i, 0), 8, true)
+			},
+			Body: func(i int) {
+				s.d.Set(i, 0, s.a.At(i, 0)+s.b.At(i, 0)+s.c.At(i, 0))
+			},
+		},
+		{
+			Name: "loop2", N: s.n,
+			Ops: func(i int) int64 { return s.opsPerElem },
+			Refs: func(i int, emit func(sim.Addr, int, bool)) {
+				emit(s.d.FieldAddr(i, 0), 8, false)
+				emit(s.x.FieldAddr(i, 0), 8, false)
+				emit(s.idx5.ElemAddr(i), svm.IndexElemBytes, false)
+				emit(s.y.FieldAddr(int(s.idx5.Idx[i]), 0), 8, true)
+			},
+			Body: func(i int) {
+				s.y.Set(int(s.idx5.Idx[i]), 0, s.d.At(i, 0)+s.x.At(i, 0))
+			},
+		},
+	}
+}
+
+func (s *fig2Setup) reference() []float64 {
+	out := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		d := s.a.At(i, 0) + s.b.At(i, 0) + s.c.At(i, 0)
+		out[int(s.idx5.Idx[i])] = d + s.x.At(i, 0)
+	}
+	return out
+}
+
+func TestStream2CtxFunctionalEquivalence(t *testing.T) {
+	s := newFig2(10000, 8)
+	want := s.reference()
+	g := s.graph()
+	p, err := compiler.Compile(g, compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunStream2Ctx(s.m, p, Defaults())
+	if res.Cycles == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	for i := 0; i < s.n; i++ {
+		if s.y.At(i, 0) != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, s.y.At(i, 0), want[i])
+		}
+	}
+	if res.Queue.InFlight() != 0 {
+		t.Fatalf("queue not drained: %d in flight", res.Queue.InFlight())
+	}
+	if res.Queue.MaxOccupancy() > res.Queue.Capacity() {
+		t.Fatalf("occupancy %d exceeded capacity", res.Queue.MaxOccupancy())
+	}
+}
+
+func TestRegularFunctionalEquivalence(t *testing.T) {
+	s := newFig2(5000, 8)
+	want := s.reference()
+	res := RunRegular(s.m, Defaults(), s.regularLoops()...)
+	if res.Cycles == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	for i := 0; i < s.n; i++ {
+		if s.y.At(i, 0) != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, s.y.At(i, 0), want[i])
+		}
+	}
+}
+
+func TestStream1CtxFunctionalEquivalence(t *testing.T) {
+	s := newFig2(8000, 8)
+	want := s.reference()
+	p, err := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunStream1Ctx(s.m, p, Defaults())
+	if res.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+	for i := 0; i < s.n; i++ {
+		if s.y.At(i, 0) != want[i] {
+			t.Fatalf("y[%d] mismatch", i)
+		}
+	}
+}
+
+// The same program must give identical results under every executor
+// and wait policy.
+func TestExecutorsAgree(t *testing.T) {
+	ref := newFig2(6000, 20)
+	want := ref.reference()
+
+	for _, tc := range []struct {
+		name string
+		run  func(*fig2Setup) Result
+	}{
+		{"2ctx-mwait", func(s *fig2Setup) Result {
+			p, _ := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+			return RunStream2Ctx(s.m, p, Defaults())
+		}},
+		{"2ctx-pause", func(s *fig2Setup) Result {
+			p, _ := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+			cfg := Defaults()
+			cfg.WaitPolicy = sim.PolicyPause
+			return RunStream2Ctx(s.m, p, cfg)
+		}},
+		{"2ctx-os", func(s *fig2Setup) Result {
+			p, _ := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+			cfg := Defaults()
+			cfg.WaitPolicy = sim.PolicyOS
+			return RunStream2Ctx(s.m, p, cfg)
+		}},
+		{"1ctx", func(s *fig2Setup) Result {
+			p, _ := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+			return RunStream1Ctx(s.m, p, Defaults())
+		}},
+		{"regular", func(s *fig2Setup) Result {
+			return RunRegular(s.m, Defaults(), s.regularLoops()...)
+		}},
+	} {
+		s := newFig2(6000, 20)
+		res := tc.run(s)
+		if res.Cycles == 0 {
+			t.Fatalf("%s: no cycles", tc.name)
+		}
+		for i := 0; i < s.n; i++ {
+			if s.y.At(i, 0) != want[i] {
+				t.Fatalf("%s: y[%d] = %v, want %v", tc.name, i, s.y.At(i, 0), want[i])
+			}
+		}
+	}
+}
+
+// On a memory-bound workload whose arrays dwarf the cache the stream
+// version must beat the regular version (the paper's headline claim —
+// and the paper is explicit that the win needs "large numbers of
+// elements (much bigger than the cache size)"; at cache-resident sizes
+// regular code wins, which is the streamSPAS effect tested elsewhere).
+func TestStreamBeatsRegularWhenMemoryBound(t *testing.T) {
+	const n, ops = 400000, 2 // 3.2 MB per array vs 1 MB L2
+
+	sReg := newFig2(n, ops)
+	reg := RunRegular(sReg.m, Defaults(), sReg.regularLoops()...)
+
+	s2 := newFig2(n, ops)
+	p2, err := compiler.Compile(s2.graph(), compiler.DefaultOptions(svm.DefaultSRF(s2.m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	str2 := RunStream2Ctx(s2.m, p2, Defaults())
+
+	s1 := newFig2(n, ops)
+	p1, err := compiler.Compile(s1.graph(), compiler.DefaultOptions(svm.DefaultSRF(s1.m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	str1 := RunStream1Ctx(s1.m, p1, Defaults())
+
+	sp2 := Speedup(reg, str2)
+	sp1 := Speedup(reg, str1)
+	t.Logf("regular=%d 2ctx=%d (%.2fx) 1ctx=%d (%.2fx)", reg.Cycles, str2.Cycles, sp2, str1.Cycles, sp1)
+	if sp2 < 1.05 {
+		t.Errorf("2-context stream speedup %.2f, want > 1.05 on a memory-bound program", sp2)
+	}
+	if str2.Cycles > str1.Cycles {
+		t.Errorf("2-context (%d) should not lose to 1-context (%d)", str2.Cycles, str1.Cycles)
+	}
+}
+
+// At very high arithmetic intensity both styles converge (Fig. 9's
+// right-hand side).
+func TestSpeedupConvergesWhenComputeBound(t *testing.T) {
+	const n, ops = 20000, 600
+
+	sReg := newFig2(n, ops)
+	reg := RunRegular(sReg.m, Defaults(), sReg.regularLoops()...)
+
+	s2 := newFig2(n, ops)
+	p2, err := compiler.Compile(s2.graph(), compiler.DefaultOptions(svm.DefaultSRF(s2.m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	str2 := RunStream2Ctx(s2.m, p2, Defaults())
+
+	sp := Speedup(reg, str2)
+	t.Logf("compute-bound speedup %.3f", sp)
+	if sp < 0.85 || sp > 1.25 {
+		t.Errorf("compute-bound speedup %.2f, want ~1.0", sp)
+	}
+}
+
+func TestSpeedupZeroStream(t *testing.T) {
+	if Speedup(Result{Cycles: 10}, Result{}) != 0 {
+		t.Fatal("zero-cycle stream should give 0")
+	}
+}
+
+func TestRunRegularNilHooks(t *testing.T) {
+	m := testMachine()
+	res := RunRegular(m, Defaults(), Loop{Name: "empty", N: 10})
+	if res.Cycles != 0 {
+		// No refs, no ops, no body: only the drain. Either 0 or tiny.
+		if res.Cycles > 100 {
+			t.Fatalf("empty loop cost %d cycles", res.Cycles)
+		}
+	}
+}
+
+func TestExecDeterminism(t *testing.T) {
+	run := func() uint64 {
+		s := newFig2(10000, 8)
+		p, _ := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+		return RunStream2Ctx(s.m, p, Defaults()).Cycles
+	}
+	c0 := run()
+	for i := 0; i < 2; i++ {
+		if c := run(); c != c0 {
+			t.Fatalf("nondeterministic: %d vs %d", c, c0)
+		}
+	}
+}
+
+// The SRF must stay essentially fully resident through an entire
+// two-context run — the paper's "negligible number of misses" claim.
+func TestSRFResidencyDuringRun(t *testing.T) {
+	s := newFig2(50000, 4)
+	srf := svm.DefaultSRF(s.m)
+	opt := compiler.DefaultOptions(srf)
+	opt.StripElems = 2000 // divides n, so every buffer byte is touched
+	p, err := compiler.Compile(s.graph(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RunStream2Ctx(s.m, p, Defaults())
+	// Buffers of pure producer-consumer streams (ds) never generate
+	// simulated traffic — kernel SRF accesses are folded into kernel
+	// cost — so they are legitimately absent. Every buffer that was
+	// touched must still be essentially fully resident.
+	for _, b := range srf.Allocs() {
+		res := s.m.Mem.L2.ResidentBytes(b.Base, b.Size)
+		frac := float64(res) / float64(b.Size)
+		if res > 0 && frac < 0.95 {
+			t.Errorf("SRF buffer %s residency %.2f, want >= 0.95 (pinning violated)", b.Name, frac)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"streamgpp/internal/wq"
+)
+
+// TraceEvent records one task execution on one hardware context.
+type TraceEvent struct {
+	Name       string
+	Kind       wq.Kind
+	Ctx        int
+	Start, End uint64
+}
+
+// Trace collects the task timeline of a stream execution. Attach one
+// to Config.Trace to capture where the cycles go: which context ran
+// which task when, how well the gathers overlapped the kernels, and
+// where the software pipeline stalled.
+type Trace struct {
+	Events []TraceEvent
+}
+
+// record appends one event.
+func (tr *Trace) record(e TraceEvent) { tr.Events = append(tr.Events, e) }
+
+// Span returns the first start and last end across all events.
+func (tr *Trace) Span() (start, end uint64) {
+	if len(tr.Events) == 0 {
+		return 0, 0
+	}
+	start = tr.Events[0].Start
+	for _, e := range tr.Events {
+		if e.Start < start {
+			start = e.Start
+		}
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return start, end
+}
+
+// BusyCycles returns the cycles each context spent executing tasks.
+func (tr *Trace) BusyCycles() map[int]uint64 {
+	busy := map[int]uint64{}
+	for _, e := range tr.Events {
+		busy[e.Ctx] += e.End - e.Start
+	}
+	return busy
+}
+
+// Utilization returns each context's busy fraction over the trace span.
+func (tr *Trace) Utilization() map[int]float64 {
+	start, end := tr.Span()
+	out := map[int]float64{}
+	if end <= start {
+		return out
+	}
+	for ctx, busy := range tr.BusyCycles() {
+		out[ctx] = float64(busy) / float64(end-start)
+	}
+	return out
+}
+
+// KindCycles returns busy cycles grouped by task kind.
+func (tr *Trace) KindCycles() map[wq.Kind]uint64 {
+	out := map[wq.Kind]uint64{}
+	for _, e := range tr.Events {
+		out[e.Kind] += e.End - e.Start
+	}
+	return out
+}
+
+// ByName aggregates busy cycles by task name with trailing strip
+// numbers removed, so all strips of one operation group together.
+func (tr *Trace) ByName() map[string]uint64 {
+	out := map[string]uint64{}
+	for _, e := range tr.Events {
+		out[strings.TrimRight(e.Name, "0123456789")] += e.End - e.Start
+	}
+	return out
+}
+
+// Gantt renders a text timeline, one row per context, width columns
+// wide. Each cell shows the kind (G/K/S) of the task occupying that
+// slice of time, '.' for idle. A compact way to see the software
+// pipeline breathing — and stalling.
+func (tr *Trace) Gantt(w io.Writer, width int) {
+	if width <= 0 {
+		width = 80
+	}
+	start, end := tr.Span()
+	if end <= start {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	span := end - start
+	ctxs := map[int]bool{}
+	for _, e := range tr.Events {
+		ctxs[e.Ctx] = true
+	}
+	var ids []int
+	for c := range ctxs {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	for _, ctx := range ids {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range tr.Events {
+			if e.Ctx != ctx {
+				continue
+			}
+			lo := int(uint64(width) * (e.Start - start) / span)
+			hi := int(uint64(width) * (e.End - start) / span)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = e.Kind.String()[0]
+			}
+		}
+		fmt.Fprintf(w, "ctx%d |%s|\n", ctx, row)
+	}
+	fmt.Fprintf(w, "      %d cycles, G=gather K=kernel S=scatter .=idle\n", span)
+}
+
+// Summary renders the per-operation cycle totals, largest first.
+func (tr *Trace) Summary(w io.Writer) {
+	type kv struct {
+		name   string
+		cycles uint64
+	}
+	var rows []kv
+	for name, cyc := range tr.ByName() {
+		rows = append(rows, kv{name, cyc})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cycles != rows[j].cycles {
+			return rows[i].cycles > rows[j].cycles
+		}
+		return rows[i].name < rows[j].name
+	})
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-28s %12d\n", r.name, r.cycles)
+	}
+	for ctx, u := range tr.Utilization() {
+		fmt.Fprintf(w, "  ctx%d utilization: %.0f%%\n", ctx, 100*u)
+	}
+}

@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"fmt"
+
+	"streamgpp/internal/compiler"
+	"streamgpp/internal/sim"
+)
+
+// TuneResult reports a strip-size search.
+type TuneResult struct {
+	// StripElems is the best strip size found (0 = the compiler's
+	// automatic choice won).
+	StripElems int
+	// Cycles is the best measured execution time.
+	Cycles uint64
+	// Tried maps each candidate (0 = automatic) to its measured cycles.
+	Tried map[int]uint64
+}
+
+// TuneStripSize searches for the strip size minimising execution time,
+// the job §III-B.1 assigns to the stream scheduler ("the stream
+// scheduler also determines the optimal strip-sizes of streams
+// depending on the flow rates of streams, SRF size, etc."). The
+// compiler's static choice packs the SRF; the empirical optimum can be
+// smaller (finer pipelining, more overlap) or equal, and this search
+// finds it by measurement.
+//
+// build must return a fresh machine + program factory for one
+// candidate strip size (0 = automatic): state mutates during a run, so
+// every candidate needs its own instance. Candidates that fail to
+// compile (e.g. too large for the SRF) are skipped.
+func TuneStripSize(candidates []int, ecfg Config,
+	build func(stripElems int) (*sim.Machine, *compiler.Program, error)) (TuneResult, error) {
+
+	res := TuneResult{Tried: map[int]uint64{}}
+	tried := 0
+	best := ^uint64(0)
+	for _, cand := range append([]int{0}, candidates...) {
+		m, prog, err := build(cand)
+		if err != nil {
+			continue // e.g. strip too wide for the SRF
+		}
+		cycles := RunStream2Ctx(m, prog, ecfg).Cycles
+		res.Tried[cand] = cycles
+		tried++
+		if cycles < best {
+			best = cycles
+			res.StripElems = cand
+			res.Cycles = cycles
+		}
+	}
+	if tried == 0 {
+		return res, fmt.Errorf("exec: no strip-size candidate compiled")
+	}
+	return res, nil
+}
+
+// HalvingCandidates returns the geometric candidate ladder the tuner
+// typically searches: auto, auto/2, auto/4 ... down to min.
+func HalvingCandidates(auto, min int) []int {
+	var out []int
+	for s := auto / 2; s >= min; s /= 2 {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package exec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamgpp/internal/compiler"
+	"streamgpp/internal/sim"
+	"streamgpp/internal/svm"
+)
+
+func TestHalvingCandidates(t *testing.T) {
+	c := HalvingCandidates(1000, 100)
+	want := []int{500, 250, 125}
+	if len(c) != len(want) {
+		t.Fatalf("candidates %v", c)
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("candidates %v, want %v", c, want)
+		}
+	}
+	if got := HalvingCandidates(10, 100); got != nil {
+		t.Fatalf("empty ladder expected, got %v", got)
+	}
+}
+
+func TestTuneStripSizeFindsBest(t *testing.T) {
+	build := func(strip int) (*sim.Machine, *compiler.Program, error) {
+		s := newFig2(60000, 4)
+		opt := compiler.DefaultOptions(svm.DefaultSRF(s.m))
+		opt.StripElems = strip
+		prog, err := compiler.Compile(s.graph(), opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s.m, prog, nil
+	}
+	res, err := TuneStripSize([]int{500, 1000, 2000}, Defaults(), build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tried) != 4 { // auto + 3 candidates
+		t.Fatalf("tried %v", res.Tried)
+	}
+	for cand, cyc := range res.Tried {
+		if cyc < res.Cycles {
+			t.Fatalf("candidate %d (%d cycles) beats reported best (%d)", cand, cyc, res.Cycles)
+		}
+	}
+	if res.Cycles == 0 {
+		t.Fatal("zero best cycles")
+	}
+}
+
+func TestTuneStripSizeSkipsUncompilable(t *testing.T) {
+	calls := 0
+	build := func(strip int) (*sim.Machine, *compiler.Program, error) {
+		calls++
+		s := newFig2(5000, 4)
+		// A tiny SRF: large strips fail to compile.
+		srf, err := svm.NewSRF(s.m, 16<<10)
+		if err != nil {
+			return nil, nil, err
+		}
+		opt := compiler.DefaultOptions(srf)
+		opt.StripElems = strip
+		prog, err := compiler.Compile(s.graph(), opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s.m, prog, nil
+	}
+	res, err := TuneStripSize([]int{1 << 20}, Defaults(), build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Tried[1<<20]; ok {
+		t.Fatal("uncompilable candidate recorded")
+	}
+	if _, ok := res.Tried[0]; !ok {
+		t.Fatal("automatic candidate missing")
+	}
+}
+
+func TestTuneStripSizeAllFail(t *testing.T) {
+	build := func(strip int) (*sim.Machine, *compiler.Program, error) {
+		return nil, nil, errAlways
+	}
+	if _, err := TuneStripSize([]int{10}, Defaults(), build); err == nil {
+		t.Fatal("want error when nothing compiles")
+	}
+}
+
+var errAlways = &tuneErr{}
+
+type tuneErr struct{}
+
+func (*tuneErr) Error() string { return "always fails" }
+
+func TestTraceRecordsTimeline(t *testing.T) {
+	s := newFig2(20000, 8)
+	p, err := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Defaults()
+	tr := &Trace{}
+	cfg.Trace = tr
+	res := RunStream2Ctx(s.m, p, cfg)
+
+	if len(tr.Events) != len(p.Tasks) {
+		t.Fatalf("trace has %d events for %d tasks", len(tr.Events), len(p.Tasks))
+	}
+	start, end := tr.Span()
+	if end <= start || end > res.Cycles+start+1000 {
+		t.Fatalf("span [%d,%d] vs cycles %d", start, end, res.Cycles)
+	}
+	// Events must have sane intervals and known contexts.
+	for _, e := range tr.Events {
+		if e.End < e.Start {
+			t.Fatalf("event %s ends before it starts", e.Name)
+		}
+		if e.Ctx != 0 && e.Ctx != 1 {
+			t.Fatalf("event %s on context %d", e.Name, e.Ctx)
+		}
+	}
+	// Kernels on ctx 0 (control+compute), memory ops on ctx 1.
+	for _, e := range tr.Events {
+		if e.Kind.Queue() == 1 && e.Ctx != 0 { // ComputeQueue
+			t.Fatalf("kernel %s ran on context %d", e.Name, e.Ctx)
+		}
+		if e.Kind.Queue() == 0 && e.Ctx != 1 { // MemQueue
+			t.Fatalf("memory task %s ran on context %d", e.Name, e.Ctx)
+		}
+	}
+
+	busy := tr.BusyCycles()
+	if busy[0] == 0 || busy[1] == 0 {
+		t.Fatalf("busy cycles %v", busy)
+	}
+	util := tr.Utilization()
+	for ctx, u := range util {
+		if u <= 0 || u > 1.01 {
+			t.Fatalf("ctx%d utilization %v", ctx, u)
+		}
+	}
+	kinds := tr.KindCycles()
+	if len(kinds) != 3 {
+		t.Fatalf("kind cycles %v", kinds)
+	}
+
+	var buf bytes.Buffer
+	tr.Gantt(&buf, 60)
+	out := buf.String()
+	if !strings.Contains(out, "ctx0 |") || !strings.Contains(out, "ctx1 |") {
+		t.Fatalf("gantt output:\n%s", out)
+	}
+	buf.Reset()
+	tr.Summary(&buf)
+	if !strings.Contains(buf.String(), "utilization") {
+		t.Fatalf("summary output:\n%s", buf.String())
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	tr := &Trace{}
+	if s, e := tr.Span(); s != 0 || e != 0 {
+		t.Fatal("empty span")
+	}
+	var buf bytes.Buffer
+	tr.Gantt(&buf, 40)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatalf("gantt on empty trace: %q", buf.String())
+	}
+}

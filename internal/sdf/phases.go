@@ -1,0 +1,135 @@
+package sdf
+
+import "fmt"
+
+// Phase is a maximal group of kernels connected by direct streams. All
+// kernels of a phase share one iteration count, so the compiler can
+// strip-mine and software-pipeline the whole phase together. Data that
+// crosses between phases travels through arrays (a scatter followed by
+// a gather), which forces a barrier: an indexed gather may read any
+// record, so every producing scatter must have completed.
+type Phase struct {
+	Index int
+	Nodes []*Node // in topological order
+	N     int     // common iteration count
+	Ins   []*Edge // gathered inputs (in edge order)
+	Outs  []*Edge // scattered outputs (in edge order)
+}
+
+// Phases partitions the graph into phases. Phases execute in program
+// (construction) order: a gather reads whatever the arrays contain when
+// its phase runs, so a phase constructed before a writer of the same
+// array sees the pre-existing values — exactly like the imperative
+// stream code of Fig. 2, and what an iterative solver needs (this
+// step's face phase reads the state; this step's cell phase writes it
+// for the next step). The scheduler places a barrier between
+// consecutive phases, so program order is also execution order.
+func (g *Graph) Phases() ([]*Phase, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	// Union nodes connected by direct edges.
+	parent := make([]int, len(g.Nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, e := range g.Edges {
+		if e.Producer == nil {
+			continue
+		}
+		for _, c := range e.Consumers {
+			union(e.Producer.ID, c.ID)
+		}
+	}
+
+	// Group, preserving the global topological order within each phase.
+	groups := map[int]*Phase{}
+	var phases []*Phase
+	for _, n := range order {
+		root := find(n.ID)
+		p, ok := groups[root]
+		if !ok {
+			p = &Phase{N: n.N}
+			groups[root] = p
+			phases = append(phases, p)
+		}
+		if n.N != p.N {
+			return nil, fmt.Errorf("sdf: phase mixing iteration counts %d and %d (kernel %s)", p.N, n.N, n.Name())
+		}
+		p.Nodes = append(p.Nodes, n)
+	}
+
+	// Attach gathered inputs and scattered outputs.
+	phaseOf := func(n *Node) *Phase { return groups[find(n.ID)] }
+	for _, e := range g.Edges {
+		if e.Gather != nil {
+			seen := map[*Phase]bool{}
+			for _, c := range e.Consumers {
+				if p := phaseOf(c); !seen[p] {
+					seen[p] = true
+					p.Ins = append(p.Ins, e)
+				}
+			}
+		}
+		if e.Scatter != nil {
+			var p *Phase
+			if e.Producer != nil {
+				p = phaseOf(e.Producer)
+			} else if len(e.Consumers) > 0 {
+				p = phaseOf(e.Consumers[0])
+			}
+			if p != nil {
+				p.Outs = append(p.Outs, e)
+			}
+		}
+	}
+
+	for i, p := range phases {
+		p.Index = i
+	}
+	return phases, nil
+}
+
+// Strips returns the number of strips of size stripElems covering the
+// phase.
+func (p *Phase) Strips(stripElems int) int {
+	return (p.N + stripElems - 1) / stripElems
+}
+
+// Edges returns every edge touching the phase (gathered inputs, direct
+// streams, scattered outputs), deduplicated, in a stable order.
+func (p *Phase) Edges() []*Edge {
+	seen := map[*Edge]bool{}
+	var out []*Edge
+	add := func(e *Edge) {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	for _, e := range p.Ins {
+		add(e)
+	}
+	for _, n := range p.Nodes {
+		for _, e := range n.Ins {
+			add(e)
+		}
+		for _, e := range n.Outs {
+			add(e)
+		}
+	}
+	for _, e := range p.Outs {
+		add(e)
+	}
+	return out
+}

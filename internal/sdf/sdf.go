@@ -1,0 +1,346 @@
+// Package sdf represents stream programs as Synchronous Data Flow
+// graphs (§II-A, Fig. 3): kernel nodes connected by stream edges, with
+// inputs gathered from arrays and outputs scattered back to arrays.
+// The stream compiler (internal/compiler) lowers a validated graph to
+// a software-pipelined task schedule.
+package sdf
+
+import (
+	"fmt"
+	"strings"
+
+	"streamgpp/internal/svm"
+)
+
+// Binding ties a stream edge to an array: which fields move, and
+// through which index array (nil for sequential access). For outputs,
+// Mode selects overwrite or accumulate.
+type Binding struct {
+	Array  *svm.Array
+	Fields []int
+	Index  *svm.IndexArray
+	// Multi selects a multi-index gather (svm.GatherMulti): the stream
+	// carries len(Fields)×len(Multi) fields per element, one field set
+	// per index array. Mutually exclusive with Index; gathers only.
+	Multi []*svm.IndexArray
+	Mode  svm.ScatterMode
+}
+
+// Bind is a convenience constructor for a sequential binding over the
+// named fields (all fields when none are given).
+func Bind(a *svm.Array, fields ...string) Binding {
+	var idx []int
+	if len(fields) == 0 {
+		idx = a.Layout.AllFields()
+	} else {
+		idx = a.Layout.Select(fields...)
+	}
+	return Binding{Array: a, Fields: idx}
+}
+
+// Indexed returns a copy of the binding driven by the given index
+// array (a random gather/scatter).
+func (b Binding) Indexed(idx *svm.IndexArray) Binding {
+	b.Index = idx
+	return b
+}
+
+// MultiIndexed returns a copy of the binding performing a single-pass
+// multi-index gather (one field set per index array per element).
+func (b Binding) MultiIndexed(idxs ...*svm.IndexArray) Binding {
+	b.Multi = append([]*svm.IndexArray(nil), idxs...)
+	return b
+}
+
+// Accumulate returns a copy of the binding that scatter-adds.
+func (b Binding) Accumulate() Binding {
+	b.Mode = svm.ModeAdd
+	return b
+}
+
+// Edge is a stream edge of the graph. Exactly one of Producer/Gather is
+// set: edges either come from a kernel or are gathered from an array.
+// Scatter, when set, sends the edge's data back to an array.
+type Edge struct {
+	ID        int
+	Stream    *svm.Stream
+	Producer  *Node
+	Consumers []*Node
+	Gather    *Binding
+	Scatter   *Binding
+}
+
+// Name returns the underlying stream's name.
+func (e *Edge) Name() string { return e.Stream.Name }
+
+// Node is a kernel node.
+type Node struct {
+	ID     int
+	Kernel *svm.Kernel
+	N      int // iteration count = length of all attached streams
+	Ins    []*Edge
+	Outs   []*Edge
+}
+
+// Name returns the kernel's name.
+func (n *Node) Name() string { return n.Kernel.Name }
+
+// Graph is a stream program.
+type Graph struct {
+	Name  string
+	Nodes []*Node
+	Edges []*Edge
+}
+
+// New returns an empty graph.
+func New(name string) *Graph { return &Graph{Name: name} }
+
+// Input adds an edge gathered from an array. The stream's length fixes
+// the iteration count of its consumers.
+func (g *Graph) Input(s *svm.Stream, b Binding) *Edge {
+	if b.Array == nil {
+		panic(fmt.Sprintf("sdf: input %s has no array binding", s.Name))
+	}
+	if len(b.Multi) > 0 {
+		if b.Index != nil {
+			panic(fmt.Sprintf("sdf: input %s has both Index and Multi", s.Name))
+		}
+		if len(b.Fields)*len(b.Multi) != s.NumFields() {
+			panic(fmt.Sprintf("sdf: input %s binds %d×%d fields to a %d-field stream",
+				s.Name, len(b.Fields), len(b.Multi), s.NumFields()))
+		}
+		for _, ix := range b.Multi {
+			if ix.Len() < s.N {
+				panic(fmt.Sprintf("sdf: input %s needs %d indices, index array %s has %d", s.Name, s.N, ix.Name, ix.Len()))
+			}
+		}
+		bc := b
+		e := &Edge{ID: len(g.Edges), Stream: s, Gather: &bc}
+		g.Edges = append(g.Edges, e)
+		return e
+	}
+	if len(b.Fields) != s.NumFields() {
+		panic(fmt.Sprintf("sdf: input %s binds %d fields to a %d-field stream", s.Name, len(b.Fields), s.NumFields()))
+	}
+	if b.Index == nil && s.N > b.Array.N {
+		panic(fmt.Sprintf("sdf: sequential input %s (%d elements) overruns array %s (%d records)", s.Name, s.N, b.Array.Name, b.Array.N))
+	}
+	if b.Index != nil && b.Index.Len() < s.N {
+		panic(fmt.Sprintf("sdf: input %s needs %d indices, index array %s has %d", s.Name, s.N, b.Index.Name, b.Index.Len()))
+	}
+	bc := b
+	e := &Edge{ID: len(g.Edges), Stream: s, Gather: &bc}
+	g.Edges = append(g.Edges, e)
+	return e
+}
+
+// AddKernel adds a kernel node consuming ins and producing a fresh edge
+// for each stream in outs. All attached streams must have equal length.
+func (g *Graph) AddKernel(k *svm.Kernel, ins []*Edge, outs []*svm.Stream) []*Edge {
+	if len(ins) == 0 && len(outs) == 0 {
+		panic(fmt.Sprintf("sdf: kernel %s attached to no streams", k.Name))
+	}
+	n := -1
+	pick := func(l int, what string) {
+		if n < 0 {
+			n = l
+		} else if l != n {
+			panic(fmt.Sprintf("sdf: kernel %s: %s length %d != %d", k.Name, what, l, n))
+		}
+	}
+	for _, e := range ins {
+		pick(e.Stream.N, "input "+e.Name())
+	}
+	for _, s := range outs {
+		pick(s.N, "output "+s.Name)
+	}
+	node := &Node{ID: len(g.Nodes), Kernel: k, N: n, Ins: ins}
+	g.Nodes = append(g.Nodes, node)
+	for _, e := range ins {
+		e.Consumers = append(e.Consumers, node)
+	}
+	var produced []*Edge
+	for _, s := range outs {
+		e := &Edge{ID: len(g.Edges), Stream: s, Producer: node}
+		g.Edges = append(g.Edges, e)
+		node.Outs = append(node.Outs, e)
+		produced = append(produced, e)
+	}
+	return produced
+}
+
+// Output scatters the edge back to an array.
+func (g *Graph) Output(e *Edge, b Binding) {
+	if b.Array == nil {
+		panic(fmt.Sprintf("sdf: output %s has no array binding", e.Name()))
+	}
+	if len(b.Fields) != e.Stream.NumFields() {
+		panic(fmt.Sprintf("sdf: output %s binds %d fields to a %d-field stream", e.Name(), len(b.Fields), e.Stream.NumFields()))
+	}
+	if b.Index == nil && e.Stream.N > b.Array.N {
+		panic(fmt.Sprintf("sdf: sequential output %s (%d elements) overruns array %s (%d records)", e.Name(), e.Stream.N, b.Array.Name, b.Array.N))
+	}
+	if b.Index != nil && b.Index.Len() < e.Stream.N {
+		panic(fmt.Sprintf("sdf: output %s needs %d indices, index array %s has %d", e.Name(), e.Stream.N, b.Index.Name, b.Index.Len()))
+	}
+	bc := b
+	e.Scatter = &bc
+}
+
+// Validate checks structural well-formedness: every edge is produced
+// exactly one way, consumed or scattered, and the graph is acyclic.
+func (g *Graph) Validate() error {
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("sdf: graph %s has no kernels", g.Name)
+	}
+	for _, e := range g.Edges {
+		switch {
+		case e.Producer == nil && e.Gather == nil:
+			return fmt.Errorf("sdf: edge %s has neither producer nor gather", e.Name())
+		case e.Producer != nil && e.Gather != nil:
+			return fmt.Errorf("sdf: edge %s has both producer and gather", e.Name())
+		case len(e.Consumers) == 0 && e.Scatter == nil:
+			return fmt.Errorf("sdf: edge %s is never consumed nor scattered (dead stream)", e.Name())
+		case e.Gather != nil && e.Scatter != nil && len(e.Consumers) == 0:
+			return fmt.Errorf("sdf: edge %s is a kernel-less array copy — it belongs to no phase; route it through a kernel", e.Name())
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns the kernels in a topological order of the direct
+// (kernel-to-kernel) stream edges, or an error if there is a cycle.
+func (g *Graph) TopoOrder() ([]*Node, error) {
+	indeg := make([]int, len(g.Nodes))
+	succ := make([][]*Node, len(g.Nodes))
+	for _, e := range g.Edges {
+		if e.Producer == nil {
+			continue
+		}
+		for _, c := range e.Consumers {
+			succ[e.Producer.ID] = append(succ[e.Producer.ID], c)
+			indeg[c.ID]++
+		}
+	}
+	var queue, order []*Node
+	for _, n := range g.Nodes {
+		if indeg[n.ID] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, s := range succ[n.ID] {
+			if indeg[s.ID]--; indeg[s.ID] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("sdf: graph %s has a cycle among its kernels", g.Name)
+	}
+	return order, nil
+}
+
+// ProducerConsumerEdges returns the direct kernel-to-kernel edges —
+// the producer-consumer locality the paper exploits (those streams are
+// never written back to memory).
+func (g *Graph) ProducerConsumerEdges() []*Edge {
+	var out []*Edge
+	for _, e := range g.Edges {
+		if e.Producer != nil && len(e.Consumers) > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SavedWritebackBytes estimates the DRAM traffic avoided by
+// producer-consumer locality: bytes of intermediate streams that never
+// leave the SRF (e.g. neo-hookean's ~144 bytes per element).
+func (g *Graph) SavedWritebackBytes() uint64 {
+	var total uint64
+	for _, e := range g.ProducerConsumerEdges() {
+		if e.Scatter == nil {
+			total += uint64(e.Stream.N * e.Stream.ElemBytes())
+		}
+	}
+	return total
+}
+
+// String renders a compact description of the graph.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sdf %s: %d kernels, %d edges\n", g.Name, len(g.Nodes), len(g.Edges))
+	for _, n := range g.Nodes {
+		ins := make([]string, len(n.Ins))
+		for i, e := range n.Ins {
+			ins[i] = e.Name()
+		}
+		outs := make([]string, len(n.Outs))
+		for i, e := range n.Outs {
+			outs[i] = e.Name()
+		}
+		fmt.Fprintf(&sb, "  %s[%d]: (%s) -> (%s)\n", n.Name(), n.N, strings.Join(ins, ", "), strings.Join(outs, ", "))
+	}
+	return sb.String()
+}
+
+// Dot renders the graph in Graphviz DOT form (kernels as boxes, arrays
+// as cylinders, streams as arrows), mirroring the paper's Fig. 3/10
+// diagrams.
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n", g.Name)
+	arrays := map[*svm.Array]bool{}
+	arrayNode := func(a *svm.Array) string {
+		if !arrays[a] {
+			fmt.Fprintf(&sb, "  %q [shape=cylinder];\n", "arr_"+a.Name)
+			arrays[a] = true
+		}
+		return "arr_" + a.Name
+	}
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&sb, "  %q [shape=box,label=\"%s\\nN=%d\"];\n", "k_"+n.Name(), n.Name(), n.N)
+	}
+	for _, e := range g.Edges {
+		label := e.Name()
+		if e.Gather != nil {
+			src := arrayNode(e.Gather.Array)
+			style := ""
+			if e.Gather.Index != nil {
+				style = ",style=dashed" // dashed = indexed (random) access
+			}
+			for _, c := range e.Consumers {
+				fmt.Fprintf(&sb, "  %q -> %q [label=%q%s];\n", src, "k_"+c.Name(), label, style)
+			}
+		}
+		if e.Producer != nil {
+			for _, c := range e.Consumers {
+				fmt.Fprintf(&sb, "  %q -> %q [label=%q,penwidth=2];\n", "k_"+e.Producer.Name(), "k_"+c.Name(), label)
+			}
+		}
+		if e.Scatter != nil {
+			dst := arrayNode(e.Scatter.Array)
+			from := dst
+			if e.Producer != nil {
+				from = "k_" + e.Producer.Name()
+			}
+			style := ""
+			if e.Scatter.Index != nil {
+				style = ",style=dashed"
+			}
+			if e.Scatter.Mode == svm.ModeAdd {
+				style += ",color=red" // red = scatter-add
+			}
+			fmt.Fprintf(&sb, "  %q -> %q [label=%q%s];\n", from, dst, label, style)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

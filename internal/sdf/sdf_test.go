@@ -1,0 +1,286 @@
+package sdf
+
+import (
+	"strings"
+	"testing"
+
+	"streamgpp/internal/sim"
+	"streamgpp/internal/svm"
+)
+
+func testMachine() *sim.Machine { return sim.MustNew(sim.PentiumD8300()) }
+
+func addKernel(name string, nin, nout int) *svm.Kernel {
+	return &svm.Kernel{
+		Name:       name,
+		OpsPerElem: 10,
+		Fn: func(ins, outs []*svm.Stream, start, n int) int64 {
+			for i := start; i < start+n; i++ {
+				var sum float64
+				for _, s := range ins {
+					sum += s.At(i, 0)
+				}
+				for _, o := range outs {
+					o.Set(i, 0, sum)
+				}
+			}
+			return 0
+		},
+	}
+}
+
+// buildFig2 reconstructs the paper's Fig. 2/3 example: kernel1 consumes
+// as, bs, cs producing ds; kernel2 consumes ds and xs producing ys,
+// scattered through index5.
+func buildFig2(m *sim.Machine, n int) (*Graph, *svm.Array, *svm.Array, *svm.Array, *svm.Array, *svm.Array, *svm.IndexArray) {
+	l := svm.Layout("rec", svm.F("v", 8))
+	a := svm.NewArray(m, "a", l, n)
+	b := svm.NewArray(m, "b", l, n)
+	c := svm.NewArray(m, "c", l, n)
+	x := svm.NewArray(m, "x", l, n)
+	y := svm.NewArray(m, "y", l, n)
+	idx5 := svm.NewIndexArray(m, "index5", n)
+	for i := range idx5.Idx {
+		idx5.Idx[i] = int32((i * 7) % n)
+	}
+
+	g := New("fig2")
+	as := g.Input(svm.StreamOf("as", n, l, l.AllFields()), Bind(a))
+	bs := g.Input(svm.StreamOf("bs", n, l, l.AllFields()), Bind(b))
+	cs := g.Input(svm.StreamOf("cs", n, l, l.AllFields()), Bind(c))
+	ds := g.AddKernel(addKernel("kernel1", 3, 1), []*Edge{as, bs, cs}, []*svm.Stream{svm.NewStream("ds", n, svm.F("v", 8))})
+	xs := g.Input(svm.StreamOf("xs", n, l, l.AllFields()), Bind(x))
+	ys := g.AddKernel(addKernel("kernel2", 2, 1), []*Edge{ds[0], xs}, []*svm.Stream{svm.NewStream("ys", n, svm.F("v", 8))})
+	g.Output(ys[0], Bind(y).Indexed(idx5))
+	return g, a, b, c, x, y, idx5
+}
+
+func TestFig2GraphValidates(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _, _, _ := buildFig2(m, 100)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0].Name() != "kernel1" || order[1].Name() != "kernel2" {
+		t.Fatalf("topo order %v", order)
+	}
+}
+
+func TestFig2ProducerConsumerLocality(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _, _, _ := buildFig2(m, 100)
+	pc := g.ProducerConsumerEdges()
+	if len(pc) != 1 || pc[0].Name() != "ds" {
+		t.Fatalf("producer-consumer edges %v", pc)
+	}
+	// ds is 8 bytes × 100 elements never written back.
+	if got := g.SavedWritebackBytes(); got != 800 {
+		t.Fatalf("saved writeback %d, want 800", got)
+	}
+}
+
+func TestFig2SinglePhase(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _, _, _ := buildFig2(m, 100)
+	phases, err := g.Phases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 {
+		t.Fatalf("want 1 phase, got %d", len(phases))
+	}
+	p := phases[0]
+	if len(p.Nodes) != 2 || p.N != 100 {
+		t.Fatalf("phase %+v", p)
+	}
+	if len(p.Ins) != 4 || len(p.Outs) != 1 {
+		t.Fatalf("phase ins=%d outs=%d", len(p.Ins), len(p.Outs))
+	}
+	if len(p.Edges()) != 6 {
+		t.Fatalf("phase edges %d, want 6", len(p.Edges()))
+	}
+	if p.Strips(30) != 4 {
+		t.Fatalf("Strips(30)=%d", p.Strips(30))
+	}
+}
+
+func TestArrayMediatedPhases(t *testing.T) {
+	m := testMachine()
+	l := svm.Layout("rec", svm.F("v", 8))
+	a := svm.NewArray(m, "a", l, 100)
+	mid := svm.NewArray(m, "mid", l, 100)
+	out := svm.NewArray(m, "out", l, 50)
+	idx := svm.NewIndexArray(m, "idx", 50)
+	for i := range idx.Idx {
+		idx.Idx[i] = int32(i * 2)
+	}
+
+	g := New("twophase")
+	as := g.Input(svm.StreamOf("as", 100, l, l.AllFields()), Bind(a))
+	k1out := g.AddKernel(addKernel("k1", 1, 1), []*Edge{as}, []*svm.Stream{svm.NewStream("m1", 100, svm.F("v", 8))})
+	g.Output(k1out[0], Bind(mid))
+
+	// Second phase gathers from mid with an index: different length, so
+	// it must be a separate phase that waits for the scatter.
+	ms := g.Input(svm.StreamOf("ms", 50, l, l.AllFields()), Bind(mid).Indexed(idx))
+	k2out := g.AddKernel(addKernel("k2", 1, 1), []*Edge{ms}, []*svm.Stream{svm.NewStream("m2", 50, svm.F("v", 8))})
+	g.Output(k2out[0], Bind(out))
+
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	phases, err := g.Phases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("want 2 phases, got %d", len(phases))
+	}
+	if phases[0].Nodes[0].Name() != "k1" || phases[1].Nodes[0].Name() != "k2" {
+		t.Fatalf("phase order wrong: %s then %s", phases[0].Nodes[0].Name(), phases[1].Nodes[0].Name())
+	}
+}
+
+func TestPhaseOrderIsProgramOrder(t *testing.T) {
+	// A phase constructed before a later writer of the same array reads
+	// the array's pre-existing contents — imperative program order, the
+	// semantics iterative solvers rely on (read state, then overwrite
+	// it for the next step).
+	m := testMachine()
+	l := svm.Layout("rec", svm.F("v", 8))
+	state := svm.NewArray(m, "state", l, 64)
+
+	g := New("step")
+	// Phase 0 reads the state.
+	ms := g.Input(svm.StreamOf("ms", 64, l, l.AllFields()), Bind(state))
+	sink := g.AddKernel(addKernel("read", 1, 1), []*Edge{ms}, []*svm.Stream{svm.NewStream("s2", 64, svm.F("v", 8))})
+	g.Output(sink[0], Bind(svm.NewArray(m, "out", l, 64)))
+
+	// Phase 1 overwrites the state for the next step (different
+	// iteration count keeps it a separate phase).
+	src := svm.NewArray(m, "src", l, 32)
+	ss := g.Input(svm.StreamOf("ss", 32, l, l.AllFields()), Bind(src))
+	prod := g.AddKernel(addKernel("write", 1, 1), []*Edge{ss}, []*svm.Stream{svm.NewStream("s1", 32, svm.F("v", 8))})
+	idx := svm.NewIndexArray(m, "sidx", 32)
+	for i := range idx.Idx {
+		idx.Idx[i] = int32(i)
+	}
+	g.Output(prod[0], Bind(state).Indexed(idx))
+
+	phases, err := g.Phases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phases[0].Nodes[0].Name() != "read" || phases[1].Nodes[0].Name() != "write" {
+		t.Fatalf("phase order must follow construction: got %s then %s",
+			phases[0].Nodes[0].Name(), phases[1].Nodes[0].Name())
+	}
+}
+
+func TestValidateRejectsDeadStream(t *testing.T) {
+	m := testMachine()
+	l := svm.Layout("rec", svm.F("v", 8))
+	a := svm.NewArray(m, "a", l, 10)
+	g := New("dead")
+	as := g.Input(svm.StreamOf("as", 10, l, l.AllFields()), Bind(a))
+	dead := svm.NewStream("dead", 10, svm.F("v", 8))
+	g.AddKernel(addKernel("k", 1, 1), []*Edge{as}, []*svm.Stream{dead})
+	if err := g.Validate(); err == nil {
+		t.Fatal("dead stream accepted")
+	}
+}
+
+func TestValidateRejectsEmptyGraph(t *testing.T) {
+	if err := New("empty").Validate(); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	m := testMachine()
+	l := svm.Layout("rec", svm.F("v", 8))
+	a := svm.NewArray(m, "a", l, 10)
+	g := New("mismatch")
+	as := g.Input(svm.StreamOf("as", 10, l, l.AllFields()), Bind(a))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	g.AddKernel(addKernel("k", 1, 1), []*Edge{as}, []*svm.Stream{svm.NewStream("o", 20, svm.F("v", 8))})
+}
+
+func TestInputValidation(t *testing.T) {
+	m := testMachine()
+	l := svm.Layout("rec", svm.F("a", 8), svm.F("b", 8))
+	arr := svm.NewArray(m, "arr", l, 10)
+	g := New("v")
+	// Field-count mismatch.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("field count mismatch accepted")
+			}
+		}()
+		g.Input(svm.NewStream("s", 10, svm.F("x", 8)), Bind(arr))
+	}()
+	// Sequential overrun.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("sequential overrun accepted")
+			}
+		}()
+		g.Input(svm.StreamOf("s", 11, l, l.AllFields()), Bind(arr))
+	}()
+	// Index array too short.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("short index accepted")
+			}
+		}()
+		idx := svm.NewIndexArray(m, "i", 5)
+		g.Input(svm.StreamOf("s", 10, l, l.AllFields()), Bind(arr).Indexed(idx))
+	}()
+}
+
+func TestStringAndDot(t *testing.T) {
+	m := testMachine()
+	g, _, _, _, _, _, _ := buildFig2(m, 100)
+	s := g.String()
+	for _, want := range []string{"kernel1", "kernel2", "ds"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q:\n%s", want, s)
+		}
+	}
+	dot := g.Dot()
+	for _, want := range []string{"digraph", "k_kernel1", "arr_y", "style=dashed", "shape=cylinder"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("Dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestBindHelpers(t *testing.T) {
+	m := testMachine()
+	l := svm.Layout("rec", svm.F("a", 8), svm.F("b", 8))
+	arr := svm.NewArray(m, "arr", l, 10)
+	b := Bind(arr, "b")
+	if len(b.Fields) != 1 || b.Fields[0] != 1 {
+		t.Fatalf("Bind fields %v", b.Fields)
+	}
+	idx := svm.NewIndexArray(m, "i", 10)
+	bi := b.Indexed(idx)
+	if bi.Index != idx || b.Index != nil {
+		t.Fatal("Indexed must copy")
+	}
+	ba := b.Accumulate()
+	if ba.Mode != svm.ModeAdd || b.Mode != svm.ModeStore {
+		t.Fatal("Accumulate must copy")
+	}
+}

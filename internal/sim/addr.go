@@ -1,0 +1,56 @@
+package sim
+
+import "fmt"
+
+// Addr is a simulated physical address. Simulated programs keep their
+// functional data in ordinary Go slices; only the addresses flow
+// through the cache/TLB/bus models.
+type Addr = uint64
+
+// AddrSpace hands out non-overlapping, page-aligned regions of the
+// simulated address space. The first page is never allocated so that 0
+// can serve as a "nil" address.
+type AddrSpace struct {
+	pageBytes uint64
+	next      Addr
+	regions   []Region
+}
+
+// Region describes one allocation.
+type Region struct {
+	Name string
+	Base Addr
+	Size uint64
+}
+
+// NewAddrSpace returns an allocator that aligns regions to pageBytes.
+func NewAddrSpace(pageBytes int) *AddrSpace {
+	if pageBytes <= 0 || !isPow2(pageBytes) {
+		panic(fmt.Sprintf("sim: page size %d must be a positive power of two", pageBytes))
+	}
+	return &AddrSpace{pageBytes: uint64(pageBytes), next: uint64(pageBytes)}
+}
+
+// Alloc reserves size bytes and returns the region. Name is for
+// diagnostics only.
+func (a *AddrSpace) Alloc(name string, size uint64) Region {
+	if size == 0 {
+		size = 1
+	}
+	base := a.next
+	a.next += (size + a.pageBytes - 1) &^ (a.pageBytes - 1)
+	r := Region{Name: name, Base: base, Size: size}
+	a.regions = append(a.regions, r)
+	return r
+}
+
+// Regions returns all allocations in order.
+func (a *AddrSpace) Regions() []Region { return a.regions }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr Addr) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// End returns one past the last byte of the region.
+func (r Region) End() Addr { return r.Base + r.Size }

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests calibrate the memory system against §III-A's measured
+// behaviour (Fig. 5). They drive the raw hierarchy the same way the
+// svm gather/scatter operations do.
+
+// probe measures GB/s of useful data for a gather/scatter of 4-byte
+// fields from records of recordBytes, across an array much larger than
+// the L2 and the TLB coverage.
+func probe(t *testing.T, recordBytes int, random, write, nt bool) float64 {
+	t.Helper()
+	m := MustNew(PentiumD8300())
+	const fieldBytes = 4
+	totalBytes := uint64(16 << 20)
+	n := int(totalBytes) / recordBytes
+
+	reg := m.AS.Alloc("arr", totalBytes)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if random {
+		rng := rand.New(rand.NewSource(1))
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+
+	// The copy loop sustains a couple of outstanding misses whether the
+	// hints are non-temporal (software prefetch distance) or not (the
+	// OoO window); the hint changes cache policy and latency, not MLP.
+	const mlp = 2
+	hint := HintNone
+	if nt {
+		hint = HintNonTemporal
+	}
+
+	var cycles uint64
+	m.Run(func(c *CPU) {
+		pipe := c.NewPipe(mlp, 1, StateMemory)
+		for _, idx := range order {
+			addr := reg.Base + uint64(idx*recordBytes)
+			pipe.Access(addr, fieldBytes, write, hint)
+		}
+		pipe.Drain()
+		if write && nt {
+			c.DrainWC()
+		}
+		cycles = c.Now()
+	})
+	useful := uint64(n * fieldBytes)
+	return m.Config().BandwidthGBs(useful, cycles)
+}
+
+func TestSequentialLoadBandwidthFallsWithRecordSize(t *testing.T) {
+	var prev float64
+	for i, rec := range []int{4, 8, 16, 32, 64, 128} {
+		bw := probe(t, rec, false, false, false)
+		t.Logf("seq load rec=%3d: %.3f GB/s", rec, bw)
+		if i > 0 && bw >= prev {
+			t.Errorf("bandwidth should fall with record size: rec=%d %.3f >= %.3f", rec, bw, prev)
+		}
+		prev = bw
+	}
+}
+
+func TestSequentialLoadBandwidthCalibration(t *testing.T) {
+	// Paper: ~bus speed at 4-byte records, ~141 MB/s at 128-byte
+	// records. Accept a generous band around both.
+	bw4 := probe(t, 4, false, false, false)
+	if bw4 < 2.5 || bw4 > 6.4 {
+		t.Errorf("seq load rec=4: %.3f GB/s, want 2.5–6.4 (paper: near bus speed)", bw4)
+	}
+	bw128 := probe(t, 128, false, false, false)
+	if bw128 < 0.08 || bw128 > 0.30 {
+		t.Errorf("seq load rec=128: %.3f GB/s, want 0.08–0.30 (paper: 0.141)", bw128)
+	}
+}
+
+func TestRandomGatherBandwidthCalibration(t *testing.T) {
+	// Paper: ~63 MB/s for random 4-byte gathers, dominated by TLB
+	// walks rather than the cache miss itself.
+	bw := probe(t, 128, true, false, false)
+	if bw < 0.030 || bw > 0.120 {
+		t.Errorf("random gather: %.3f GB/s, want 0.030–0.120 (paper: 0.063)", bw)
+	}
+	// TLB walks must dominate: nearly every access should walk.
+	m := MustNew(PentiumD8300())
+	reg := m.AS.Alloc("arr", 16<<20)
+	rng := rand.New(rand.NewSource(2))
+	m.Run(func(c *CPU) {
+		for i := 0; i < 20000; i++ {
+			c.Read(reg.Base+uint64(rng.Intn(1<<17))*128, 4, HintNone)
+		}
+	})
+	if walkFrac := float64(m.Mem.Stats.TLBWalks) / 20000; walkFrac < 0.5 {
+		t.Errorf("TLB walk fraction %.2f, want > 0.5 for random access over 16MB", walkFrac)
+	}
+}
+
+func TestSequentialStoreHalfOfLoadBandwidth(t *testing.T) {
+	ld := probe(t, 4, false, false, false)
+	st := probe(t, 4, false, true, false)
+	ratio := st / ld
+	if ratio < 0.35 || ratio > 0.75 {
+		t.Errorf("store/load ratio %.2f, want ~0.5 (RFO halves store bandwidth)", ratio)
+	}
+}
+
+func TestNonTemporalHurtsSequentialLoads(t *testing.T) {
+	plain := probe(t, 4, false, false, false)
+	ntb := probe(t, 4, false, false, true)
+	if ntb >= plain {
+		t.Errorf("NT sequential load %.3f should be below plain %.3f", ntb, plain)
+	}
+	if ntb < plain*0.4 {
+		t.Errorf("NT sequential load %.3f too far below plain %.3f", ntb, plain)
+	}
+}
+
+func TestNonTemporalHelpsRandomGather(t *testing.T) {
+	plain := probe(t, 128, true, false, false)
+	ntb := probe(t, 128, true, false, true)
+	gain := ntb/plain - 1
+	if gain < 0.10 || gain > 0.80 {
+		t.Errorf("NT random gather gain %.0f%%, want ~32%%", gain*100)
+	}
+}
+
+func TestNonTemporalHelpsRandomScatter(t *testing.T) {
+	plain := probe(t, 128, true, true, false)
+	ntb := probe(t, 128, true, true, true)
+	if ntb <= plain {
+		t.Errorf("NT random scatter %.3f should beat plain %.3f", ntb, plain)
+	}
+}
+
+func TestRandomBelowSequential(t *testing.T) {
+	for _, rec := range []int{4, 32, 128} {
+		seq := probe(t, rec, false, false, false)
+		rnd := probe(t, rec, true, false, false)
+		if rnd >= seq {
+			t.Errorf("rec=%d: random %.3f >= sequential %.3f", rec, rnd, seq)
+		}
+	}
+}
+
+// Intermixing several sequential streams in one loop must defeat the
+// hardware prefetcher and the DRAM open row — the effect that makes the
+// paper's bulk gathers beat the regular baseline on LD-ST-COMP.
+func TestIntermixedStreamsSlowerThanBulk(t *testing.T) {
+	cfg := PentiumD8300()
+	const n = 1 << 16 // 4-byte elements per array
+	run := func(intermixed bool) uint64 {
+		m := MustNew(cfg)
+		a := m.AS.Alloc("a", n*4)
+		b := m.AS.Alloc("b", n*4)
+		cc := m.AS.Alloc("c", n*4)
+		var cycles uint64
+		m.Run(func(c *CPU) {
+			pipe := c.NewPipe(2, 1, StateMemory)
+			if intermixed {
+				for i := 0; i < n; i++ {
+					pipe.Access(a.Base+uint64(i*4), 4, false, HintNone)
+					pipe.Access(b.Base+uint64(i*4), 4, false, HintNone)
+					pipe.Access(cc.Base+uint64(i*4), 4, false, HintNone)
+				}
+			} else {
+				for _, r := range []Region{a, b, cc} {
+					for i := 0; i < n; i++ {
+						pipe.Access(r.Base+uint64(i*4), 4, false, HintNone)
+					}
+				}
+			}
+			pipe.Drain()
+			cycles = c.Now()
+		})
+		return cycles
+	}
+	inter, bulk := run(true), run(false)
+	if float64(inter) < 1.3*float64(bulk) {
+		t.Errorf("intermixed %d cycles vs bulk %d: want >= 1.3x slower", inter, bulk)
+	}
+}
+
+func TestBandwidthConversions(t *testing.T) {
+	cfg := PentiumD8300()
+	if s := cfg.CyclesToSeconds(3_400_000_000); s < 0.999 || s > 1.001 {
+		t.Fatalf("3.4e9 cycles = %v s, want 1", s)
+	}
+	if bw := cfg.BandwidthGBs(6_400_000_000, 3_400_000_000); bw < 6.39 || bw > 6.41 {
+		t.Fatalf("bandwidth %v, want 6.4", bw)
+	}
+	if bw := cfg.BandwidthGBs(1, 0); bw != 0 {
+		t.Fatalf("zero cycles bandwidth %v", bw)
+	}
+}

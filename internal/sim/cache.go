@@ -1,0 +1,222 @@
+package sim
+
+import "fmt"
+
+// cacheLine is one way of one set.
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	nt    bool   // filled with a non-temporal hint
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is a set-associative write-back, write-allocate cache with true
+// LRU replacement and a non-temporal insertion policy: NT fills are
+// confined to the ntWays lowest-numbered ways of each set and are
+// inserted with minimal LRU priority, so they can never displace the
+// temporally-filled (SRF) lines. This reproduces how the paper pins the
+// SRF in L2 while gather/scatter traffic streams past it (§III-A).
+type Cache struct {
+	name     string
+	lineSize int
+	ways     int
+	nsets    int
+	ntWays   int
+	sets     [][]cacheLine
+	tick     uint64
+
+	// CacheStats accumulates since construction or the last reset.
+	Stats CacheStats
+}
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	NTFills    uint64
+	Evictions  uint64
+	DirtyEvict uint64
+}
+
+// NewCache builds a cache from total size, associativity and line size.
+func NewCache(name string, totalBytes, ways, lineSize, ntWays int) *Cache {
+	if totalBytes <= 0 || ways <= 0 || lineSize <= 0 || totalBytes%(ways*lineSize) != 0 {
+		panic(fmt.Sprintf("sim: bad cache geometry %s: %d/%d/%d", name, totalBytes, ways, lineSize))
+	}
+	if ntWays < 0 || ntWays > ways {
+		panic(fmt.Sprintf("sim: ntWays %d out of range for %d-way cache", ntWays, ways))
+	}
+	nsets := totalBytes / (ways * lineSize)
+	if !isPow2(nsets) || !isPow2(lineSize) {
+		panic(fmt.Sprintf("sim: cache %s sets (%d) and line (%d) must be powers of two", name, nsets, lineSize))
+	}
+	sets := make([][]cacheLine, nsets)
+	backing := make([]cacheLine, nsets*ways)
+	for i := range sets {
+		sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	return &Cache{name: name, lineSize: lineSize, ways: ways, nsets: nsets, ntWays: ntWays, sets: sets}
+}
+
+// LineSize returns the cache line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.nsets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the total capacity.
+func (c *Cache) SizeBytes() int { return c.nsets * c.ways * c.lineSize }
+
+// LineAddr returns the address of the line containing addr.
+func (c *Cache) LineAddr(addr Addr) Addr { return addr &^ uint64(c.lineSize-1) }
+
+func (c *Cache) index(line Addr) (set int, tag uint64) {
+	l := line / uint64(c.lineSize)
+	return int(l % uint64(c.nsets)), l / uint64(c.nsets)
+}
+
+// Lookup probes the cache without filling. On a hit it refreshes LRU
+// state and applies the write's dirty bit.
+func (c *Cache) Lookup(addr Addr, write bool) bool {
+	set, tag := c.index(c.LineAddr(addr))
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			c.tick++
+			ln.lru = c.tick
+			if write {
+				ln.dirty = true
+			}
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// Evicted describes a line displaced by a fill.
+type Evicted struct {
+	Line  Addr
+	Dirty bool
+	Valid bool
+}
+
+// Fill inserts the line containing addr. hint selects the insertion
+// policy; write marks the new line dirty (write-allocate). It returns
+// the displaced line, if any. Filling a line that is already present
+// only refreshes its state.
+func (c *Cache) Fill(addr Addr, write bool, hint Hint) Evicted {
+	line := c.LineAddr(addr)
+	set, tag := c.index(line)
+	ways := c.sets[set]
+
+	// Already present (e.g. a prefetch landed before the demand fill).
+	for i := range ways {
+		ln := &ways[i]
+		if ln.valid && ln.tag == tag {
+			c.tick++
+			ln.lru = c.tick
+			if write {
+				ln.dirty = true
+			}
+			return Evicted{}
+		}
+	}
+
+	lo, hi := 0, c.ways // candidate victim ways
+	if hint == HintNonTemporal && c.ntWays > 0 {
+		lo, hi = 0, c.ntWays
+		c.Stats.NTFills++
+	}
+
+	// Victim priority: an invalid way, else the LRU non-temporal line,
+	// else the LRU temporal line. NT fills are confined to the NT ways,
+	// which therefore behave as a small LRU sub-cache for streamed
+	// data; temporal fills prefer recycling NT lines over evicting the
+	// (SRF) working set.
+	victim := -1
+	var bestNT, bestT uint64 = 1<<64 - 1, 1<<64 - 1
+	ntVictim, tVictim := -1, -1
+	for i := lo; i < hi; i++ {
+		ln := &ways[i]
+		if !ln.valid {
+			victim = i
+			break
+		}
+		if ln.nt {
+			if ln.lru < bestNT {
+				bestNT, ntVictim = ln.lru, i
+			}
+		} else if ln.lru < bestT {
+			bestT, tVictim = ln.lru, i
+		}
+	}
+	if victim < 0 {
+		if ntVictim >= 0 {
+			victim = ntVictim
+		} else {
+			victim = tVictim
+		}
+	}
+
+	old := ways[victim]
+	ev := Evicted{}
+	if old.valid {
+		c.Stats.Evictions++
+		if old.dirty {
+			c.Stats.DirtyEvict++
+		}
+		ev = Evicted{Line: c.lineFromSetTag(set, old.tag), Dirty: old.dirty, Valid: true}
+	}
+	c.tick++
+	ways[victim] = cacheLine{tag: tag, valid: true, dirty: write, nt: hint == HintNonTemporal, lru: c.tick}
+	return ev
+}
+
+func (c *Cache) lineFromSetTag(set int, tag uint64) Addr {
+	return (tag*uint64(c.nsets) + uint64(set)) * uint64(c.lineSize)
+}
+
+// Contains reports whether the line holding addr is resident (no LRU
+// update, no stats).
+func (c *Cache) Contains(addr Addr) bool {
+	set, tag := c.index(c.LineAddr(addr))
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// ResidentBytes returns how many bytes of [base, base+size) are
+// currently resident, for SRF pinning diagnostics.
+func (c *Cache) ResidentBytes(base Addr, size uint64) uint64 {
+	var n uint64
+	for line := c.LineAddr(base); line < base+size; line += uint64(c.lineSize) {
+		if c.Contains(line) {
+			n += uint64(c.lineSize)
+		}
+	}
+	return n
+}
+
+// Flush invalidates the whole cache, returning the number of dirty
+// lines dropped. Used between independent experiments.
+func (c *Cache) Flush() (dirty int) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid && c.sets[s][w].dirty {
+				dirty++
+			}
+			c.sets[s][w] = cacheLine{}
+		}
+	}
+	return dirty
+}

@@ -1,0 +1,284 @@
+package sim
+
+import "fmt"
+
+// CPU is a thread's handle onto its hardware context. All methods must
+// be called only from the thread function the handle was passed to.
+//
+// Each operation declares the context's activity state (compute,
+// memory, spin, sleep) on entry and leaves it set; the sibling context
+// samples that state to resolve SMT resource interference. Gaps between
+// consecutive operations are attributed to the previous activity, which
+// is accurate to within the engine's sampling quantum.
+type CPU struct {
+	m *Machine
+	p *proc
+}
+
+// ID returns the hardware context number (0 or 1).
+func (c *CPU) ID() int { return c.p.id }
+
+// Now returns the context's local virtual clock, in cycles.
+func (c *CPU) Now() uint64 { return c.p.now }
+
+// Machine returns the machine this context belongs to.
+func (c *CPU) Machine() *Machine { return c.m }
+
+// park hands control back to the engine so the other context can catch
+// up in virtual time. No-op in single-thread mode.
+func (c *CPU) park() {
+	if c.m.nlive < 2 {
+		return
+	}
+	c.p.yield <- struct{}{}
+	<-c.p.resume
+}
+
+// computeRate returns the context's effective compute rate given what
+// the sibling is doing right now — the SMT issue-sharing model behind
+// Figs. 6 and 8.
+func (c *CPU) computeRate() float64 {
+	sib := c.m.sibling(c.p.id)
+	if sib == nil {
+		return 1
+	}
+	switch sib.state {
+	case StateCompute:
+		return c.m.cfg.SMTComputeFactor
+	case StateMemory:
+		return c.m.cfg.SMTComputeMemFactor
+	case StateSpin:
+		return c.m.cfg.PausePenalty
+	default: // idle, sleeping, done: effectively single-thread mode
+		return 1
+	}
+}
+
+// Compute executes ops abstract compute operations (one op ≈ one
+// issue-slot-cycle when running alone). Progress is sampled every
+// Quantum cycles so sibling interference tracks state changes.
+func (c *CPU) Compute(ops int64) {
+	if ops <= 0 {
+		return
+	}
+	c.p.state = StateCompute
+	work := float64(ops) * c.m.cfg.CPI // solo cycles of work remaining
+	q := float64(c.m.cfg.Quantum)
+	for work > 0 {
+		chunk := work
+		if chunk > q {
+			chunk = q
+		}
+		rate := c.computeRate()
+		dt := uint64(chunk/rate + 0.5)
+		if dt == 0 {
+			dt = 1
+		}
+		c.p.now += dt
+		c.p.computeCycles += dt
+		work -= chunk
+		c.park()
+	}
+}
+
+// Read performs one blocking load. The context stalls until the data
+// arrives (a dependent scalar access, not a pipelined bulk one — use
+// NewPipe for those).
+func (c *CPU) Read(addr Addr, size int, hint Hint) AccessResult {
+	return c.access(addr, size, false, hint)
+}
+
+// Write performs one blocking store (posted immediately for
+// non-temporal stores).
+func (c *CPU) Write(addr Addr, size int, hint Hint) AccessResult {
+	return c.access(addr, size, true, hint)
+}
+
+func (c *CPU) access(addr Addr, size int, write bool, hint Hint) AccessResult {
+	c.p.state = StateMemory
+	r := c.m.Mem.Access(c.p.id, c.p.now, addr, size, write, hint)
+	if r.Done > c.p.now {
+		c.p.memCycles += r.Done - c.p.now
+		c.p.now = r.Done
+	}
+	c.park()
+	return r
+}
+
+// DrainWC flushes this context's write-combining buffer and waits for
+// the bus (the sfence closing a non-temporal scatter).
+func (c *CPU) DrainWC() {
+	c.p.state = StateMemory
+	done := c.m.Mem.DrainWC(c.p.id, c.p.now)
+	if done > c.p.now {
+		c.p.memCycles += done - c.p.now
+		c.p.now = done
+	}
+	c.park()
+}
+
+// StallUntil advances the clock to t if it is in the future, charging
+// the wait as memory-stall time (a pipeline waiting on a load).
+func (c *CPU) StallUntil(t uint64) {
+	if t > c.p.now {
+		c.p.memCycles += t - c.p.now
+		c.p.now = t
+		c.park()
+	}
+}
+
+// Idle advances the local clock without using any resources.
+func (c *CPU) Idle(cycles uint64) {
+	c.p.state = StateIdle
+	c.p.now += cycles
+	c.park()
+}
+
+// Pipe models a window of outstanding memory accesses: issue proceeds
+// while up to MLP accesses are in flight, so independent misses overlap
+// (hardware memory-level parallelism for the regular-code baseline,
+// software prefetch distance for bulk stream gathers).
+type Pipe struct {
+	c       *CPU
+	mlp     int
+	window  []uint64 // completion times, oldest first
+	issue   uint64   // per-access issue cost, cycles
+	pending int      // accesses since last park
+	state   ProcState
+	slowest uint64
+}
+
+// pipeParkBatch bounds how many accesses a Pipe performs between engine
+// yields, trading a little cross-context timing skew for speed.
+const pipeParkBatch = 8
+
+// NewPipe returns a pipeline window with the given MLP (≥1) and a
+// per-access issue cost in cycles. state tells the interference model
+// whether this traffic belongs to a bulk memory task (StateMemory) or
+// to ordinary interleaved code (StateCompute for the regular baseline's
+// mixed loops, which occupy issue slots too).
+func (c *CPU) NewPipe(mlp int, issueCycles uint64, state ProcState) *Pipe {
+	if mlp < 1 {
+		panic(fmt.Sprintf("sim: pipe MLP %d", mlp))
+	}
+	return &Pipe{c: c, mlp: mlp, issue: issueCycles, state: state}
+}
+
+// Access issues one access through the window. The context clock tracks
+// the issue front; call Drain to synchronise with completions. Only
+// accesses that miss to DRAM occupy window slots (the window models
+// MSHRs — outstanding misses); cache hits and posted writes cost their
+// issue slot but never block the window.
+func (p *Pipe) Access(addr Addr, size int, write bool, hint Hint) AccessResult {
+	c := p.c
+	c.p.state = p.state
+
+	start := c.p.now
+	if len(p.window) >= p.mlp {
+		oldest := p.window[0]
+		p.window = p.window[1:]
+		if oldest > start {
+			start = oldest
+		}
+	}
+	r := c.m.Mem.Access(c.p.id, start, addr, size, write, hint)
+	if r.Level == LevelPF || r.Level == LevelMem {
+		p.window = append(p.window, r.Done)
+	}
+	if r.Done > p.slowest {
+		p.slowest = r.Done
+	}
+
+	// The clock advances to the issue point, not the completion.
+	t := start + p.issue
+	if t > c.p.now {
+		c.p.memCycles += t - c.p.now
+		c.p.now = t
+	}
+	p.pending++
+	if p.pending >= pipeParkBatch {
+		p.pending = 0
+		c.park()
+	}
+	return r
+}
+
+// Drain waits for every outstanding access to complete and empties the
+// window.
+func (p *Pipe) Drain() {
+	c := p.c
+	c.p.state = p.state
+	if p.slowest > c.p.now {
+		c.p.memCycles += p.slowest - c.p.now
+		c.p.now = p.slowest
+	}
+	p.window = p.window[:0]
+	p.slowest = 0
+	p.pending = 0
+	c.park()
+}
+
+// Outstanding returns the number of in-flight accesses.
+func (p *Pipe) Outstanding() int { return len(p.window) }
+
+// Signal publishes e: any context sleeping on e wakes after its
+// policy's dispatch latency; spinning contexts notice on their next
+// poll. Costs one store.
+func (c *CPU) Signal(e *Event) {
+	c.p.now++ // the store itself
+	c.m.signal(e, c.p.now)
+	c.park()
+}
+
+// Wait blocks until cond() is true, using the given wait policy while
+// idle. cond is evaluated over engine-serialised shared state, so it
+// needs no locking; e must be Signalled by whichever thread makes cond
+// true. Returns the number of cycles spent waiting.
+func (c *CPU) Wait(e *Event, policy WaitPolicy, cond func() bool) uint64 {
+	start := c.p.now
+	if cond() {
+		c.p.now += 2 // the check
+		return c.p.now - start
+	}
+	if c.m.nlive < 2 {
+		panic("sim: Wait with a false condition in single-thread mode would never complete")
+	}
+	switch policy {
+	case PolicyPause:
+		c.p.state = StateSpin
+		for !cond() {
+			c.p.now += c.m.cfg.PauseLoopCycles
+			c.p.spinCycles += c.m.cfg.PauseLoopCycles
+			c.park()
+		}
+		// Leaving the spin loop costs a pipeline flush; together with
+		// the poll interval this reproduces the measured ~175-cycle
+		// dispatch.
+		exit := c.m.cfg.PauseDispatchLat - c.m.cfg.PauseLoopCycles
+		c.p.now += exit
+		c.p.spinCycles += exit
+		c.p.state = StateIdle
+	case PolicyMwait, PolicyOS:
+		lat := c.m.cfg.MwaitDispatchLat
+		if policy == PolicyOS {
+			lat = c.m.cfg.OSDispatchLat
+		}
+		for !cond() {
+			if policy == PolicyMwait {
+				c.p.now += c.m.cfg.MonitorSetupLat // arm MONITOR
+				if cond() {
+					break // raced: the write landed while arming
+				}
+			}
+			c.p.state = StateSleep
+			c.p.sleeping = true
+			c.p.waitEvent = e
+			c.p.wakeLat = lat
+			c.park() // the engine resumes us only after a Signal
+			c.p.state = StateIdle
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown wait policy %d", policy))
+	}
+	return c.p.now - start
+}

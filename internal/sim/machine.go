@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProcState describes what a hardware context is doing; the engine uses
+// it to resolve SMT resource interference between the two contexts.
+type ProcState uint8
+
+// Context activity states.
+const (
+	StateIdle    ProcState = iota
+	StateCompute           // executing a kernel / ALU-bound burst
+	StateMemory            // driving bulk memory traffic
+	StateSpin              // busy-waiting with PAUSE (consumes issue slots)
+	StateSleep             // MWAIT/OS-descheduled (consumes nothing)
+	StateDone              // thread returned
+)
+
+// String returns a short name for the state.
+func (s ProcState) String() string {
+	return [...]string{"idle", "compute", "memory", "spin", "sleep", "done"}[s]
+}
+
+// Machine is a two-context SMT processor plus its memory system. Create
+// one with New, allocate simulated arrays from AS, then Run one or two
+// thread functions. Threads are ordinary goroutines; the engine
+// serialises them in virtual time (only the context with the smallest
+// local clock runs), so thread functions may freely share Go data
+// structures without locks — exactly one runs at any instant.
+type Machine struct {
+	cfg Config
+	Mem *MemSystem
+	AS  *AddrSpace
+
+	procs  []*proc
+	nlive  int
+	epoch  uint64 // virtual time at which the current Run started
+	events []*Event
+}
+
+type proc struct {
+	id     int
+	now    uint64
+	state  ProcState
+	yield  chan struct{}
+	resume chan struct{}
+
+	sleeping  bool
+	waitEvent *Event
+	wakeLat   uint64
+	panicVal  any
+
+	computeCycles uint64 // cycles spent in StateCompute
+	memCycles     uint64
+	spinCycles    uint64
+	sleepCycles   uint64
+}
+
+// Event is a simulated inter-thread notification cell (the cache line a
+// MONITOR arms, or the word a PAUSE loop polls). Waiters additionally
+// re-check a caller-supplied condition, so an Event works like a
+// condition variable over the (engine-serialised) shared state.
+type Event struct {
+	m      *Machine
+	seq    uint64
+	lastAt uint64
+}
+
+// WaitPolicy selects the busy-wait mechanism of §III-B.2.
+type WaitPolicy uint8
+
+// Wait policies evaluated in Fig. 8.
+const (
+	// PolicyPause spins with the PAUSE instruction: ~175-cycle
+	// dispatch, but the spinning context steals issue slots from its
+	// sibling.
+	PolicyPause WaitPolicy = iota
+	// PolicyMwait sleeps with MONITOR/MWAIT: ~680-cycle dispatch,
+	// negligible interference.
+	PolicyMwait
+	// PolicyOS deschedules via the operating system: tens of thousands
+	// of cycles to wake, no interference.
+	PolicyOS
+)
+
+// String returns the policy name.
+func (p WaitPolicy) String() string {
+	return [...]string{"pause", "mwait", "os"}[p]
+}
+
+// New returns a machine with cold caches and an empty address space.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg, Mem: NewMemSystem(cfg), AS: NewAddrSpace(cfg.PageBytes)}, nil
+}
+
+// MustNew is New, panicking on config errors. For tests and examples.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NewEvent returns a fresh notification cell.
+func (m *Machine) NewEvent() *Event {
+	e := &Event{m: m}
+	m.events = append(m.events, e)
+	return e
+}
+
+// RunStats summarises one Run call.
+type RunStats struct {
+	// Cycles is the makespan: the largest context-local clock advance.
+	Cycles uint64
+	// ProcCycles holds each context's local clock advance.
+	ProcCycles []uint64
+	// Busy time split per context.
+	ComputeCycles []uint64
+	MemCycles     []uint64
+	SpinCycles    []uint64
+	SleepCycles   []uint64
+}
+
+// Run executes the given thread functions, one per hardware context
+// (at most two), co-simulated in virtual time. It returns when all
+// threads have returned. Timing state (clocks) continues from the
+// previous Run; caches stay warm. Use ResetTiming/ColdStart between
+// independent experiments.
+func (m *Machine) Run(threads ...func(*CPU)) RunStats {
+	if len(threads) == 0 || len(threads) > 2 {
+		panic(fmt.Sprintf("sim: Run wants 1 or 2 threads, got %d", len(threads)))
+	}
+	m.procs = m.procs[:0]
+	start := m.epoch
+	for i, fn := range threads {
+		p := &proc{id: i, now: start, yield: make(chan struct{}), resume: make(chan struct{})}
+		m.procs = append(m.procs, p)
+		cpu := &CPU{m: m, p: p}
+		go func(fn func(*CPU)) {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					p.panicVal = r
+				}
+				p.state = StateDone
+				p.yield <- struct{}{}
+			}()
+			fn(cpu)
+		}(fn)
+	}
+	m.nlive = len(m.procs)
+	m.schedule()
+
+	stats := RunStats{}
+	for _, p := range m.procs {
+		adv := p.now - start
+		if adv > stats.Cycles {
+			stats.Cycles = adv
+		}
+		stats.ProcCycles = append(stats.ProcCycles, adv)
+		stats.ComputeCycles = append(stats.ComputeCycles, p.computeCycles)
+		stats.MemCycles = append(stats.MemCycles, p.memCycles)
+		stats.SpinCycles = append(stats.SpinCycles, p.spinCycles)
+		stats.SleepCycles = append(stats.SleepCycles, p.sleepCycles)
+	}
+	m.epoch = start + stats.Cycles
+	m.procs = m.procs[:0]
+	return stats
+}
+
+// schedule is the engine loop: resume the runnable context with the
+// smallest local clock until every thread is done.
+func (m *Machine) schedule() {
+	for {
+		var next *proc
+		done := 0
+		for _, p := range m.procs {
+			switch {
+			case p.state == StateDone:
+				done++
+			case p.sleeping:
+				// not runnable
+			default:
+				if next == nil || p.now < next.now || (p.now == next.now && p.id < next.id) {
+					next = p
+				}
+			}
+		}
+		if done == len(m.procs) {
+			return
+		}
+		if next == nil {
+			m.deadlock()
+		}
+		next.resume <- struct{}{}
+		<-next.yield
+		if next.panicVal != nil {
+			// Re-panic on the caller's goroutine so tests and callers
+			// can recover. Other simulated threads stay parked.
+			panic(next.panicVal)
+		}
+	}
+}
+
+func (m *Machine) deadlock() {
+	msg := "sim: deadlock — all live contexts are sleeping:"
+	for _, p := range m.procs {
+		msg += fmt.Sprintf(" ctx%d(state=%s now=%d sleeping=%v)", p.id, p.state, p.now, p.sleeping)
+	}
+	panic(msg)
+}
+
+// sibling returns the other context's proc, or nil in single-thread
+// (ST) mode — where, as on the real machine, the running context gets
+// every core resource.
+func (m *Machine) sibling(id int) *proc {
+	for _, p := range m.procs {
+		if p.id != id {
+			return p
+		}
+	}
+	return nil
+}
+
+// signal wakes every context sleeping on e.
+func (m *Machine) signal(e *Event, at uint64) {
+	e.seq++
+	e.lastAt = at
+	for _, p := range m.procs {
+		if p.sleeping && p.waitEvent == e {
+			p.sleeping = false
+			p.waitEvent = nil
+			wake := at + p.wakeLat
+			if wake > p.now {
+				p.sleepCycles += wake - p.now
+				p.now = wake
+			}
+		}
+	}
+}
+
+// ResetTiming rewinds all clocks and shared-resource reservations to
+// zero and zeroes statistics, keeping cache/TLB contents warm. Address
+// space allocations survive.
+func (m *Machine) ResetTiming() {
+	if len(m.procs) != 0 {
+		panic("sim: ResetTiming during Run")
+	}
+	m.epoch = 0
+	m.Mem.Bus.busyUntil = 0
+	m.Mem.Bus.hasRow = false
+	m.Mem.Bus.lastUse = [2]uint64{}
+	m.Mem.Bus.Stats = BusStats{}
+	m.Mem.walkerBusy = 0
+	m.Mem.Stats = MemStats{}
+	m.Mem.L1.Stats = CacheStats{}
+	m.Mem.L2.Stats = CacheStats{}
+	m.Mem.TLB.Stats = TLBStats{}
+	for i := range m.Mem.PF {
+		m.Mem.PF[i].Stats = PFStats{}
+		m.Mem.PF[i].pending = make(map[Addr]uint64)
+	}
+	for _, e := range m.events {
+		e.lastAt = 0
+	}
+}
+
+// ColdStart is ResetTiming plus flushing caches, TLB, prefetchers and
+// write-combining buffers: the state of a freshly booted experiment.
+func (m *Machine) ColdStart() {
+	m.ResetTiming()
+	m.Mem.FlushAll()
+}
+
+// Describe returns a short multi-line description of the machine, for
+// experiment headers.
+func (m *Machine) Describe() string {
+	c := m.cfg
+	return fmt.Sprintf("simulated CPU: %.1f GHz, L1 %dKB/%d-way/%dB, L2 %dKB/%d-way/%dB (hit %d cyc), TLB %d entries, FSB %.1f GB/s",
+		c.FreqHz/1e9, c.L1Bytes>>10, c.L1Ways, c.L1Line,
+		c.L2Bytes>>10, c.L2Ways, c.L2Line, c.L2HitLat,
+		c.TLBEntries, c.BusBytesPerCycle*c.FreqHz/1e9)
+}
+
+// sortedRegions is a debugging helper listing allocations by base.
+func (m *Machine) sortedRegions() []Region {
+	rs := append([]Region(nil), m.AS.Regions()...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Base < rs[j].Base })
+	return rs
+}

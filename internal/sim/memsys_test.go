@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteCombiningMergesSequentialStores(t *testing.T) {
+	ms := NewMemSystem(PentiumD8300())
+	// 16 sequential 8-byte NT stores fill exactly one 128-byte line:
+	// one full-line flush, no partials.
+	for i := 0; i < 16; i++ {
+		r := ms.Access(0, 0, uint64(4096+i*8), 8, true, HintNonTemporal)
+		if r.Level != LevelWC {
+			t.Fatalf("NT store level %v", r.Level)
+		}
+	}
+	if ms.Stats.WCFlushes != 1 || ms.Stats.WCPartial != 0 {
+		t.Fatalf("flushes=%d partial=%d, want 1 full flush", ms.Stats.WCFlushes, ms.Stats.WCPartial)
+	}
+	if ms.Bus.Stats.Bytes != 128 {
+		t.Fatalf("bus bytes %d, want 128", ms.Bus.Stats.Bytes)
+	}
+}
+
+func TestWriteCombiningPartialFlushOnLineSwitch(t *testing.T) {
+	ms := NewMemSystem(PentiumD8300())
+	ms.Access(0, 0, 4096, 8, true, HintNonTemporal)
+	// A store to a different line flushes the open buffer partially.
+	ms.Access(0, 0, 8192, 8, true, HintNonTemporal)
+	if ms.Stats.WCFlushes != 1 || ms.Stats.WCPartial != 1 {
+		t.Fatalf("flushes=%d partial=%d", ms.Stats.WCFlushes, ms.Stats.WCPartial)
+	}
+}
+
+func TestDrainWCFlushesOpenBuffer(t *testing.T) {
+	ms := NewMemSystem(PentiumD8300())
+	ms.Access(0, 0, 4096, 8, true, HintNonTemporal)
+	if ms.Stats.WCFlushes != 0 {
+		t.Fatal("premature flush")
+	}
+	done := ms.DrainWC(0, 100)
+	if ms.Stats.WCFlushes != 1 {
+		t.Fatal("drain did not flush")
+	}
+	if done < 100 {
+		t.Fatalf("drain completed at %d", done)
+	}
+	// Draining again is a no-op.
+	ms.DrainWC(0, done)
+	if ms.Stats.WCFlushes != 1 {
+		t.Fatal("double flush")
+	}
+}
+
+func TestWCBuffersPerContext(t *testing.T) {
+	ms := NewMemSystem(PentiumD8300())
+	// Interleaved NT stores from both contexts to different lines must
+	// not flush each other.
+	ms.Access(0, 0, 4096, 8, true, HintNonTemporal)
+	ms.Access(1, 0, 8192, 8, true, HintNonTemporal)
+	if ms.Stats.WCFlushes != 0 {
+		t.Fatal("cross-context WC interference")
+	}
+}
+
+func TestPageWalkerSerialises(t *testing.T) {
+	ms := NewMemSystem(PentiumD8300())
+	// Two TLB misses requested at the same instant: the second walk
+	// starts after the first finishes.
+	r1 := ms.Access(0, 0, 0x100000, 8, false, HintNone)
+	r2 := ms.Access(0, 0, 0x900000, 8, false, HintNone)
+	if ms.Stats.TLBWalks != 2 {
+		t.Fatalf("walks %d", ms.Stats.TLBWalks)
+	}
+	cfg := PentiumD8300()
+	if r2.Done < r1.Done-cfg.DRAMLat && r2.Done < 2*cfg.TLBWalkLat {
+		t.Fatalf("second walk not serialised: %d vs %d", r1.Done, r2.Done)
+	}
+}
+
+func TestRFOOnStoreMiss(t *testing.T) {
+	ms := NewMemSystem(PentiumD8300())
+	r := ms.Access(0, 0, 4096, 8, true, HintNone)
+	if r.Level != LevelMem {
+		t.Fatalf("store miss level %v", r.Level)
+	}
+	// The RFO read moved a full line over the bus.
+	if ms.Bus.Stats.Bytes != uint64(ms.cfg.L2Line) {
+		t.Fatalf("RFO moved %d bytes", ms.Bus.Stats.Bytes)
+	}
+	// The line is now dirty: evicting it writes back.
+	if !ms.L2.Contains(4096) {
+		t.Fatal("store miss did not fill")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := PentiumD8300()
+	ms := NewMemSystem(cfg)
+	// Dirty one set's line, then stream enough temporal lines through
+	// the same set to evict it.
+	setStride := uint64(cfg.L2Bytes / cfg.L2Ways) // lines mapping to the same set
+	ms.Access(0, 0, 0, 8, true, HintNone)
+	before := ms.Bus.Stats.Bytes
+	for i := 1; i <= cfg.L2Ways; i++ {
+		ms.Access(0, 0, uint64(i)*setStride, 8, false, HintNone)
+	}
+	if ms.L2.Contains(0) {
+		t.Fatal("dirty line survived full-set pressure")
+	}
+	// Fills + one writeback: more than fills alone.
+	fills := uint64(cfg.L2Ways) * uint64(cfg.L2Line)
+	if ms.Bus.Stats.Bytes-before <= fills {
+		t.Fatalf("no writeback traffic: %d", ms.Bus.Stats.Bytes-before)
+	}
+}
+
+func TestAccessZeroSizePanics(t *testing.T) {
+	ms := NewMemSystem(PentiumD8300())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero-size access")
+		}
+	}()
+	ms.Access(0, 0, 0, 0, false, HintNone)
+}
+
+func TestMultiLineAccessSplits(t *testing.T) {
+	ms := NewMemSystem(PentiumD8300())
+	// A 256-byte read spans multiple L1 lines and both halves of two
+	// L2 lines.
+	ms.Access(0, 0, 4096, 256, false, HintNone)
+	if ms.Stats.Accesses != 4 { // 256/64
+		t.Fatalf("chunked into %d accesses, want 4", ms.Stats.Accesses)
+	}
+}
+
+func TestImprovedStreamValidatesAndHelps(t *testing.T) {
+	cfg := ImprovedStream()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TLBEntries <= PentiumD8300().TLBEntries {
+		t.Fatal("improved machine has no bigger TLB")
+	}
+}
+
+func TestMachineDescribe(t *testing.T) {
+	m := MustNew(PentiumD8300())
+	d := m.Describe()
+	for _, want := range []string{"3.4 GHz", "1024KB", "TLB 64", "6.4 GB/s"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Describe missing %q: %s", want, d)
+		}
+	}
+}
+
+func TestProcStateString(t *testing.T) {
+	for s, want := range map[ProcState]string{
+		StateIdle: "idle", StateCompute: "compute", StateMemory: "memory",
+		StateSpin: "spin", StateSleep: "sleep", StateDone: "done",
+	} {
+		if s.String() != want {
+			t.Fatalf("state %d = %q", s, s.String())
+		}
+	}
+	for p, want := range map[WaitPolicy]string{
+		PolicyPause: "pause", PolicyMwait: "mwait", PolicyOS: "os",
+	} {
+		if p.String() != want {
+			t.Fatalf("policy %d = %q", p, p.String())
+		}
+	}
+}
+
+func TestStallUntil(t *testing.T) {
+	m := MustNew(PentiumD8300())
+	m.Run(func(c *CPU) {
+		c.StallUntil(500)
+		if c.Now() != 500 {
+			t.Errorf("now %d", c.Now())
+		}
+		c.StallUntil(100) // in the past: no-op
+		if c.Now() != 500 {
+			t.Errorf("now moved backwards: %d", c.Now())
+		}
+	})
+}
+
+func TestRegionHelpers(t *testing.T) {
+	as := NewAddrSpace(4096)
+	r := as.Alloc("x", 1000)
+	if r.End() != r.Base+1000 {
+		t.Fatalf("End %d", r.End())
+	}
+	if !r.Contains(r.Base+999) || r.Contains(r.Base+1000) {
+		t.Fatal("Contains")
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+// TLB models a fully-associative translation lookaside buffer with LRU
+// replacement. The paper identifies the hardware page-table walk — not
+// the cache miss itself — as the dominant cost of random gathers and
+// scatters on the Pentium 4 (§III-A), so the walk penalty is charged on
+// every TLB miss before the memory access can issue.
+type TLB struct {
+	pageBits uint
+	entries  []tlbEntry
+	tick     uint64
+
+	Stats TLBStats
+}
+
+type tlbEntry struct {
+	page  uint64
+	valid bool
+	lru   uint64
+}
+
+// TLBStats counts translation events.
+type TLBStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// NewTLB returns a TLB with the given entry count and page size.
+func NewTLB(entries, pageBytes int) *TLB {
+	if entries <= 0 || !isPow2(pageBytes) {
+		panic("sim: bad TLB geometry")
+	}
+	bits := uint(0)
+	for 1<<bits != pageBytes {
+		bits++
+	}
+	return &TLB{pageBits: bits, entries: make([]tlbEntry, entries)}
+}
+
+// Translate looks up the page containing addr, returning true on a hit.
+// A miss installs the translation (the caller charges the walk).
+func (t *TLB) Translate(addr Addr) bool {
+	page := addr >> t.pageBits
+	t.tick++
+	victim, best := 0, uint64(1<<64-1)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.page == page {
+			e.lru = t.tick
+			t.Stats.Hits++
+			return true
+		}
+		score := e.lru
+		if !e.valid {
+			score = 0
+		}
+		if score < best {
+			best, victim = score, i
+		}
+	}
+	t.Stats.Misses++
+	t.entries[victim] = tlbEntry{page: page, valid: true, lru: t.tick}
+	return false
+}
+
+// Flush invalidates all entries.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i] = tlbEntry{}
+	}
+}
+
+// Coverage returns the bytes of address space the TLB can map at once.
+func (t *TLB) Coverage() uint64 {
+	return uint64(len(t.entries)) << t.pageBits
+}

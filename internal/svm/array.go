@@ -1,0 +1,112 @@
+package svm
+
+import (
+	"fmt"
+
+	"streamgpp/internal/sim"
+)
+
+// Array is an array of records in simulated global memory. Functional
+// values live in Data (record-major, one float64 per field); the
+// simulated placement is Region.
+type Array struct {
+	Name   string
+	Layout RecordLayout
+	N      int
+	Region sim.Region
+	Data   []float64
+}
+
+// NewArray allocates an array of n records in the machine's address
+// space.
+func NewArray(m *sim.Machine, name string, layout RecordLayout, n int) *Array {
+	if n <= 0 {
+		panic(fmt.Sprintf("svm: array %s with %d records", name, n))
+	}
+	if layout.Stride <= 0 {
+		panic(fmt.Sprintf("svm: array %s layout has stride %d", name, layout.Stride))
+	}
+	return &Array{
+		Name:   name,
+		Layout: layout,
+		N:      n,
+		Region: m.AS.Alloc(name, uint64(n*layout.Stride)),
+		Data:   make([]float64, n*len(layout.Fields)),
+	}
+}
+
+// At returns the value of field f of record i.
+func (a *Array) At(i, f int) float64 { return a.Data[i*len(a.Layout.Fields)+f] }
+
+// Set assigns the value of field f of record i.
+func (a *Array) Set(i, f int, v float64) { a.Data[i*len(a.Layout.Fields)+f] = v }
+
+// Add accumulates into field f of record i.
+func (a *Array) Add(i, f int, v float64) { a.Data[i*len(a.Layout.Fields)+f] += v }
+
+// RecordAddr returns the simulated address of record i.
+func (a *Array) RecordAddr(i int) sim.Addr {
+	return a.Region.Base + uint64(i*a.Layout.Stride)
+}
+
+// FieldAddr returns the simulated address of field f of record i.
+func (a *Array) FieldAddr(i, f int) sim.Addr {
+	return a.RecordAddr(i) + uint64(a.Layout.Fields[f].Offset)
+}
+
+// Bytes returns the array's simulated footprint.
+func (a *Array) Bytes() uint64 { return uint64(a.N * a.Layout.Stride) }
+
+// Fill sets every record's fields from fn.
+func (a *Array) Fill(fn func(i, f int) float64) {
+	nf := len(a.Layout.Fields)
+	for i := 0; i < a.N; i++ {
+		for f := 0; f < nf; f++ {
+			a.Data[i*nf+f] = fn(i, f)
+		}
+	}
+}
+
+// CloneData returns a copy of the functional contents (for comparing a
+// regular run against a stream run).
+func (a *Array) CloneData() []float64 { return append([]float64(nil), a.Data...) }
+
+// RestoreData overwrites the functional contents from a CloneData
+// snapshot.
+func (a *Array) RestoreData(d []float64) {
+	if len(d) != len(a.Data) {
+		panic(fmt.Sprintf("svm: RestoreData length %d != %d", len(d), len(a.Data)))
+	}
+	copy(a.Data, d)
+}
+
+// IndexArray is an array of 32-bit element indices in simulated memory,
+// used to drive indexed (random) gathers and scatters.
+type IndexArray struct {
+	Name   string
+	Region sim.Region
+	Idx    []int32
+}
+
+// IndexElemBytes is the simulated size of one index entry.
+const IndexElemBytes = 4
+
+// NewIndexArray allocates an index array of n entries.
+func NewIndexArray(m *sim.Machine, name string, n int) *IndexArray {
+	if n <= 0 {
+		panic(fmt.Sprintf("svm: index array %s with %d entries", name, n))
+	}
+	return &IndexArray{
+		Name:   name,
+		Region: m.AS.Alloc(name, uint64(n*IndexElemBytes)),
+		Idx:    make([]int32, n),
+	}
+}
+
+// ElemAddr returns the simulated address of entry i.
+func (x *IndexArray) ElemAddr(i int) sim.Addr {
+	return x.Region.Base + uint64(i*IndexElemBytes)
+}
+
+// Len returns the number of entries.
+func (x *IndexArray) Len() int { return len(x.Idx) }

@@ -1,0 +1,167 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamgpp/internal/sim"
+)
+
+func TestGatherMultiFunctional(t *testing.T) {
+	m := testMachine()
+	l := Layout("r", F("a", 8), F("b", 8))
+	src := NewArray(m, "src", l, 10)
+	src.Fill(func(i, f int) float64 { return float64(i*10 + f) })
+
+	i1 := NewIndexArray(m, "i1", 4)
+	i2 := NewIndexArray(m, "i2", 4)
+	copy(i1.Idx, []int32{0, 1, 2, 3})
+	copy(i2.Idx, []int32{9, 8, 7, 6})
+
+	dst := NewStream("d", 4, F("a1", 8), F("b1", 8), F("a2", 8), F("b2", 8))
+	GatherMulti(nil, DefaultOps(), dst, 0, src, l.AllFields(), []*IndexArray{i1, i2}, 0, 4, SRFBuf{})
+
+	for k := 0; k < 4; k++ {
+		if dst.At(k, 0) != float64(k*10) || dst.At(k, 1) != float64(k*10+1) {
+			t.Fatalf("elem %d first index set wrong: %v %v", k, dst.At(k, 0), dst.At(k, 1))
+		}
+		want := float64((9 - k) * 10)
+		if dst.At(k, 2) != want || dst.At(k, 3) != want+1 {
+			t.Fatalf("elem %d second index set wrong: %v %v", k, dst.At(k, 2), dst.At(k, 3))
+		}
+	}
+}
+
+func TestGatherMultiFieldCountMismatchPanics(t *testing.T) {
+	m := testMachine()
+	l := Layout("r", F("a", 8))
+	src := NewArray(m, "src", l, 4)
+	i1 := NewIndexArray(m, "i1", 4)
+	dst := NewStream("d", 4, F("x", 8)) // needs 2 fields for 2 indices
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on field-count mismatch")
+		}
+	}()
+	GatherMulti(nil, DefaultOps(), dst, 0, src, l.AllFields(), []*IndexArray{i1, i1}, 0, 4, SRFBuf{})
+}
+
+func TestGatherMultiNoIndicesPanics(t *testing.T) {
+	m := testMachine()
+	l := Layout("r", F("a", 8))
+	src := NewArray(m, "src", l, 4)
+	dst := NewStream("d", 4, F("x", 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty index list")
+		}
+	}()
+	GatherMulti(nil, DefaultOps(), dst, 0, src, l.AllFields(), nil, 0, 4, SRFBuf{})
+}
+
+func TestGatherMultiOutOfRangePanics(t *testing.T) {
+	m := testMachine()
+	l := Layout("r", F("a", 8))
+	src := NewArray(m, "src", l, 4)
+	i1 := NewIndexArray(m, "i1", 1)
+	i1.Idx[0] = 4 // out of range
+	dst := NewStream("d", 1, F("x", 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range index")
+		}
+	}()
+	GatherMulti(nil, DefaultOps(), dst, 0, src, l.AllFields(), []*IndexArray{i1}, 0, 1, SRFBuf{})
+}
+
+// Property: GatherMulti with k index arrays equals k separate Gathers.
+func TestGatherMultiEqualsSeparateGathers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := testMachine()
+		l := Layout("r", F("a", 8), F("b", 8))
+		n := 20 + rng.Intn(30)
+		src := NewArray(m, "src", l, n)
+		src.Fill(func(i, f int) float64 { return rng.Float64() })
+
+		k := 2 + rng.Intn(2) // 2 or 3 index arrays
+		idxs := make([]*IndexArray, k)
+		for j := range idxs {
+			idxs[j] = NewIndexArray(m, "i", n)
+			for i := range idxs[j].Idx {
+				idxs[j].Idx[i] = int32(rng.Intn(n))
+			}
+		}
+
+		fields := make([]Field, 2*k)
+		for j := 0; j < 2*k; j++ {
+			fields[j] = F("f", 8)
+		}
+		multi := NewStream("multi", n, fields...)
+		GatherMulti(nil, DefaultOps(), multi, 0, src, l.AllFields(), idxs, 0, n, SRFBuf{})
+
+		for j, ix := range idxs {
+			single := StreamOf("single", n, l, l.AllFields())
+			Gather(nil, DefaultOps(), single, 0, src, l.AllFields(), 0, ix, 0, n, SRFBuf{})
+			for i := 0; i < n; i++ {
+				if multi.At(i, 2*j) != single.At(i, 0) || multi.At(i, 2*j+1) != single.At(i, 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A single-pass multi-gather over nearby indices must fetch far fewer
+// bus bytes than separate passes (the locality it exists for).
+func TestGatherMultiSavesBusTraffic(t *testing.T) {
+	const n = 100000 // 800 KB: larger than the NT ways, so separate passes re-fetch
+	build := func() (*sim.Machine, *Array, [3]*IndexArray) {
+		m := testMachine()
+		l := Layout("r", F("v", 8))
+		src := NewArray(m, "src", l, n)
+		var idxs [3]*IndexArray
+		for j := range idxs {
+			idxs[j] = NewIndexArray(m, "i", n)
+			for i := range idxs[j].Idx {
+				v := i + j*3 - 1 // three interleaved nearby walks
+				if v < 0 {
+					v = 0
+				}
+				if v >= n {
+					v = n - 1
+				}
+				idxs[j].Idx[i] = int32(v)
+			}
+		}
+		return m, src, idxs
+	}
+
+	// Multi: one pass.
+	m1, src1, idxs1 := build()
+	fields := []Field{F("a", 8), F("b", 8), F("c", 8)}
+	multi := NewStream("m", n, fields...)
+	m1.Run(func(c *sim.CPU) {
+		GatherMulti(c, DefaultOps(), multi, 0, src1, src1.Layout.AllFields(), idxs1[:], 0, n, SRFBuf{})
+	})
+	multiBytes := m1.Mem.Bus.Stats.Bytes
+
+	// Separate: three passes.
+	m2, src2, idxs2 := build()
+	m2.Run(func(c *sim.CPU) {
+		for j := 0; j < 3; j++ {
+			s := StreamOf("s", n, src2.Layout, src2.Layout.AllFields())
+			Gather(c, DefaultOps(), s, 0, src2, src2.Layout.AllFields(), 0, idxs2[j], 0, n, SRFBuf{})
+		}
+	})
+	sepBytes := m2.Mem.Bus.Stats.Bytes
+
+	if float64(sepBytes) < 1.5*float64(multiBytes) {
+		t.Fatalf("multi-gather moved %d bytes, separate %d: want >= 1.5x saving", multiBytes, sepBytes)
+	}
+}

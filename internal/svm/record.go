@@ -1,0 +1,175 @@
+// Package svm implements the Stream Virtual Machine abstractions of
+// the paper: arrays of records in global memory, streams of selected
+// record fields, the Stream Register File (SRF) pinned in cache, bulk
+// gather/scatter operations, and computation kernels.
+//
+// Functional data and timing are decoupled: every array and stream
+// carries its values in ordinary Go float64 slices (one value per
+// field), while its simulated placement — the addresses that flow
+// through the cache, TLB and bus models of internal/sim — is described
+// by a record layout in bytes. This lets the same code both compute
+// correct results and reproduce the paper's memory-system behaviour.
+package svm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field is one member of a record layout. Offset and Size are in
+// bytes within the record; each field carries exactly one float64
+// value functionally, whatever its simulated byte size.
+type Field struct {
+	Name   string
+	Offset int
+	Size   int
+}
+
+// RecordLayout describes the byte layout of one array record. Stride is
+// the distance between consecutive records (≥ the span of the fields;
+// padding is how the paper's records get "huge").
+type RecordLayout struct {
+	Name   string
+	Fields []Field
+	Stride int
+}
+
+// Layout builds a packed record layout from (name, size) pairs laid out
+// back to back, with stride equal to the total span.
+func Layout(name string, fields ...Field) RecordLayout {
+	off := 0
+	out := make([]Field, len(fields))
+	for i, f := range fields {
+		if f.Size <= 0 {
+			panic(fmt.Sprintf("svm: field %s.%s has size %d", name, f.Name, f.Size))
+		}
+		out[i] = Field{Name: f.Name, Offset: off, Size: f.Size}
+		off += f.Size
+	}
+	return RecordLayout{Name: name, Fields: out, Stride: off}
+}
+
+// F is shorthand for a field spec fed to Layout (Offset is assigned by
+// Layout).
+func F(name string, size int) Field { return Field{Name: name, Size: size} }
+
+// WithStride returns a copy of the layout with the given record stride
+// (to model records bigger than their useful fields, as in Fig. 5's
+// record-size sweeps).
+func (l RecordLayout) WithStride(stride int) RecordLayout {
+	if stride < l.Span() {
+		panic(fmt.Sprintf("svm: stride %d smaller than field span %d", stride, l.Span()))
+	}
+	l.Stride = stride
+	return l
+}
+
+// Span returns the number of bytes from the start of the record to the
+// end of its last field.
+func (l RecordLayout) Span() int {
+	end := 0
+	for _, f := range l.Fields {
+		if e := f.Offset + f.Size; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// NumFields returns the field count.
+func (l RecordLayout) NumFields() int { return len(l.Fields) }
+
+// FieldIndex returns the index of the named field, or -1.
+func (l RecordLayout) FieldIndex(name string) int {
+	for i, f := range l.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Select returns the indices of the named fields, panicking on unknown
+// names. This is how kernels declare which record fields they actually
+// use, so gathers copy only those (§II-B's selective copy).
+func (l RecordLayout) Select(names ...string) []int {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := l.FieldIndex(n)
+		if j < 0 {
+			panic(fmt.Sprintf("svm: layout %s has no field %q", l.Name, n))
+		}
+		idx[i] = j
+	}
+	return idx
+}
+
+// AllFields returns [0, 1, ... NumFields-1].
+func (l RecordLayout) AllFields() []int {
+	idx := make([]int, len(l.Fields))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Groups coalesces the selected field indices into runs that are
+// contiguous in memory. Each run can move with one block copy — the
+// paper's field-reorganisation optimisation ("fields accessed by
+// kernels can be copied to/from the SRF using optimized block copy
+// routines rather than individual loads and stores").
+type Group struct {
+	Offset int   // byte offset of the run within the record
+	Size   int   // bytes
+	Fields []int // field indices in the run, in memory order
+}
+
+// Groups returns the contiguous runs covering the selected fields.
+func (l RecordLayout) Groups(selected []int) []Group {
+	if len(selected) == 0 {
+		return nil
+	}
+	// Sort by offset without mutating the caller's slice.
+	idx := append([]int(nil), selected...)
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && l.Fields[idx[j]].Offset < l.Fields[idx[j-1]].Offset; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	var groups []Group
+	cur := Group{Offset: l.Fields[idx[0]].Offset, Size: l.Fields[idx[0]].Size, Fields: []int{idx[0]}}
+	for _, fi := range idx[1:] {
+		f := l.Fields[fi]
+		if f.Offset == cur.Offset+cur.Size {
+			cur.Size += f.Size
+			cur.Fields = append(cur.Fields, fi)
+			continue
+		}
+		groups = append(groups, cur)
+		cur = Group{Offset: f.Offset, Size: f.Size, Fields: []int{fi}}
+	}
+	return append(groups, cur)
+}
+
+// SelectedBytes returns the total byte size of the selected fields.
+func (l RecordLayout) SelectedBytes(selected []int) int {
+	n := 0
+	for _, fi := range selected {
+		n += l.Fields[fi].Size
+	}
+	return n
+}
+
+// String renders the layout for diagnostics.
+func (l RecordLayout) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s{", l.Name)
+	for i, f := range l.Fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s@%d:%d", f.Name, f.Offset, f.Size)
+	}
+	fmt.Fprintf(&sb, "} stride=%d", l.Stride)
+	return sb.String()
+}

@@ -1,0 +1,103 @@
+package svm
+
+import "fmt"
+
+// Stream is a sequence of packed records flowing between gathers,
+// kernels and scatters. Unlike an Array, a stream's simulated home is
+// the SRF: the compiler assigns it per-strip buffers there. The full
+// functional contents live in Data so kernels and checks can address
+// any element; residency in the SRF is purely a timing concept.
+type Stream struct {
+	Name   string
+	Fields []Field // packed: offsets are within the stream record
+	N      int     // logical length in elements
+	Data   []float64
+
+	// buffers are the double-buffered SRF strips assigned by the
+	// compiler (nil until compiled).
+	buffers []SRFBuf
+}
+
+// NewStream creates a stream of n elements whose record consists of the
+// given packed fields.
+func NewStream(name string, n int, fields ...Field) *Stream {
+	if n <= 0 {
+		panic(fmt.Sprintf("svm: stream %s with %d elements", name, n))
+	}
+	packed := make([]Field, len(fields))
+	off := 0
+	for i, f := range fields {
+		if f.Size <= 0 {
+			panic(fmt.Sprintf("svm: stream %s field %s size %d", name, f.Name, f.Size))
+		}
+		packed[i] = Field{Name: f.Name, Offset: off, Size: f.Size}
+		off += f.Size
+	}
+	return &Stream{
+		Name:   name,
+		Fields: packed,
+		N:      n,
+		Data:   make([]float64, n*len(packed)),
+	}
+}
+
+// StreamOf creates a stream shaped to carry the selected fields of the
+// array's layout (the result of a gather).
+func StreamOf(name string, n int, src RecordLayout, selected []int) *Stream {
+	fields := make([]Field, len(selected))
+	for i, fi := range selected {
+		fields[i] = F(src.Fields[fi].Name, src.Fields[fi].Size)
+	}
+	return NewStream(name, n, fields...)
+}
+
+// ElemBytes returns the packed byte size of one stream element.
+func (s *Stream) ElemBytes() int {
+	n := 0
+	for _, f := range s.Fields {
+		n += f.Size
+	}
+	return n
+}
+
+// NumFields returns the per-element field count.
+func (s *Stream) NumFields() int { return len(s.Fields) }
+
+// At returns field f of element i.
+func (s *Stream) At(i, f int) float64 { return s.Data[i*len(s.Fields)+f] }
+
+// Set assigns field f of element i.
+func (s *Stream) Set(i, f int, v float64) { s.Data[i*len(s.Fields)+f] = v }
+
+// Slice returns the functional values of elements [start, start+n) as a
+// flat, record-major view for kernel bodies.
+func (s *Stream) Slice(start, n int) []float64 {
+	nf := len(s.Fields)
+	return s.Data[start*nf : (start+n)*nf]
+}
+
+// BindBuffers attaches the double-buffered SRF strips (called by the
+// compiler).
+func (s *Stream) BindBuffers(bufs []SRFBuf) { s.buffers = bufs }
+
+// Buffer returns the SRF buffer used by strip number strip (round-robin
+// over the double buffers). Panics if the stream is not compiled.
+func (s *Stream) Buffer(strip int) SRFBuf {
+	if len(s.buffers) == 0 {
+		panic(fmt.Sprintf("svm: stream %s has no SRF buffers bound", s.Name))
+	}
+	return s.buffers[strip%len(s.buffers)]
+}
+
+// Buffered reports whether SRF buffers are bound.
+func (s *Stream) Buffered() bool { return len(s.buffers) > 0 }
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *Stream) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,301 @@
+// Package wq implements the paper's distributed work queue (§III-B.1,
+// Fig. 7): two bounded queues — one holding bulk memory tasks
+// (gathers/scatters), one holding compute tasks (kernels) — whose
+// entries carry their outstanding dependencies as bit-vectors over the
+// in-flight slots. The control thread enqueues tasks in schedule order;
+// the memory and compute threads dequeue the oldest task whose
+// dependency vector is clear, so execution proceeds out of order within
+// each queue exactly as the Fig. 7 snapshot shows.
+//
+// The queue is deliberately lock-free in the trivial sense: it is only
+// ever touched by simulated threads, which the sim engine serialises in
+// virtual time, so no Go-level synchronisation is needed (and the cheap
+// or/and bit-vector operations mirror the paper's implementation).
+package wq
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"streamgpp/internal/bitvec"
+	"streamgpp/internal/sim"
+)
+
+// Kind classifies a task.
+type Kind uint8
+
+// Task kinds, as in Fig. 7's G/K/S labels.
+const (
+	Gather Kind = iota
+	KernelRun
+	Scatter
+)
+
+// String returns the Fig. 7 letter for the kind.
+func (k Kind) String() string { return [...]string{"G", "K", "S"}[k] }
+
+// QueueID selects one of the two queues.
+type QueueID uint8
+
+// The two queues of the distributed work queue.
+const (
+	MemQueue QueueID = iota
+	ComputeQueue
+)
+
+// Queue returns which queue the kind belongs to.
+func (k Kind) Queue() QueueID {
+	if k == KernelRun {
+		return ComputeQueue
+	}
+	return MemQueue
+}
+
+// Task is one unit of work. IDs must be unique and enqueued in
+// strictly increasing order; Deps may only reference earlier IDs.
+type Task struct {
+	ID   int
+	Name string
+	Kind Kind
+	Deps []int
+	Run  func(c *sim.CPU)
+}
+
+// DefaultCapacity bounds in-flight tasks so dependence bit-vectors stay
+// small — 64, the paper's choice.
+const DefaultCapacity = 64
+
+// ErrFull reports that every slot is in use; the control thread should
+// wait for completions.
+var ErrFull = errors.New("wq: queue full")
+
+type slotState uint8
+
+const (
+	slotFree slotState = iota
+	slotPending
+	slotRunning
+	slotDone // completed but not yet freed (transient)
+)
+
+type slot struct {
+	state slotState
+	task  Task
+	deps  bitvec.Vec
+	seq   uint64 // enqueue order, for oldest-first dequeue
+}
+
+// DWQ is the distributed work queue.
+type DWQ struct {
+	slots []slot
+	byID  map[int]int // in-flight task ID → slot index
+
+	seq          uint64
+	maxID        int          // highest ID ever enqueued (-1 initially)
+	doneBelow    int          // all IDs < doneBelow have completed
+	doneAbove    map[int]bool // completed IDs ≥ doneBelow
+	inflight     int
+	totalDone    uint64
+	maxOccupancy int
+}
+
+// New returns an empty queue with the given slot capacity.
+func New(capacity int) *DWQ {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("wq: capacity %d", capacity))
+	}
+	q := &DWQ{
+		slots:     make([]slot, capacity),
+		byID:      make(map[int]int),
+		maxID:     -1,
+		doneAbove: map[int]bool{},
+	}
+	for i := range q.slots {
+		q.slots[i].deps = bitvec.New(capacity)
+	}
+	return q
+}
+
+// Capacity returns the slot count.
+func (q *DWQ) Capacity() int { return len(q.slots) }
+
+// InFlight returns the number of occupied slots.
+func (q *DWQ) InFlight() int { return q.inflight }
+
+// Completed returns the number of tasks completed so far.
+func (q *DWQ) Completed() uint64 { return q.totalDone }
+
+// MaxOccupancy returns the high-water mark of occupied slots.
+func (q *DWQ) MaxOccupancy() int { return q.maxOccupancy }
+
+// isDone reports whether the task ID has completed.
+func (q *DWQ) isDone(id int) bool {
+	return id < q.doneBelow || q.doneAbove[id]
+}
+
+// Enqueue inserts a task, translating its dependencies into the slot
+// bit-vector. Dependencies on already-completed tasks are dropped.
+// Returns ErrFull when no slot is free.
+func (q *DWQ) Enqueue(t Task) error {
+	if t.ID <= q.maxID {
+		return fmt.Errorf("wq: task %d enqueued after %d — IDs must be strictly increasing", t.ID, q.maxID)
+	}
+	if t.Run == nil {
+		return fmt.Errorf("wq: task %d (%s) has no body", t.ID, t.Name)
+	}
+	free := -1
+	for i := range q.slots {
+		if q.slots[i].state == slotFree {
+			free = i
+			break
+		}
+	}
+	if free < 0 {
+		return ErrFull
+	}
+	s := &q.slots[free]
+	s.deps.Reset()
+	for _, d := range t.Deps {
+		if d >= t.ID {
+			return fmt.Errorf("wq: task %d depends forward on %d", t.ID, d)
+		}
+		if q.isDone(d) {
+			continue
+		}
+		si, ok := q.byID[d]
+		if !ok {
+			return fmt.Errorf("wq: task %d depends on %d which was never enqueued", t.ID, d)
+		}
+		s.deps.Set(si)
+	}
+	s.state = slotPending
+	s.task = t
+	q.seq++
+	s.seq = q.seq
+	q.byID[t.ID] = free
+	q.maxID = t.ID
+	q.inflight++
+	if q.inflight > q.maxOccupancy {
+		q.maxOccupancy = q.inflight
+	}
+	return nil
+}
+
+// NextReady claims the oldest pending task in the given queue whose
+// dependencies have all completed, marking it running. ok is false when
+// no task is ready.
+func (q *DWQ) NextReady(qid QueueID) (slotIdx int, t Task, ok bool) {
+	best := -1
+	for i := range q.slots {
+		s := &q.slots[i]
+		if s.state != slotPending || s.task.Kind.Queue() != qid || s.deps.Any() {
+			continue
+		}
+		if best < 0 || s.seq < q.slots[best].seq {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, Task{}, false
+	}
+	q.slots[best].state = slotRunning
+	return best, q.slots[best].task, true
+}
+
+// Complete marks the claimed slot's task done, clears its bit in every
+// waiting slot's dependence vector and frees the slot.
+func (q *DWQ) Complete(slotIdx int) {
+	if slotIdx < 0 || slotIdx >= len(q.slots) {
+		panic(fmt.Sprintf("wq: Complete(%d) out of range", slotIdx))
+	}
+	s := &q.slots[slotIdx]
+	if s.state != slotRunning {
+		panic(fmt.Sprintf("wq: Complete on slot %d in state %d", slotIdx, s.state))
+	}
+	id := s.task.ID
+	for i := range q.slots {
+		if q.slots[i].state == slotPending {
+			q.slots[i].deps.Clear(slotIdx)
+		}
+	}
+	delete(q.byID, id)
+	s.state = slotFree
+	s.task = Task{}
+	q.inflight--
+	q.totalDone++
+
+	// Advance the completion watermark.
+	q.doneAbove[id] = true
+	for q.doneAbove[q.doneBelow] {
+		delete(q.doneAbove, q.doneBelow)
+		q.doneBelow++
+	}
+}
+
+// PendingIn counts tasks waiting (not running) in the given queue.
+func (q *DWQ) PendingIn(qid QueueID) int {
+	n := 0
+	for i := range q.slots {
+		if q.slots[i].state == slotPending && q.slots[i].task.Kind.Queue() == qid {
+			n++
+		}
+	}
+	return n
+}
+
+// ReadyIn counts pending tasks in the queue whose dependencies are
+// clear.
+func (q *DWQ) ReadyIn(qid QueueID) int {
+	n := 0
+	for i := range q.slots {
+		s := &q.slots[i]
+		if s.state == slotPending && s.task.Kind.Queue() == qid && s.deps.None() {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot renders the queue contents in Fig. 7 style: per queue, the
+// tasks from oldest to newest with markers for head (last enqueued),
+// tail (running) and tail_depend (oldest not yet executed).
+func (q *DWQ) Snapshot() string {
+	var sb strings.Builder
+	for _, qid := range []QueueID{MemQueue, ComputeQueue} {
+		name := "memory"
+		if qid == ComputeQueue {
+			name = "compute"
+		}
+		type ent struct {
+			seq  uint64
+			text string
+		}
+		var ents []ent
+		for i := range q.slots {
+			s := &q.slots[i]
+			if s.state == slotFree || s.task.Kind.Queue() != qid {
+				continue
+			}
+			marker := ""
+			switch {
+			case s.state == slotRunning:
+				marker = "*" // tail: currently executing
+			case s.deps.Any():
+				marker = "!" // blocked (candidate for tail_depend)
+			}
+			ents = append(ents, ent{s.seq, fmt.Sprintf("%s%s%s", s.task.Kind, s.task.Name, marker)})
+		}
+		for i := 1; i < len(ents); i++ {
+			for j := i; j > 0 && ents[j].seq < ents[j-1].seq; j-- {
+				ents[j], ents[j-1] = ents[j-1], ents[j]
+			}
+		}
+		fmt.Fprintf(&sb, "%s queue:", name)
+		for _, e := range ents {
+			fmt.Fprintf(&sb, " %s", e.text)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

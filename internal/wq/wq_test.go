@@ -1,0 +1,258 @@
+package wq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"streamgpp/internal/sim"
+)
+
+func nop(*sim.CPU) {}
+
+func task(id int, kind Kind, deps ...int) Task {
+	return Task{ID: id, Name: "t", Kind: kind, Deps: deps, Run: nop}
+}
+
+func TestKindQueues(t *testing.T) {
+	if Gather.Queue() != MemQueue || Scatter.Queue() != MemQueue || KernelRun.Queue() != ComputeQueue {
+		t.Fatal("kind→queue mapping wrong")
+	}
+	if Gather.String() != "G" || KernelRun.String() != "K" || Scatter.String() != "S" {
+		t.Fatal("kind letters wrong")
+	}
+}
+
+func TestEnqueueDequeueComplete(t *testing.T) {
+	q := New(8)
+	mustEnq(t, q, task(0, Gather))
+	mustEnq(t, q, task(1, KernelRun, 0))
+	mustEnq(t, q, task(2, Scatter, 1))
+
+	if _, _, ok := q.NextReady(ComputeQueue); ok {
+		t.Fatal("kernel ready before its gather completed")
+	}
+	slot, tk, ok := q.NextReady(MemQueue)
+	if !ok || tk.ID != 0 {
+		t.Fatalf("want gather 0, got %+v ok=%v", tk, ok)
+	}
+	// The scatter (dep on 1) must not be ready even though it is in the
+	// memory queue.
+	if _, _, ok := q.NextReady(MemQueue); ok {
+		t.Fatal("scatter ready before kernel")
+	}
+	q.Complete(slot)
+
+	slot, tk, ok = q.NextReady(ComputeQueue)
+	if !ok || tk.ID != 1 {
+		t.Fatalf("kernel not ready after gather: %+v ok=%v", tk, ok)
+	}
+	q.Complete(slot)
+
+	slot, tk, ok = q.NextReady(MemQueue)
+	if !ok || tk.ID != 2 {
+		t.Fatalf("scatter not ready: %+v ok=%v", tk, ok)
+	}
+	q.Complete(slot)
+	if q.InFlight() != 0 || q.Completed() != 3 {
+		t.Fatalf("final state inflight=%d done=%d", q.InFlight(), q.Completed())
+	}
+}
+
+func mustEnq(t *testing.T, q *DWQ, tk Task) {
+	t.Helper()
+	if err := q.Enqueue(tk); err != nil {
+		t.Fatalf("enqueue %d: %v", tk.ID, err)
+	}
+}
+
+func TestErrFull(t *testing.T) {
+	q := New(2)
+	mustEnq(t, q, task(0, Gather))
+	mustEnq(t, q, task(1, Gather))
+	if err := q.Enqueue(task(2, Gather)); err != ErrFull {
+		t.Fatalf("want ErrFull, got %v", err)
+	}
+	slot, _, _ := q.NextReady(MemQueue)
+	q.Complete(slot)
+	mustEnq(t, q, task(2, Gather))
+}
+
+func TestOutOfOrderWithinQueue(t *testing.T) {
+	// Fig. 7's scenario: an old scatter blocked on a kernel must not
+	// stop newer gathers from executing.
+	q := New(8)
+	mustEnq(t, q, task(0, KernelRun))  // K2_0, slow
+	mustEnq(t, q, task(1, Scatter, 0)) // Sy_0 blocked on it
+	mustEnq(t, q, task(2, Gather))     // Ga_1
+	mustEnq(t, q, task(3, Gather))     // Gb_1
+
+	_, tk, ok := q.NextReady(MemQueue)
+	if !ok || tk.ID != 2 {
+		t.Fatalf("want gather 2 to skip blocked scatter, got %+v", tk)
+	}
+	_, tk, ok = q.NextReady(MemQueue)
+	if !ok || tk.ID != 3 {
+		t.Fatalf("want gather 3 next, got %+v", tk)
+	}
+}
+
+func TestOldestFirstAmongReady(t *testing.T) {
+	q := New(8)
+	mustEnq(t, q, task(0, Gather))
+	mustEnq(t, q, task(1, Gather))
+	_, tk, _ := q.NextReady(MemQueue)
+	if tk.ID != 0 {
+		t.Fatalf("want oldest ready first, got %d", tk.ID)
+	}
+}
+
+func TestDependencyOnCompletedDropped(t *testing.T) {
+	q := New(4)
+	mustEnq(t, q, task(0, Gather))
+	slot, _, _ := q.NextReady(MemQueue)
+	q.Complete(slot)
+	// Task 1 depends on the already-completed 0: ready immediately.
+	mustEnq(t, q, task(1, KernelRun, 0))
+	if _, _, ok := q.NextReady(ComputeQueue); !ok {
+		t.Fatal("dep on completed task not dropped")
+	}
+}
+
+func TestEnqueueErrors(t *testing.T) {
+	q := New(4)
+	mustEnq(t, q, task(5, Gather))
+	if err := q.Enqueue(task(5, Gather)); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if err := q.Enqueue(task(3, Gather)); err == nil {
+		t.Fatal("decreasing ID accepted")
+	}
+	if err := q.Enqueue(task(6, Gather, 7)); err == nil {
+		t.Fatal("forward dep accepted")
+	}
+	if err := q.Enqueue(task(7, Gather, 2)); err == nil {
+		t.Fatal("dep on never-enqueued task accepted")
+	}
+	if err := q.Enqueue(Task{ID: 8, Kind: Gather}); err == nil {
+		t.Fatal("nil Run accepted")
+	}
+}
+
+func TestCompleteErrors(t *testing.T) {
+	q := New(4)
+	for _, idx := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Complete(%d) did not panic", idx)
+				}
+			}()
+			q.Complete(idx)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Complete on free slot did not panic")
+			}
+		}()
+		q.Complete(0)
+	}()
+}
+
+func TestCountsAndSnapshot(t *testing.T) {
+	q := New(8)
+	mustEnq(t, q, task(0, Gather))
+	mustEnq(t, q, task(1, KernelRun, 0))
+	mustEnq(t, q, task(2, Scatter, 1))
+	if q.PendingIn(MemQueue) != 2 || q.PendingIn(ComputeQueue) != 1 {
+		t.Fatalf("pending %d/%d", q.PendingIn(MemQueue), q.PendingIn(ComputeQueue))
+	}
+	if q.ReadyIn(MemQueue) != 1 || q.ReadyIn(ComputeQueue) != 0 {
+		t.Fatalf("ready %d/%d", q.ReadyIn(MemQueue), q.ReadyIn(ComputeQueue))
+	}
+	q.NextReady(MemQueue) // mark running
+	snap := q.Snapshot()
+	if !strings.Contains(snap, "memory queue:") || !strings.Contains(snap, "compute queue:") {
+		t.Fatalf("snapshot missing queues:\n%s", snap)
+	}
+	if !strings.Contains(snap, "*") || !strings.Contains(snap, "!") {
+		t.Fatalf("snapshot missing markers:\n%s", snap)
+	}
+	if q.MaxOccupancy() != 3 {
+		t.Fatalf("max occupancy %d", q.MaxOccupancy())
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: random DAG schedules always respect dependencies and drain
+// completely through a bounded queue.
+func TestRandomScheduleRespectsDeps(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 300
+		type spec struct {
+			kind Kind
+			deps []int
+		}
+		specs := make([]spec, n)
+		for i := range specs {
+			specs[i].kind = Kind(rng.Intn(3))
+			for d := 0; d < rng.Intn(3); d++ {
+				lo := i - 20 // keep deps near so the window can drain
+				if lo < 0 {
+					lo = 0
+				}
+				if i > lo {
+					specs[i].deps = append(specs[i].deps, lo+rng.Intn(i-lo))
+				}
+			}
+		}
+
+		q := New(32)
+		done := make([]bool, n)
+		next := 0
+		completed := 0
+		for completed < n {
+			// Fill.
+			for next < n {
+				if err := q.Enqueue(Task{ID: next, Kind: specs[next].kind, Deps: specs[next].deps, Run: nop}); err != nil {
+					if err == ErrFull {
+						break
+					}
+					t.Fatalf("seed %d enqueue %d: %v", seed, next, err)
+				}
+				next++
+			}
+			// Drain one task from either queue.
+			progressed := false
+			for _, qid := range []QueueID{MemQueue, ComputeQueue} {
+				slot, tk, ok := q.NextReady(qid)
+				if !ok {
+					continue
+				}
+				for _, d := range tk.Deps {
+					if !done[d] {
+						t.Fatalf("seed %d: task %d ran before dep %d", seed, tk.ID, d)
+					}
+				}
+				done[tk.ID] = true
+				q.Complete(slot)
+				completed++
+				progressed = true
+			}
+			if !progressed && completed < n {
+				t.Fatalf("seed %d: stuck at %d/%d", seed, completed, n)
+			}
+		}
+	}
+}
