@@ -1,0 +1,164 @@
+// Command streamtrace runs one application or micro-benchmark under
+// both programming styles and reports where the stream version's
+// cycles went: a Perfetto-loadable trace of every task on every
+// hardware context, a text Gantt chart, and a metrics report with
+// stall attribution.
+//
+// Usage:
+//
+//	streamtrace -list
+//	streamtrace -app gatscat -n 200000 -comp 1 -o trace.json
+//	streamtrace -app ldst -nodouble        # serialised-pipeline ablation
+//	streamtrace -app fem
+//
+// Open the JSON at https://ui.perfetto.dev (or chrome://tracing): track
+// ctx0 is the control+compute thread, ctx1 the memory thread, with a
+// work-queue depth counter underneath.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"streamgpp/internal/apps/cdp"
+	"streamgpp/internal/apps/fem"
+	"streamgpp/internal/apps/micro"
+	"streamgpp/internal/apps/neo"
+	"streamgpp/internal/apps/spas"
+	"streamgpp/internal/exec"
+	"streamgpp/internal/obs"
+	"streamgpp/internal/sim"
+)
+
+// runner executes one app in both styles and returns the comparison.
+type runner struct {
+	desc  string
+	micro string // micro.Runners key, or "" for a full application
+	run   func(p micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error)
+}
+
+func microRunner(key, desc string) runner {
+	return runner{desc: desc, micro: key,
+		run: func(p micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error) {
+			r, err := micro.Runners[key](p, ecfg)
+			return r.Name, r.Regular, r.Stream, err
+		}}
+}
+
+var apps = map[string]runner{
+	"ldst":    microRunner("LD-ST-COMP", "sequential load/compute/store micro-benchmark"),
+	"gatscat": microRunner("GAT-SCAT-COMP", "random gather/compute/scatter micro-benchmark"),
+	"prodcon": microRunner("PROD-CON", "producer-consumer locality micro-benchmark"),
+	"fem": {desc: "streamFEM, Euler linear elements",
+		run: func(_ micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error) {
+			r, err := fem.Run(fem.EulerLin, ecfg)
+			return "streamFEM " + r.Params.Name(), r.Regular, r.Stream, err
+		}},
+	"cdp": {desc: "streamCDP blast-wave step",
+		run: func(_ micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error) {
+			r, err := cdp.Run(cdp.Grid4n4096, ecfg)
+			return "streamCDP " + r.Params.Name(), r.Regular, r.Stream, err
+		}},
+	"neo": {desc: "neo-hookean finite elements",
+		run: func(p micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error) {
+			r, err := neo.Run(neo.Params{Elements: 8192, Seed: p.Seed}, ecfg)
+			return "neo-hookean", r.Regular, r.Stream, err
+		}},
+	"spas": {desc: "streamSPAS sparse matrix-vector product",
+		run: func(p micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error) {
+			r, err := spas.Run(spas.Params{Rows: 8192, NNZPerRow: spas.PaperNNZPerRow, Seed: p.Seed}, ecfg)
+			return "streamSPAS", r.Regular, r.Stream, err
+		}},
+}
+
+func main() {
+	app := flag.String("app", "gatscat", "application: ldst, gatscat, prodcon, fem, cdp, neo, spas")
+	n := flag.Int("n", 200000, "elements per array (micro-benchmarks)")
+	comp := flag.Int("comp", 1, "COMP knob (micro-benchmarks)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "write Perfetto trace_event JSON to this file")
+	nodouble := flag.Bool("nodouble", false, "disable double buffering (micro-benchmarks; serialises the pipeline)")
+	width := flag.Int("width", 100, "Gantt chart width in columns")
+	list := flag.Bool("list", false, "list applications and exit")
+	flag.Parse()
+
+	if *list {
+		var names []string
+		for name := range apps {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-8s %s\n", name, apps[name].desc)
+		}
+		return
+	}
+
+	r, ok := apps[*app]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "streamtrace: unknown app %q (use -list)\n", *app)
+		os.Exit(2)
+	}
+	if *nodouble && r.micro == "" {
+		fmt.Fprintln(os.Stderr, "streamtrace: -nodouble only applies to the micro-benchmarks")
+		os.Exit(2)
+	}
+
+	// Observe every machine the app builds; only the stream run touches
+	// the SRF, the work queue and the bulk ops, so the registry reads as
+	// the stream version's story.
+	reg := obs.NewRegistry()
+	sim.SetDefaultObserver(reg)
+	defer sim.SetDefaultObserver(nil)
+
+	tr := &exec.Trace{}
+	ecfg := exec.Defaults()
+	ecfg.Trace = tr
+	p := micro.Params{N: *n, Comp: *comp, Seed: *seed, NoDoubleBuffer: *nodouble}
+
+	name, regular, stream, err := r.run(p, ecfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streamtrace: %s: %v\n", *app, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s\n", name)
+	fmt.Printf("  regular: %12d cycles\n", regular.Cycles)
+	fmt.Printf("  stream:  %12d cycles   (speedup %.2fx)\n",
+		stream.Cycles, exec.Speedup(regular, stream))
+	fmt.Printf("  gather/kernel overlap efficiency: %.2f\n\n", tr.OverlapEfficiency())
+
+	fmt.Println("Stream timeline:")
+	tr.Gantt(os.Stdout, *width)
+	fmt.Println()
+	tr.Summary(os.Stdout)
+	fmt.Println()
+
+	fmt.Println("Stall attribution (stream run):")
+	exec.NewStallReport(stream.Run).Render(os.Stdout)
+	fmt.Println()
+
+	fmt.Println("Metrics:")
+	reg.Render(os.Stdout)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streamtrace: %v\n", err)
+			os.Exit(1)
+		}
+		cyclesPerUsec := sim.PentiumD8300().FreqHz / 1e6
+		if err := tr.WritePerfetto(f, name, cyclesPerUsec); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "streamtrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "streamtrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s — open at https://ui.perfetto.dev\n", *out)
+	}
+}

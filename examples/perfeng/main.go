@@ -9,6 +9,9 @@
 //
 //  3. Tune   — the stream scheduler's strip-size search.
 //
+//  4. Export — the same run as metrics (SRF occupancy, queue depth,
+//     stall attribution) and a Perfetto-loadable JSON trace.
+//
 //     go run ./examples/perfeng
 package main
 
@@ -85,8 +88,14 @@ func main() {
 	rep.Render(os.Stdout)
 	fmt.Println()
 
-	// 2. Trace one execution.
+	// 2. Trace one execution, with a metrics registry observing the
+	// machine.
+	reg := streamgpp.NewMetricsRegistry()
+	streamgpp.SetDefaultObserver(reg)
 	m, prog, _, err := buildProgram(0)
+	// The machine captured the registry at creation; detach the default
+	// so the step-3 tuning runs don't pollute the metrics.
+	streamgpp.SetDefaultObserver(nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -121,4 +130,25 @@ func main() {
 		fmt.Printf("  strip %-6s -> %d cycles\n", label, cycles)
 	}
 	fmt.Printf("best: strip=%d at %d cycles\n", tuned.StripElems, tuned.Cycles)
+	fmt.Println()
+
+	// 4. Export: stall attribution, the recorded metrics, and a
+	// Perfetto trace of the step-2 run.
+	fmt.Printf("overlap efficiency: %.2f\n", tr.OverlapEfficiency())
+	fmt.Println("stall attribution:")
+	streamgpp.NewStallReport(res).Render(os.Stdout)
+	fmt.Println("\nmetrics:")
+	reg.Render(os.Stdout)
+
+	f, err := os.Create("perfeng_trace.json")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := tr.WritePerfetto(f, "perfeng", streamgpp.PentiumD8300().FreqHz/1e6); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Println("\nwrote perfeng_trace.json — open at https://ui.perfetto.dev")
 }

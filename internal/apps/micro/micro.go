@@ -41,6 +41,19 @@ type Params struct {
 	// Machine overrides the simulated machine (nil = the paper's
 	// Pentium 4), for the improved-microarchitecture experiments.
 	Machine *sim.Config
+	// NoDoubleBuffer disables buffer renaming in the stream compile —
+	// the serialised-pipeline ablation used by streamtrace and the
+	// stalls experiment.
+	NoDoubleBuffer bool
+}
+
+// compileOptions returns the stream compile options for this run.
+func (p Params) compileOptions(srf *svm.SRF) compiler.Options {
+	opt := compiler.DefaultOptions(srf)
+	if p.NoDoubleBuffer {
+		opt.DoubleBuffer = false
+	}
+	return opt
 }
 
 // newMachine builds the machine the benchmark runs on.
@@ -174,7 +187,7 @@ func RunLDST(p Params, ecfg exec.Config) (Result, error) {
 	bs := g.Input(svm.StreamOf("bs", p.N, l, l.AllFields()), sdf.Bind(str.b))
 	os := g.AddKernel(k, []*sdf.Edge{as, bs}, []*svm.Stream{svm.NewStream("os", p.N, svm.F("v", 8))})
 	g.Output(os[0], sdf.Bind(str.o))
-	prog, err := compiler.Compile(g, compiler.DefaultOptions(svm.DefaultSRF(str.m)))
+	prog, err := compiler.Compile(g, p.compileOptions(svm.DefaultSRF(str.m)))
 	if err != nil {
 		return Result{}, err
 	}
@@ -260,7 +273,7 @@ func RunGATSCAT(p Params, ecfg exec.Config) (Result, error) {
 	bs := g.Input(svm.StreamOf("bs", p.N, l, l.AllFields()), sdf.Bind(str.b).Indexed(str.ib))
 	os := g.AddKernel(k, []*sdf.Edge{as, bs}, []*svm.Stream{svm.NewStream("os", p.N, svm.F("v", 8))})
 	g.Output(os[0], sdf.Bind(str.o).Indexed(str.io))
-	prog, err := compiler.Compile(g, compiler.DefaultOptions(svm.DefaultSRF(str.m)))
+	prog, err := compiler.Compile(g, p.compileOptions(svm.DefaultSRF(str.m)))
 	if err != nil {
 		return Result{}, err
 	}
@@ -406,7 +419,7 @@ func RunPRODCON(p Params, ecfg exec.Config) (Result, error) {
 	cs := g.Input(svm.StreamOf("cs", p.N, l, l.AllFields()), sdf.Bind(str.c).Indexed(str.ic))
 	os := g.AddKernel(k2, []*sdf.Edge{ts[0], cs}, []*svm.Stream{svm.NewStream("os", p.N, svm.F("v", 8))})
 	g.Output(os[0], sdf.Bind(str.o).Indexed(str.io))
-	prog, err := compiler.Compile(g, compiler.DefaultOptions(svm.DefaultSRF(str.m)))
+	prog, err := compiler.Compile(g, p.compileOptions(svm.DefaultSRF(str.m)))
 	if err != nil {
 		return Result{}, err
 	}

@@ -9,10 +9,10 @@ import (
 
 func TestExperimentsListedAndRunnable(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 8 {
-		t.Fatalf("want 8 experiments, got %d", len(exps))
+	if len(exps) != 9 {
+		t.Fatalf("want 9 experiments, got %d", len(exps))
 	}
-	wantIDs := []string{"fig5", "fig6", "fig8", "fig9", "fig11a", "fig11b", "fig11c", "fig11d"}
+	wantIDs := []string{"fig5", "fig6", "fig8", "fig9", "fig11a", "fig11b", "fig11c", "fig11d", "stalls"}
 	for i, id := range wantIDs {
 		if exps[i].ID != id {
 			t.Fatalf("experiment %d is %s, want %s", i, exps[i].ID, id)

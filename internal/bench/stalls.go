@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"streamgpp/internal/apps/micro"
+	"streamgpp/internal/exec"
+	"streamgpp/internal/obs"
+	"streamgpp/internal/sim"
+)
+
+// Stalls uses the observability layer to explain where the stream
+// version's cycles go on GAT-SCAT-COMP, with and without double
+// buffering: gather/kernel overlap efficiency, per-context stall
+// attribution, SRF occupancy and work-queue depth. The ablation makes
+// the software pipeline's value visible: without buffer renaming the
+// memory thread serialises behind the kernels and overlap collapses.
+func Stalls(w io.Writer, quick bool) error {
+	n := 150000
+	if quick {
+		n = 60000
+	}
+	t := Table{
+		Title: "Stall attribution: GAT-SCAT-COMP, double buffering on/off",
+		Header: []string{"config", "speedup", "overlap",
+			"ctx0 dep-wait", "ctx1 memory", "SRF occ", "wq depth p50/max"},
+	}
+	for _, cfgRow := range []struct {
+		label    string
+		noDouble bool
+	}{
+		{"double-buffered", false},
+		{"single-buffered", true},
+	} {
+		reg := obs.NewRegistry()
+		sim.SetDefaultObserver(reg)
+		tr := &exec.Trace{}
+		ecfg := exec.Defaults()
+		ecfg.Trace = tr
+		res, err := micro.RunGATSCAT(micro.Params{N: n, Comp: 1, Seed: 9, NoDoubleBuffer: cfgRow.noDouble}, ecfg)
+		sim.SetDefaultObserver(nil)
+		if err != nil {
+			return err
+		}
+		rep := exec.NewStallReport(res.Stream.Run)
+		depth := reg.Histogram("wq.depth")
+		t.AddRow(cfgRow.label,
+			fmt.Sprintf("%.2f", res.Speedup),
+			fmt.Sprintf("%.2f", tr.OverlapEfficiency()),
+			fmt.Sprintf("%.0f%%", 100*float64(rep.Contexts[0].DepWait)/float64(rep.Contexts[0].Total)),
+			fmt.Sprintf("%.0f%%", 100*float64(rep.Contexts[1].Memory)/float64(rep.Contexts[1].Total)),
+			fmt.Sprintf("%.0f%%", 100*reg.Gauge("svm.srf.occupancy").Max()),
+			fmt.Sprintf("%.0f/%.0f", depth.Quantile(0.5), depth.Max()))
+	}
+	t.Note("overlap = gather/scatter time hidden behind kernels ÷ min(memory, kernel time);")
+	t.Note("single-buffered serialises the pipeline, so overlap collapses toward 0.")
+	t.Note("paper: double buffering lets gathers run ahead of kernels on the other context (§II-B),")
+	t.Note("the overlap Fig. 6 measures; the stream version stays memory-bound on ctx1 at COMP=1.")
+	t.Render(w)
+	return nil
+}

@@ -88,6 +88,7 @@ func Experiments() []Experiment {
 		{"fig11b", "Fig. 11(b): streamCDP", Fig11b},
 		{"fig11c", "Fig. 11(c): neo-hookean", Fig11c},
 		{"fig11d", "Fig. 11(d): streamSPAS", Fig11d},
+		{"stalls", "Stall attribution and overlap (double buffering on/off)", Stalls},
 	}
 }
 

@@ -256,10 +256,12 @@ func (sc *scheduler) emitPhase(plan *PhasePlan) {
 			eLocal, b := e, e.Stream.Buffer(strip)
 			g := eLocal.Gather
 			sc.prog.Tasks = append(sc.prog.Tasks, wq.Task{
-				ID:   id,
-				Name: fmt.Sprintf("%s%d", e.Name(), s),
-				Kind: wq.Gather,
-				Deps: dedup(deps),
+				ID:    id,
+				Name:  fmt.Sprintf("%s#%d", e.Name(), s),
+				Kind:  wq.Gather,
+				Phase: ph.Index,
+				Strip: s,
+				Deps:  dedup(deps),
 				Run: func(c *sim.CPU) {
 					if len(g.Multi) > 0 {
 						svm.GatherMulti(c, ops, eLocal.Stream, start, g.Array, g.Fields, g.Multi, start, count, b)
@@ -317,10 +319,12 @@ func (sc *scheduler) emitPhase(plan *PhasePlan) {
 			fusedID[s] = id
 			nodesLocal := nodes
 			sc.prog.Tasks = append(sc.prog.Tasks, wq.Task{
-				ID:   id,
-				Name: fmt.Sprintf("%s%d", strings.Join(names, "+"), s),
-				Kind: wq.KernelRun,
-				Deps: dedup(deps),
+				ID:    id,
+				Name:  fmt.Sprintf("%s#%d", strings.Join(names, "+"), s),
+				Kind:  wq.KernelRun,
+				Phase: ph.Index,
+				Strip: s,
+				Deps:  dedup(deps),
 				Run: func(c *sim.CPU) {
 					for _, node := range nodesLocal {
 						runKernel(node, c)
@@ -333,11 +337,13 @@ func (sc *scheduler) emitPhase(plan *PhasePlan) {
 				kernelID[node][s] = id
 				nodeLocal := node
 				sc.prog.Tasks = append(sc.prog.Tasks, wq.Task{
-					ID:   id,
-					Name: fmt.Sprintf("%s%d", node.Name(), s),
-					Kind: wq.KernelRun,
-					Deps: dedup(kernelDeps(node)),
-					Run:  func(c *sim.CPU) { runKernel(nodeLocal, c) },
+					ID:    id,
+					Name:  fmt.Sprintf("%s#%d", node.Name(), s),
+					Kind:  wq.KernelRun,
+					Phase: ph.Index,
+					Strip: s,
+					Deps:  dedup(kernelDeps(node)),
+					Run:   func(c *sim.CPU) { runKernel(nodeLocal, c) },
 				})
 			}
 		}
@@ -359,10 +365,12 @@ func (sc *scheduler) emitPhase(plan *PhasePlan) {
 			eLocal, b := e, e.Stream.Buffer(strip)
 			sct := eLocal.Scatter
 			sc.prog.Tasks = append(sc.prog.Tasks, wq.Task{
-				ID:   id,
-				Name: fmt.Sprintf("%s%d", e.Name(), s),
-				Kind: wq.Scatter,
-				Deps: dedup(deps),
+				ID:    id,
+				Name:  fmt.Sprintf("%s#%d", e.Name(), s),
+				Kind:  wq.Scatter,
+				Phase: ph.Index,
+				Strip: s,
+				Deps:  dedup(deps),
 				Run: func(c *sim.CPU) {
 					svm.Scatter(c, ops, eLocal.Stream, start, sct.Array, sct.Fields, start, sct.Index, start, count, sct.Mode, b)
 				},

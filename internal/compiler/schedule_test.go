@@ -68,12 +68,15 @@ func TestScheduleTaskNamesCarryStripNumbers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Expect as0..as3 among gathers and ys0..ys3 among scatters.
+	// Expect as#0..as#3 among gathers and ys#0..ys#3 among scatters.
 	seen := map[string]bool{}
 	for _, tk := range p.Tasks {
 		seen[tk.Name] = true
+		if tk.Strip < 0 || tk.Strip > 3 || tk.Phase != 0 {
+			t.Fatalf("task %s has phase %d strip %d", tk.Name, tk.Phase, tk.Strip)
+		}
 	}
-	for _, want := range []string{"as0", "as3", "ys0", "ys3", "k1+k20"} {
+	for _, want := range []string{"as#0", "as#3", "ys#0", "ys#3", "k1+k2#0"} {
 		if !seen[want] {
 			t.Fatalf("schedule missing task %q; have %v", want, keys(seen))
 		}
@@ -156,44 +159,18 @@ func TestDoubleBufferDependenceDistance(t *testing.T) {
 		byID[tk.ID] = tk
 	}
 	for _, tk := range p.Tasks {
-		if tk.Kind != wq.Gather || !strings.HasPrefix(tk.Name, "as") {
+		if tk.Kind != wq.Gather || !strings.HasPrefix(tk.Name, "as#") {
 			continue
 		}
-		strip := tk.Name[len("as"):]
 		for _, d := range tk.Deps {
 			dep := byID[d]
 			if dep.Kind != wq.KernelRun {
 				continue
 			}
-			// Kernel name ends with its strip number; it must be two
-			// strips back.
-			if !strings.HasSuffix(dep.Name, stripMinus(strip, 2)) {
-				t.Fatalf("gather %s depends on kernel %s (want strip-2)", tk.Name, dep.Name)
+			if dep.Strip != tk.Strip-2 {
+				t.Fatalf("gather %s (strip %d) depends on kernel %s (strip %d, want strip-2)",
+					tk.Name, tk.Strip, dep.Name, dep.Strip)
 			}
 		}
 	}
-}
-
-func stripMinus(s string, k int) string {
-	n := 0
-	for _, c := range s {
-		n = n*10 + int(c-'0')
-	}
-	n -= k
-	if n < 0 {
-		return "@" // never matches
-	}
-	return itoa(n)
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var b []byte
-	for n > 0 {
-		b = append([]byte{byte('0' + n%10)}, b...)
-		n /= 10
-	}
-	return string(b)
 }

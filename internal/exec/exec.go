@@ -91,6 +91,7 @@ type Result struct {
 // the compute thread (kernels); context 1 is the memory thread.
 func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 	q := wq.New(cfg.QueueCapacity)
+	q.Obs = m.Observer()
 	// One notification cell covers both "new task enqueued" and "task
 	// completed": either can unblock either thread, and MONITOR watches
 	// a single address anyway.
@@ -112,11 +113,30 @@ func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 		t.Run(c)
 		kindCycles[t.Kind] += c.Now() - before
 		if cfg.Trace != nil {
-			cfg.Trace.record(TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(), Start: before, End: c.Now()})
+			cfg.Trace.record(TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(),
+				Phase: t.Phase, Strip: t.Strip, Start: before, End: c.Now()})
 		}
 		q.Complete(slot)
+		if cfg.Trace != nil {
+			cfg.Trace.sample("wq depth", c.Now(), float64(q.InFlight()))
+		}
 		c.Signal(work)
 		return true
+	}
+
+	// recordWait attributes one wait's cycles: tasks sat in our queue but
+	// their dependences hadn't cleared (pipeline stall) versus the queue
+	// being genuinely empty or full (starvation).
+	recordWait := func(c *sim.CPU, qid wq.QueueID, cycles uint64) {
+		r := m.Observer()
+		if r == nil || cycles == 0 {
+			return
+		}
+		reason := "empty"
+		if q.PendingIn(qid) > 0 {
+			reason = "dep"
+		}
+		r.Counter(fmt.Sprintf("exec.ctx%d.wait_cycles.%s", c.ID(), reason)).Add(cycles)
 	}
 
 	st := m.Run(
@@ -137,6 +157,9 @@ func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 					enqueued = true
 				}
 				if enqueued {
+					if cfg.Trace != nil {
+						cfg.Trace.sample("wq depth", c.Now(), float64(q.InFlight()))
+					}
 					c.Signal(work)
 				}
 				// Compute part: run a ready kernel.
@@ -148,11 +171,12 @@ func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 				}
 				// Nothing to do: wait for a completion to unblock a
 				// kernel or free a slot.
-				c.Wait(work, cfg.WaitPolicy, func() bool {
+				waited := c.Wait(work, cfg.WaitPolicy, func() bool {
 					return q.ReadyIn(wq.ComputeQueue) > 0 ||
 						(next < total && q.InFlight() < q.Capacity()) ||
 						int(q.Completed()) >= total
 				})
+				recordWait(c, wq.ComputeQueue, waited)
 			}
 			finished = true
 			c.Signal(work)
@@ -166,9 +190,10 @@ func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 				if finished && int(q.Completed()) >= total {
 					return
 				}
-				c.Wait(work, cfg.WaitPolicy, func() bool {
+				waited := c.Wait(work, cfg.WaitPolicy, func() bool {
 					return q.ReadyIn(wq.MemQueue) > 0 || finished
 				})
+				recordWait(c, wq.MemQueue, waited)
 				if finished && q.ReadyIn(wq.MemQueue) == 0 && int(q.Completed()) >= total {
 					return
 				}
@@ -178,7 +203,28 @@ func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 	if int(q.Completed()) != total {
 		panic(fmt.Sprintf("exec: %d of %d tasks completed", q.Completed(), total))
 	}
+	publishRun(m, "stream2", st, kindCycles)
 	return Result{Cycles: st.Cycles, Run: st, Queue: q, KindCycles: kindCycles}
+}
+
+// publishRun copies one run's cycle accounting into the machine's
+// metrics registry, if any.
+func publishRun(m *sim.Machine, label string, st sim.RunStats, kindCycles [3]uint64) {
+	r := m.Observer()
+	if r == nil {
+		return
+	}
+	r.Gauge("exec." + label + ".cycles").Set(float64(st.Cycles))
+	for i := range st.ProcCycles {
+		pre := fmt.Sprintf("exec.%s.ctx%d.", label, i)
+		r.Gauge(pre + "compute_cycles").Set(float64(st.ComputeCycles[i]))
+		r.Gauge(pre + "mem_cycles").Set(float64(st.MemCycles[i]))
+		r.Gauge(pre + "spin_cycles").Set(float64(st.SpinCycles[i]))
+		r.Gauge(pre + "sleep_cycles").Set(float64(st.SleepCycles[i]))
+	}
+	for k, cyc := range kindCycles {
+		r.Gauge("exec." + label + ".kind_cycles." + wq.Kind(k).String()).Set(float64(cyc))
+	}
 }
 
 // RunStream1Ctx executes the program on a single hardware context by
@@ -194,10 +240,12 @@ func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 			t.Run(c)
 			kindCycles[t.Kind] += c.Now() - before
 			if cfg.Trace != nil {
-				cfg.Trace.record(TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(), Start: before, End: c.Now()})
+				cfg.Trace.record(TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(),
+					Phase: t.Phase, Strip: t.Strip, Start: before, End: c.Now()})
 			}
 		}
 	})
+	publishRun(m, "stream1", st, kindCycles)
 	return Result{Cycles: st.Cycles, Run: st, KindCycles: kindCycles}
 }
 

@@ -1,0 +1,80 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"streamgpp/internal/sim"
+)
+
+// CtxBreakdown attributes one hardware context's cycles over a run.
+type CtxBreakdown struct {
+	Ctx     int
+	Compute uint64 // executing kernel / control arithmetic
+	Memory  uint64 // driving bulk gathers and scatters
+	DepWait uint64 // spinning or sleeping on the work queue (spin+mwait)
+	Idle    uint64 // remainder of the makespan
+	Total   uint64 // the run's makespan
+}
+
+// Bound names the dominant component.
+func (b CtxBreakdown) Bound() string {
+	max, name := b.Compute, "compute-bound"
+	if b.Memory > max {
+		max, name = b.Memory, "memory-bound"
+	}
+	if b.DepWait > max {
+		max, name = b.DepWait, "dependency-wait"
+	}
+	if b.Idle > max {
+		name = "idle"
+	}
+	return name
+}
+
+// StallReport is the per-context attribution of a whole run.
+type StallReport struct {
+	Contexts []CtxBreakdown
+}
+
+// NewStallReport builds the attribution from a run's statistics.
+func NewStallReport(st sim.RunStats) StallReport {
+	var rep StallReport
+	for i := range st.ProcCycles {
+		b := CtxBreakdown{
+			Ctx:     i,
+			Compute: st.ComputeCycles[i],
+			Memory:  st.MemCycles[i],
+			DepWait: st.SpinCycles[i] + st.SleepCycles[i],
+			Total:   st.Cycles,
+		}
+		busy := b.Compute + b.Memory + b.DepWait
+		if st.Cycles > busy {
+			b.Idle = st.Cycles - busy
+		}
+		rep.Contexts = append(rep.Contexts, b)
+	}
+	return rep
+}
+
+func pct(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// Render writes the attribution as an aligned table.
+func (rep StallReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "  %-5s %14s %14s %14s %14s  %s\n",
+		"ctx", "compute", "memory", "dep-wait", "idle", "bound")
+	for _, b := range rep.Contexts {
+		fmt.Fprintf(w, "  ctx%-2d %9d %3.0f%% %9d %3.0f%% %9d %3.0f%% %9d %3.0f%%  %s\n",
+			b.Ctx,
+			b.Compute, pct(b.Compute, b.Total),
+			b.Memory, pct(b.Memory, b.Total),
+			b.DepWait, pct(b.DepWait, b.Total),
+			b.Idle, pct(b.Idle, b.Total),
+			b.Bound())
+	}
+}

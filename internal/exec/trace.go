@@ -6,15 +6,28 @@ import (
 	"sort"
 	"strings"
 
+	"streamgpp/internal/obs"
 	"streamgpp/internal/wq"
 )
 
-// TraceEvent records one task execution on one hardware context.
+// TraceEvent records one task execution on one hardware context, with
+// phase/strip attribution from the compiled schedule.
 type TraceEvent struct {
 	Name       string
 	Kind       wq.Kind
 	Ctx        int
+	Phase      int
+	Strip      int
 	Start, End uint64
+}
+
+// CounterSample is one point of a time-series counter recorded during
+// execution (work-queue depth, for now). It becomes a Perfetto counter
+// track on export.
+type CounterSample struct {
+	Name string
+	T    uint64
+	V    float64
 }
 
 // Trace collects the task timeline of a stream execution. Attach one
@@ -22,11 +35,17 @@ type TraceEvent struct {
 // which task when, how well the gathers overlapped the kernels, and
 // where the software pipeline stalled.
 type Trace struct {
-	Events []TraceEvent
+	Events   []TraceEvent
+	Counters []CounterSample
 }
 
 // record appends one event.
 func (tr *Trace) record(e TraceEvent) { tr.Events = append(tr.Events, e) }
+
+// sample appends one counter point.
+func (tr *Trace) sample(name string, t uint64, v float64) {
+	tr.Counters = append(tr.Counters, CounterSample{Name: name, T: t, V: v})
+}
 
 // Span returns the first start and last end across all events.
 func (tr *Trace) Span() (start, end uint64) {
@@ -76,14 +95,125 @@ func (tr *Trace) KindCycles() map[wq.Kind]uint64 {
 	return out
 }
 
-// ByName aggregates busy cycles by task name with trailing strip
-// numbers removed, so all strips of one operation group together.
+// ByPhase returns busy cycles grouped by schedule phase.
+func (tr *Trace) ByPhase() map[int]uint64 {
+	out := map[int]uint64{}
+	for _, e := range tr.Events {
+		out[e.Phase] += e.End - e.Start
+	}
+	return out
+}
+
+// baseName removes a recognised strip suffix — "#<n>" or ".<n>" — from
+// a task name. Names that merely end in digits (an operation called
+// "fft2", say) pass through untouched.
+func baseName(name string) string {
+	i := strings.LastIndexAny(name, "#.")
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// ByName aggregates busy cycles by task name with the "#<n>"/".<n>"
+// strip suffix removed, so all strips of one operation group together.
 func (tr *Trace) ByName() map[string]uint64 {
 	out := map[string]uint64{}
 	for _, e := range tr.Events {
-		out[strings.TrimRight(e.Name, "0123456789")] += e.End - e.Start
+		out[baseName(e.Name)] += e.End - e.Start
 	}
 	return out
+}
+
+// mergeSpans collapses [start,end) intervals into a disjoint,
+// ascending union.
+func mergeSpans(spans [][2]uint64) [][2]uint64 {
+	if len(spans) == 0 {
+		return nil
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+	out := [][2]uint64{spans[0]}
+	for _, s := range spans[1:] {
+		last := &out[len(out)-1]
+		if s[0] <= last[1] {
+			if s[1] > last[1] {
+				last[1] = s[1]
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func totalLen(spans [][2]uint64) uint64 {
+	var n uint64
+	for _, s := range spans {
+		n += s[1] - s[0]
+	}
+	return n
+}
+
+// intersectLen returns the overlap between two disjoint ascending
+// interval unions.
+func intersectLen(a, b [][2]uint64) uint64 {
+	var n uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i][0]
+		if b[j][0] > lo {
+			lo = b[j][0]
+		}
+		hi := a[i][1]
+		if b[j][1] < hi {
+			hi = b[j][1]
+		}
+		if hi > lo {
+			n += hi - lo
+		}
+		if a[i][1] < b[j][1] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+// OverlapEfficiency measures how well bulk memory operations hid
+// behind kernels: the time during which a memory task (gather/scatter)
+// and a kernel ran simultaneously, divided by the smaller of the two
+// busy totals. 1.0 means the cheaper side was perfectly hidden; a
+// single-context or non-double-buffered run scores ~0 because its
+// tasks serialise.
+func (tr *Trace) OverlapEfficiency() float64 {
+	var mem, kern [][2]uint64
+	for _, e := range tr.Events {
+		if e.End <= e.Start {
+			continue
+		}
+		iv := [2]uint64{e.Start, e.End}
+		if e.Kind == wq.KernelRun {
+			kern = append(kern, iv)
+		} else {
+			mem = append(mem, iv)
+		}
+	}
+	mu, ku := mergeSpans(mem), mergeSpans(kern)
+	mb, kb := totalLen(mu), totalLen(ku)
+	denom := mb
+	if kb < denom {
+		denom = kb
+	}
+	if denom == 0 {
+		return 0
+	}
+	return float64(intersectLen(mu, ku)) / float64(denom)
 }
 
 // Gantt renders a text timeline, one row per context, width columns
@@ -118,12 +248,21 @@ func (tr *Trace) Gantt(w io.Writer, width int) {
 			if e.Ctx != ctx {
 				continue
 			}
+			// Half-open cell range so adjacent tasks don't bleed into
+			// each other's columns; zero-length events still paint one
+			// cell.
 			lo := int(uint64(width) * (e.Start - start) / span)
 			hi := int(uint64(width) * (e.End - start) / span)
-			if hi >= width {
-				hi = width - 1
+			if lo >= width {
+				lo = width - 1
 			}
-			for i := lo; i <= hi; i++ {
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			for i := lo; i < hi; i++ {
 				row[i] = e.Kind.String()[0]
 			}
 		}
@@ -151,7 +290,72 @@ func (tr *Trace) Summary(w io.Writer) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "  %-28s %12d\n", r.name, r.cycles)
 	}
-	for ctx, u := range tr.Utilization() {
-		fmt.Fprintf(w, "  ctx%d utilization: %.0f%%\n", ctx, 100*u)
+	var ctxs []int
+	util := tr.Utilization()
+	for ctx := range util {
+		ctxs = append(ctxs, ctx)
 	}
+	sort.Ints(ctxs)
+	for _, ctx := range ctxs {
+		fmt.Fprintf(w, "  ctx%d utilization: %.0f%%\n", ctx, 100*util[ctx])
+	}
+}
+
+// kindCat maps a task kind to its Perfetto category.
+func kindCat(k wq.Kind) string {
+	switch k {
+	case wq.Gather:
+		return "gather"
+	case wq.KernelRun:
+		return "kernel"
+	case wq.Scatter:
+		return "scatter"
+	}
+	return "task"
+}
+
+// Spans converts the trace to generic obs spans for export.
+func (tr *Trace) Spans() []obs.Span {
+	spans := make([]obs.Span, 0, len(tr.Events))
+	for _, e := range tr.Events {
+		spans = append(spans, obs.Span{
+			Name:  e.Name,
+			Cat:   kindCat(e.Kind),
+			Track: e.Ctx,
+			Start: e.Start,
+			Dur:   e.End - e.Start,
+			Args:  map[string]int64{"phase": int64(e.Phase), "strip": int64(e.Strip)},
+		})
+	}
+	return spans
+}
+
+// WritePerfetto exports the trace as Chrome trace_event JSON, loadable
+// at ui.perfetto.dev: one track per hardware context plus a work-queue
+// depth counter track. label names the process; cyclesPerUsec scales
+// simulated cycles to display time (pass the core frequency in MHz, or
+// 0 for 1 cycle = 1 µs).
+func (tr *Trace) WritePerfetto(w io.Writer, label string, cyclesPerUsec float64) error {
+	tracks := map[int]string{}
+	for _, e := range tr.Events {
+		if _, ok := tracks[e.Ctx]; !ok {
+			name := fmt.Sprintf("ctx%d", e.Ctx)
+			switch e.Ctx {
+			case 0:
+				name = "ctx0 control+compute"
+			case 1:
+				name = "ctx1 memory"
+			}
+			tracks[e.Ctx] = name
+		}
+	}
+	counters := make([]obs.CounterPoint, 0, len(tr.Counters))
+	for _, c := range tr.Counters {
+		counters = append(counters, obs.CounterPoint{Name: c.Name, T: c.T, V: c.V})
+	}
+	return obs.WriteTraceEvents(w, obs.TraceMeta{
+		Process:       label,
+		Tracks:        tracks,
+		CyclesPerUsec: cyclesPerUsec,
+	}, tr.Spans(), counters)
 }

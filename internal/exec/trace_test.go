@@ -1,0 +1,233 @@
+package exec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"streamgpp/internal/compiler"
+	"streamgpp/internal/svm"
+	"streamgpp/internal/wq"
+)
+
+func TestByNameStripsOnlyRecognisedSuffixes(t *testing.T) {
+	cases := map[string]string{
+		"as#0":      "as",
+		"as#12":     "as",
+		"ys.3":      "ys",
+		"k1+k2#7":   "k1+k2",
+		"fft2":      "fft2", // digits without a separator are part of the name
+		"fft2#1":    "fft2",
+		"a#b":       "a#b", // suffix not all digits
+		"trailing.": "trailing.",
+		"#3":        "", // pure strip suffix
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+
+	tr := &Trace{Events: []TraceEvent{
+		{Name: "fft2", Kind: wq.KernelRun, Start: 0, End: 10},
+		{Name: "fft2#0", Kind: wq.KernelRun, Start: 10, End: 30},
+		{Name: "fft2#1", Kind: wq.KernelRun, Start: 30, End: 60},
+	}}
+	by := tr.ByName()
+	if by["fft2"] != 60 {
+		t.Fatalf("ByName = %v, want fft2:60 (suffix-free and stripped names grouped)", by)
+	}
+	if _, ok := by["fft"]; ok {
+		t.Fatalf("ByName mangled a digit-ending name: %v", by)
+	}
+}
+
+func TestGanttGolden(t *testing.T) {
+	tr := &Trace{Events: []TraceEvent{
+		{Name: "k#0", Kind: wq.KernelRun, Ctx: 0, Start: 0, End: 50},
+		{Name: "as#1", Kind: wq.Gather, Ctx: 0, Start: 50, End: 100},
+		{Name: "zero", Kind: wq.Scatter, Ctx: 1, Start: 0, End: 0},
+		{Name: "ys#0", Kind: wq.Scatter, Ctx: 1, Start: 20, End: 40},
+	}}
+	var buf bytes.Buffer
+	tr.Gantt(&buf, 10)
+	want := "ctx0 |KKKKKGGGGG|\n" +
+		"ctx1 |S.SS......|\n" +
+		"      100 cycles, G=gather K=kernel S=scatter .=idle\n"
+	if buf.String() != want {
+		t.Fatalf("gantt:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// Adjacent half-open tasks must not share a column: the old inclusive
+// hi painted [0,50) into columns 0..5 and [50,100) into 5..9, losing
+// the boundary.
+func TestGanttAdjacentTasksDoNotOverlap(t *testing.T) {
+	tr := &Trace{Events: []TraceEvent{
+		{Name: "a", Kind: wq.KernelRun, Ctx: 0, Start: 0, End: 50},
+		{Name: "b", Kind: wq.Gather, Ctx: 0, Start: 50, End: 100},
+	}}
+	var buf bytes.Buffer
+	tr.Gantt(&buf, 10)
+	row := strings.SplitN(buf.String(), "\n", 2)[0]
+	if strings.Count(row, "K") != 5 || strings.Count(row, "G") != 5 {
+		t.Fatalf("equal-length adjacent tasks should get equal columns: %s", row)
+	}
+}
+
+func TestSummaryGolden(t *testing.T) {
+	tr := &Trace{Events: []TraceEvent{
+		{Name: "as#0", Kind: wq.Gather, Ctx: 1, Start: 0, End: 30},
+		{Name: "as#1", Kind: wq.Gather, Ctx: 1, Start: 30, End: 50},
+		{Name: "k#0", Kind: wq.KernelRun, Ctx: 0, Start: 50, End: 100},
+	}}
+	var buf bytes.Buffer
+	tr.Summary(&buf)
+	want := fmt.Sprintf("  %-28s %12d\n", "as", 50) +
+		fmt.Sprintf("  %-28s %12d\n", "k", 50) +
+		"  ctx0 utilization: 50%\n" +
+		"  ctx1 utilization: 50%\n"
+	if buf.String() != want {
+		t.Fatalf("summary:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestOverlapEfficiencySynthetic(t *testing.T) {
+	full := &Trace{Events: []TraceEvent{
+		{Name: "k", Kind: wq.KernelRun, Ctx: 0, Start: 0, End: 100},
+		{Name: "g", Kind: wq.Gather, Ctx: 1, Start: 0, End: 100},
+	}}
+	if got := full.OverlapEfficiency(); got != 1 {
+		t.Fatalf("fully overlapped = %v, want 1", got)
+	}
+	serial := &Trace{Events: []TraceEvent{
+		{Name: "g", Kind: wq.Gather, Ctx: 0, Start: 0, End: 100},
+		{Name: "k", Kind: wq.KernelRun, Ctx: 0, Start: 100, End: 200},
+	}}
+	if got := serial.OverlapEfficiency(); got != 0 {
+		t.Fatalf("serialised = %v, want 0", got)
+	}
+	if got := (&Trace{}).OverlapEfficiency(); got != 0 {
+		t.Fatalf("empty = %v, want 0", got)
+	}
+}
+
+// traceFile mirrors the Chrome trace_event container for validation.
+type traceFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestPerfettoExport(t *testing.T) {
+	s := newFig2(20000, 8)
+	p, err := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Defaults()
+	tr := &Trace{}
+	cfg.Trace = tr
+	RunStream2Ctx(s.m, p, cfg)
+
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf, "fig2", 3400); err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", f.DisplayTimeUnit)
+	}
+	var spans, counters, threadNames int
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur <= 0 {
+				t.Fatalf("span %s has dur %v", e.Name, e.Dur)
+			}
+			if _, ok := e.Args["phase"]; !ok {
+				t.Fatalf("span %s lacks phase arg: %v", e.Name, e.Args)
+			}
+			if _, ok := e.Args["strip"]; !ok {
+				t.Fatalf("span %s lacks strip arg: %v", e.Name, e.Args)
+			}
+		case "C":
+			counters++
+			if _, ok := e.Args["value"]; !ok {
+				t.Fatalf("counter %s lacks value: %v", e.Name, e.Args)
+			}
+		case "M":
+			if e.Name == "thread_name" {
+				threadNames++
+			}
+		}
+	}
+	if spans != len(tr.Events) {
+		t.Fatalf("%d X events for %d trace events", spans, len(tr.Events))
+	}
+	if counters == 0 {
+		t.Fatal("no counter events (queue depth samples missing)")
+	}
+	if threadNames != 2 {
+		t.Fatalf("%d thread_name metadata events, want 2", threadNames)
+	}
+}
+
+// The tentpole's acceptance check: the timeline must show gathers
+// hiding behind kernels when double buffering is on, and the ablation
+// with DoubleBuffer=false must visibly serialise.
+func TestOverlapVisibleOnlyWithDoubleBuffering(t *testing.T) {
+	run := func(double bool) float64 {
+		s := newFig2(40000, 30)
+		opt := compiler.DefaultOptions(svm.DefaultSRF(s.m))
+		opt.DoubleBuffer = double
+		p, err := compiler.Compile(s.graph(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Defaults()
+		tr := &Trace{}
+		cfg.Trace = tr
+		RunStream2Ctx(s.m, p, cfg)
+		return tr.OverlapEfficiency()
+	}
+	with, without := run(true), run(false)
+	if with < 0.3 {
+		t.Fatalf("double-buffered overlap %v, want substantial (> 0.3)", with)
+	}
+	if without > 0.1 {
+		t.Fatalf("single-buffered overlap %v, want near zero", without)
+	}
+	if with <= without {
+		t.Fatalf("overlap %v (double) vs %v (single): ablation invisible", with, without)
+	}
+}
+
+func TestByPhaseAndCounterSamples(t *testing.T) {
+	tr := &Trace{Events: []TraceEvent{
+		{Name: "a#0", Kind: wq.Gather, Phase: 0, Start: 0, End: 10},
+		{Name: "b#0", Kind: wq.Gather, Phase: 1, Start: 10, End: 40},
+	}}
+	tr.sample("wq depth", 5, 3)
+	by := tr.ByPhase()
+	if by[0] != 10 || by[1] != 30 {
+		t.Fatalf("ByPhase = %v", by)
+	}
+	if len(tr.Counters) != 1 || tr.Counters[0].V != 3 {
+		t.Fatalf("counters = %v", tr.Counters)
+	}
+}

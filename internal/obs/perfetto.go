@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Span is one completed interval on a track — a task execution, a wait,
+// a phase. Times are in simulated cycles; the exporter converts them to
+// the trace_event microsecond scale.
+type Span struct {
+	// Name labels the slice (e.g. "as#3").
+	Name string
+	// Cat is the slice category (e.g. "gather", "kernel", "scatter").
+	Cat string
+	// Track is the timeline the span belongs to (one per hardware
+	// context); it becomes the trace_event tid.
+	Track int
+	// Start and Dur are in cycles.
+	Start, Dur uint64
+	// Args are extra key/values shown in the Perfetto detail pane
+	// (phase and strip attribution).
+	Args map[string]int64
+}
+
+// CounterPoint is one sample of a time-series counter (a Perfetto "C"
+// event), rendered as a stacked area track.
+type CounterPoint struct {
+	Name string
+	T    uint64 // cycles
+	V    float64
+}
+
+// TraceMeta names the process and tracks of an exported trace.
+type TraceMeta struct {
+	// Process names the single process of the trace (pid 0).
+	Process string
+	// Tracks maps track numbers to display names (e.g. 0 → "ctx0
+	// control+compute").
+	Tracks map[int]string
+	// CyclesPerUsec scales cycles to trace_event microseconds; use the
+	// simulated core frequency in MHz so Perfetto shows wall-clock
+	// time. 0 defaults to 1 (1 cycle = 1 µs).
+	CyclesPerUsec float64
+}
+
+// traceEvent is one entry of the Chrome trace_event format, the JSON
+// schema both chrome://tracing and ui.perfetto.dev load.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level JSON object.
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteTraceEvents writes spans and counter samples as Chrome
+// trace_event JSON, loadable at ui.perfetto.dev (or chrome://tracing):
+// one named thread per track, complete ("X") events for spans and
+// counter ("C") events for time series.
+func WriteTraceEvents(w io.Writer, meta TraceMeta, spans []Span, counters []CounterPoint) error {
+	scale := meta.CyclesPerUsec
+	if scale <= 0 {
+		scale = 1
+	}
+	toUs := func(cycles uint64) float64 { return float64(cycles) / scale }
+
+	events := make([]traceEvent, 0, len(spans)+len(counters)+len(meta.Tracks)+1)
+	process := meta.Process
+	if process == "" {
+		process = "streamgpp"
+	}
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": process},
+	})
+	tracks := make([]int, 0, len(meta.Tracks))
+	for t := range meta.Tracks {
+		tracks = append(tracks, t)
+	}
+	sort.Ints(tracks)
+	for _, t := range tracks {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: t,
+			Args: map[string]any{"name": meta.Tracks[t]},
+		})
+	}
+	for _, s := range spans {
+		e := traceEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Ts: toUs(s.Start), Dur: toUs(s.Dur),
+			Pid: 0, Tid: s.Track,
+		}
+		if e.Dur == 0 {
+			// Perfetto drops zero-duration complete events; keep them
+			// visible at the smallest representable width.
+			e.Dur = 0.001
+		}
+		if len(s.Args) > 0 {
+			args := make(map[string]any, len(s.Args))
+			for k, v := range s.Args {
+				args[k] = v
+			}
+			e.Args = args
+		}
+		events = append(events, e)
+	}
+	for _, c := range counters {
+		events = append(events, traceEvent{
+			Name: c.Name, Ph: "C", Ts: toUs(c.T), Pid: 0, Tid: 0,
+			Args: map[string]any{"value": c.V},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(traceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"cyclesPerUsec": scale},
+	}); err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteTraceEvents(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTraceEvents(&buf, TraceMeta{
+		Process:       "test",
+		Tracks:        map[int]string{0: "ctx0", 1: "ctx1"},
+		CyclesPerUsec: 1000,
+	}, []Span{
+		{Name: "a#0", Cat: "gather", Track: 1, Start: 0, Dur: 2000, Args: map[string]int64{"strip": 0}},
+		{Name: "zero", Cat: "kernel", Track: 0, Start: 2000, Dur: 0},
+	}, []CounterPoint{
+		{Name: "depth", T: 1000, V: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	byPh := map[string]int{}
+	for _, e := range f.TraceEvents {
+		byPh[e["ph"].(string)]++
+	}
+	if byPh["M"] != 3 { // process_name + two thread_names
+		t.Fatalf("metadata events = %v: %v", byPh, f.TraceEvents)
+	}
+	if byPh["X"] != 2 || byPh["C"] != 1 {
+		t.Fatalf("event mix = %v", byPh)
+	}
+	for _, e := range f.TraceEvents {
+		if e["ph"] != "X" {
+			continue
+		}
+		if dur := e["dur"].(float64); dur <= 0 {
+			t.Fatalf("span %v has non-positive dur %v (zero-length spans must stay visible)", e["name"], dur)
+		}
+	}
+	if f.OtherData["cyclesPerUsec"] == nil {
+		t.Fatal("otherData lacks cyclesPerUsec")
+	}
+	// 2000 cycles at 1000 cycles/µs is 2 µs.
+	for _, e := range f.TraceEvents {
+		if e["name"] == "a#0" && e["dur"].(float64) != 2 {
+			t.Fatalf("a#0 dur = %v µs, want 2", e["dur"])
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package obs is the observability layer shared by the whole stack: a
+// registry of named counters, gauges and histograms with
+// snapshot-and-delta semantics, plus a Chrome/Perfetto trace_event
+// exporter (perfetto.go). The simulator (internal/sim), the stream
+// virtual machine (internal/svm), the work queue (internal/wq) and the
+// executors (internal/exec) all record into one Registry so a run can
+// be explained — memory-bound vs compute-bound vs dependency-wait —
+// instead of just timed.
+//
+// The package deliberately imports nothing from the rest of the repo,
+// so every layer can depend on it without cycles. Instruments are not
+// internally synchronised: the sim engine serialises the simulated
+// threads in virtual time (their channel handoffs establish
+// happens-before), so plain field updates are race-free even under the
+// race detector.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a point-in-time value that also tracks its high-water mark.
+type Gauge struct {
+	v   float64
+	max float64
+	set bool
+}
+
+// Set records the current value (and raises the high-water mark).
+func (g *Gauge) Set(v float64) {
+	g.v = v
+	if !g.set || v > g.max {
+		g.max = v
+	}
+	g.set = true
+}
+
+// SetMax raises the high-water mark without moving the current value.
+func (g *Gauge) SetMax(v float64) {
+	if !g.set || v > g.max {
+		g.max = v
+		g.set = true
+	}
+}
+
+// Value returns the last Set value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() float64 { return g.max }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations in [2^(i-1), 2^i), bucket 0 counts v < 1.
+const histBuckets = 32
+
+// Histogram accumulates a distribution of samples into power-of-two
+// buckets, keeping exact count/sum/min/max.
+type Histogram struct {
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	b := 0
+	if v >= 1 {
+		b = int(math.Log2(v)) + 1
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+	}
+	h.buckets[b]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) from
+// the bucket boundaries — exact enough for queue depths and cycle
+// counts spanning orders of magnitude.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		return h.max
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > target {
+			if i == 0 {
+				return math.Min(1, h.max)
+			}
+			return math.Min(float64(uint64(1)<<uint(i)), h.max)
+		}
+	}
+	return h.max
+}
+
+// Registry holds named instruments, created lazily on first use so
+// instrumentation sites need no setup ceremony.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricKind distinguishes snapshot entries.
+type MetricKind uint8
+
+// Metric kinds.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// MetricValue is one metric frozen at snapshot time.
+type MetricValue struct {
+	Kind  MetricKind
+	Value float64 // counter total or gauge current value
+	Max   float64 // gauge/histogram high-water mark
+	Count uint64  // histogram sample count
+	Sum   float64 // histogram sample sum
+	Min   float64 // histogram minimum
+}
+
+// Mean returns the histogram mean (0 otherwise).
+func (v MetricValue) Mean() float64 {
+	if v.Kind != KindHistogram || v.Count == 0 {
+		return 0
+	}
+	return v.Sum / float64(v.Count)
+}
+
+// Snapshot is a frozen view of a registry, keyed by metric name.
+type Snapshot map[string]MetricValue
+
+// Snapshot freezes every instrument's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := make(Snapshot, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		s[name] = MetricValue{Kind: KindCounter, Value: float64(c.v)}
+	}
+	for name, g := range r.gauges {
+		s[name] = MetricValue{Kind: KindGauge, Value: g.v, Max: g.max}
+	}
+	for name, h := range r.hists {
+		s[name] = MetricValue{Kind: KindHistogram, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	}
+	return s
+}
+
+// Delta returns cur - prev for accumulating metrics (counter totals,
+// histogram counts and sums); gauges and min/max keep their current
+// values. Metrics absent from prev pass through unchanged, so
+// back-to-back runs on one registry can be separated.
+func (cur Snapshot) Delta(prev Snapshot) Snapshot {
+	out := make(Snapshot, len(cur))
+	for name, v := range cur {
+		p, ok := prev[name]
+		if ok && v.Kind == p.Kind {
+			switch v.Kind {
+			case KindCounter:
+				v.Value -= p.Value
+			case KindHistogram:
+				v.Count -= p.Count
+				v.Sum -= p.Sum
+			}
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// Names returns the snapshot's metric names, sorted.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Render writes the snapshot as aligned text, one metric per line in
+// name order.
+func (s Snapshot) Render(w io.Writer) {
+	width := 0
+	for name := range s {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for _, name := range s.Names() {
+		v := s[name]
+		switch v.Kind {
+		case KindCounter:
+			fmt.Fprintf(w, "  %-*s %16.0f\n", width, name, v.Value)
+		case KindGauge:
+			fmt.Fprintf(w, "  %-*s %16.6g  (max %.6g)\n", width, name, v.Value, v.Max)
+		case KindHistogram:
+			fmt.Fprintf(w, "  %-*s count=%d mean=%.2f min=%.0f max=%.0f\n",
+				width, name, v.Count, v.Mean(), v.Min, v.Max)
+		}
+	}
+}
+
+// Render writes the registry's current state as aligned text.
+func (r *Registry) Render(w io.Writer) { r.Snapshot().Render(w) }

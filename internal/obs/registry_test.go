@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Counter("c").Add(4)
+	if got := r.Counter("c").Value(); got != 5 {
+		t.Fatalf("counter = %d", got)
+	}
+
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Set(3)
+	if g.Value() != 3 || g.Max() != 10 {
+		t.Fatalf("gauge value %v max %v", g.Value(), g.Max())
+	}
+	g.SetMax(7)
+	if g.Max() != 10 {
+		t.Fatal("SetMax lowered the high-water mark")
+	}
+	g.SetMax(12)
+	if g.Max() != 12 || g.Value() != 3 {
+		t.Fatalf("SetMax: value %v max %v", g.Value(), g.Max())
+	}
+
+	h := r.Histogram("h")
+	for _, v := range []float64{1, 2, 4, 8, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 115 || h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("hist count=%d sum=%v min=%v max=%v", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if h.Mean() != 23 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if q := h.Quantile(0.5); q < 2 || q > 8 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("p100 = %v", q)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n").Add(10)
+	r.Gauge("g").Set(5)
+	r.Histogram("h").Observe(2)
+	before := r.Snapshot()
+
+	r.Counter("n").Add(7)
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(4)
+	after := r.Snapshot()
+
+	d := after.Delta(before)
+	if d["n"].Value != 7 {
+		t.Fatalf("counter delta = %v", d["n"])
+	}
+	if d["g"].Value != 9 {
+		t.Fatalf("gauge passes through: %v", d["g"])
+	}
+	if d["h"].Count != 1 || d["h"].Sum != 4 {
+		t.Fatalf("hist delta = %v", d["h"])
+	}
+
+	// The snapshots themselves are frozen.
+	if before["n"].Value != 10 || after["n"].Value != 17 {
+		t.Fatalf("snapshots moved: %v %v", before["n"], after["n"])
+	}
+}
+
+func TestNamesAndRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Inc()
+	r.Counter("a.first").Inc()
+	r.Gauge("m.gauge").Set(1.5)
+	r.Histogram("m.hist").Observe(3)
+
+	names := r.Snapshot().Names()
+	want := []string{"a.first", "m.gauge", "m.hist", "z.last"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, n := range want {
+		if !strings.Contains(out, n) {
+			t.Fatalf("render missing %s:\n%s", n, out)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"streamgpp/internal/obs"
 )
 
 // ProcState describes what a hardware context is doing; the engine uses
@@ -34,6 +36,7 @@ type Machine struct {
 	cfg Config
 	Mem *MemSystem
 	AS  *AddrSpace
+	obs *obs.Registry // optional metrics registry (see SetObserver)
 
 	procs  []*proc
 	nlive  int
@@ -96,7 +99,7 @@ func New(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Machine{cfg: cfg, Mem: NewMemSystem(cfg), AS: NewAddrSpace(cfg.PageBytes)}, nil
+	return &Machine{cfg: cfg, Mem: NewMemSystem(cfg), AS: NewAddrSpace(cfg.PageBytes), obs: defaultObserver}, nil
 }
 
 // MustNew is New, panicking on config errors. For tests and examples.
@@ -175,6 +178,11 @@ func (m *Machine) Run(threads ...func(*CPU)) RunStats {
 	}
 	m.epoch = start + stats.Cycles
 	m.procs = m.procs[:0]
+	if m.obs != nil {
+		// Keep the registry's sim.* gauges current with the cumulative
+		// counters as of this run's end.
+		m.StatsSnapshot().Publish(m.obs)
+	}
 	return stats
 }
 
@@ -260,14 +268,9 @@ func (m *Machine) ResetTiming() {
 	m.Mem.Bus.busyUntil = 0
 	m.Mem.Bus.hasRow = false
 	m.Mem.Bus.lastUse = [2]uint64{}
-	m.Mem.Bus.Stats = BusStats{}
 	m.Mem.walkerBusy = 0
-	m.Mem.Stats = MemStats{}
-	m.Mem.L1.Stats = CacheStats{}
-	m.Mem.L2.Stats = CacheStats{}
-	m.Mem.TLB.Stats = TLBStats{}
+	m.ResetStats()
 	for i := range m.Mem.PF {
-		m.Mem.PF[i].Stats = PFStats{}
 		m.Mem.PF[i].pending = make(map[Addr]uint64)
 	}
 	for _, e := range m.events {

@@ -6,6 +6,30 @@ import (
 	"streamgpp/internal/sim"
 )
 
+// groupBytes returns the array-side bytes one record contributes.
+func groupBytes(groups []Group) int {
+	total := 0
+	for _, g := range groups {
+		total += g.Size
+	}
+	return total
+}
+
+// observeOp records one bulk operation's traffic: the strip count and
+// the array-side bytes moved, split by operation.
+func observeOp(c *sim.CPU, op string, n, bytesPerRec int) {
+	if c == nil {
+		return
+	}
+	r := c.Machine().Observer()
+	if r == nil {
+		return
+	}
+	r.Counter("svm." + op + ".strips").Inc()
+	r.Counter("svm." + op + ".elems").Add(uint64(n))
+	r.Counter("svm." + op + ".array_bytes").Add(uint64(n * bytesPerRec))
+}
+
 // ScatterMode selects how scattered values combine with the array.
 type ScatterMode uint8
 
@@ -56,6 +80,7 @@ func Gather(c *sim.CPU, cfg OpConfig, dst *Stream, dstStart int, src *Array, fie
 	checkRange("Gather dst", dstStart, n, dst.N)
 	groups := src.Layout.Groups(fields)
 	elemBytes := dst.ElemBytes()
+	observeOp(c, "gather", n, groupBytes(groups))
 
 	var pipe *sim.Pipe
 	if c != nil {
@@ -112,6 +137,7 @@ func Scatter(c *sim.CPU, cfg OpConfig, src *Stream, srcStart int, dst *Array, fi
 	checkRange("Scatter src", srcStart, n, src.N)
 	groups := dst.Layout.Groups(fields)
 	elemBytes := src.ElemBytes()
+	observeOp(c, "scatter", n, groupBytes(groups))
 
 	var pipe *sim.Pipe
 	if c != nil {
@@ -187,6 +213,7 @@ func GatherMulti(c *sim.CPU, cfg OpConfig, dst *Stream, dstStart int, src *Array
 	checkRange("GatherMulti dst", dstStart, n, dst.N)
 	groups := src.Layout.Groups(fields)
 	elemBytes := dst.ElemBytes()
+	observeOp(c, "gather", n, groupBytes(groups)*len(idxs))
 
 	var pipe *sim.Pipe
 	if c != nil {

@@ -3,6 +3,7 @@ package svm
 import (
 	"fmt"
 
+	"streamgpp/internal/obs"
 	"streamgpp/internal/sim"
 )
 
@@ -15,7 +16,9 @@ type SRF struct {
 	Region   sim.Region
 	capacity uint64
 	used     uint64
+	maxUsed  uint64 // high-water mark across Resets
 	allocs   []SRFBuf
+	obs      *obs.Registry // the machine's registry at creation, or nil
 }
 
 // SRFBuf is one allocation inside the SRF.
@@ -39,7 +42,11 @@ func NewSRF(m *sim.Machine, bytes uint64) (*SRF, error) {
 	if bytes > l2 {
 		return nil, fmt.Errorf("svm: SRF of %d bytes exceeds the %d-byte L2 — it cannot be pinned", bytes, l2)
 	}
-	return &SRF{Region: m.AS.Alloc("SRF", bytes), capacity: bytes}, nil
+	s := &SRF{Region: m.AS.Alloc("SRF", bytes), capacity: bytes, obs: m.Observer()}
+	if s.obs != nil {
+		s.obs.Gauge("svm.srf.capacity_bytes").Set(float64(bytes))
+	}
+	return s, nil
 }
 
 // DefaultSRF allocates an SRF of DefaultSRFFraction of the L2.
@@ -57,6 +64,11 @@ func (s *SRF) Capacity() uint64 { return s.capacity }
 // Used returns the bytes currently allocated.
 func (s *SRF) Used() uint64 { return s.used }
 
+// MaxUsed returns the occupancy high-water mark, surviving Resets —
+// how much SRF the compiled program actually needed at its widest
+// phase.
+func (s *SRF) MaxUsed() uint64 { return s.maxUsed }
+
 // Free returns the bytes still available.
 func (s *SRF) Free() uint64 { return s.capacity - s.used }
 
@@ -73,6 +85,13 @@ func (s *SRF) Alloc(name string, bytes uint64) (SRFBuf, error) {
 	}
 	b := SRFBuf{Name: name, Base: s.Region.Base + s.used, Size: bytes}
 	s.used += bytes
+	if s.used > s.maxUsed {
+		s.maxUsed = s.used
+	}
+	if s.obs != nil {
+		s.obs.Gauge("svm.srf.used_bytes").Set(float64(s.used))
+		s.obs.Gauge("svm.srf.occupancy").Set(float64(s.maxUsed) / float64(s.capacity))
+	}
 	s.allocs = append(s.allocs, b)
 	return b, nil
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"streamgpp/internal/bitvec"
+	"streamgpp/internal/obs"
 	"streamgpp/internal/sim"
 )
 
@@ -58,8 +59,12 @@ type Task struct {
 	ID   int
 	Name string
 	Kind Kind
-	Deps []int
-	Run  func(c *sim.CPU)
+	// Phase and Strip attribute the task to its position in the
+	// compiled schedule, for tracing (see exec.TraceEvent).
+	Phase int
+	Strip int
+	Deps  []int
+	Run   func(c *sim.CPU)
 }
 
 // DefaultCapacity bounds in-flight tasks so dependence bit-vectors stay
@@ -98,6 +103,11 @@ type DWQ struct {
 	inflight     int
 	totalDone    uint64
 	maxOccupancy int
+
+	// Obs, when non-nil, receives wq.* metrics: a depth histogram
+	// sampled at every enqueue and completion, and task counters by
+	// kind. The executors attach the machine's registry here.
+	Obs *obs.Registry
 }
 
 // New returns an empty queue with the given slot capacity.
@@ -179,6 +189,11 @@ func (q *DWQ) Enqueue(t Task) error {
 	if q.inflight > q.maxOccupancy {
 		q.maxOccupancy = q.inflight
 	}
+	if q.Obs != nil {
+		q.Obs.Histogram("wq.depth").Observe(float64(q.inflight))
+		q.Obs.Counter("wq.enqueued." + t.Kind.String()).Inc()
+		q.Obs.Gauge("wq.max_occupancy").Set(float64(q.maxOccupancy))
+	}
 	return nil
 }
 
@@ -219,11 +234,16 @@ func (q *DWQ) Complete(slotIdx int) {
 			q.slots[i].deps.Clear(slotIdx)
 		}
 	}
+	kind := s.task.Kind
 	delete(q.byID, id)
 	s.state = slotFree
 	s.task = Task{}
 	q.inflight--
 	q.totalDone++
+	if q.Obs != nil {
+		q.Obs.Histogram("wq.depth").Observe(float64(q.inflight))
+		q.Obs.Counter("wq.completed." + kind.String()).Inc()
+	}
 
 	// Advance the completion watermark.
 	q.doneAbove[id] = true

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repo health check: vet, build, full tests, and the race detector over
+# the packages whose instrumentation relies on the sim engine's
+# virtual-time serialisation (wq, exec, obs).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (wq, exec, obs) =="
+go test -race ./internal/wq/ ./internal/exec/ ./internal/obs/
+
+echo "OK"

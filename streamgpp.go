@@ -37,6 +37,7 @@ import (
 	"streamgpp/internal/advisor"
 	"streamgpp/internal/compiler"
 	"streamgpp/internal/exec"
+	"streamgpp/internal/obs"
 	"streamgpp/internal/sdf"
 	"streamgpp/internal/sim"
 	"streamgpp/internal/svm"
@@ -216,6 +217,39 @@ func TuneStripSize(candidates []int, ecfg ExecConfig,
 // HalvingCandidates returns the strip-size ladder auto/2, auto/4, ...
 // down to min, for TuneStripSize.
 func HalvingCandidates(auto, min int) []int { return exec.HalvingCandidates(auto, min) }
+
+// MetricsRegistry is a registry of named counters, gauges and
+// histograms the whole stack records into; MetricsSnapshot is its
+// state frozen at one instant, with Delta for bracketing runs (see
+// internal/obs).
+type (
+	MetricsRegistry = obs.Registry
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewMetricsRegistry returns an empty metrics registry. Attach it to a
+// machine with Machine.SetObserver — or install it with
+// SetDefaultObserver before machines are built — and the simulator,
+// the SVM bulk operations, the work queue and the executors all record
+// into it.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// SetDefaultObserver installs a registry onto every Machine created
+// after this call (nil turns it off) — for observing machines built
+// deep inside application packages.
+func SetDefaultObserver(r *MetricsRegistry) { sim.SetDefaultObserver(r) }
+
+// MachineStats is every simulator counter block (caches, TLB, bus,
+// prefetchers) frozen at one instant; obtain it from
+// Machine.StatsSnapshot.
+type MachineStats = sim.MachineStats
+
+// StallReport attributes a run's cycles per hardware context: compute,
+// bulk memory, dependency-wait (spin+mwait on the work queue), idle.
+type StallReport = exec.StallReport
+
+// NewStallReport builds the attribution for one execution.
+func NewStallReport(res Result) StallReport { return exec.NewStallReport(res.Run) }
 
 // AdvisorReport is the §V-A streaming-suitability analysis of a graph.
 type AdvisorReport = advisor.Report
