@@ -8,6 +8,7 @@ package streamgpp_test
 
 import (
 	"io"
+	"os"
 	"testing"
 
 	"streamgpp/internal/apps/cdp"
@@ -22,6 +23,16 @@ import (
 	"streamgpp/internal/sim"
 	"streamgpp/internal/svm"
 )
+
+// TestMain lets the wall-clock benchmarks measure the simulator with
+// its bulk fast path disabled (STREAMGPP_FASTPATH=off), so before/after
+// comparisons run the same binary on the same machine.
+func TestMain(m *testing.M) {
+	if os.Getenv("STREAMGPP_FASTPATH") == "off" {
+		sim.SetDefaultFastPath(false)
+	}
+	os.Exit(m.Run())
+}
 
 // BenchmarkFig5Bandwidth sweeps the Fig. 5 gather/scatter bandwidth
 // characterisation (all four panels, plain and non-temporal).
@@ -113,6 +124,7 @@ func benchCDP(b *testing.B, p cdp.Params) {
 		last = r
 	}
 	b.ReportMetric(last.Speedup, "speedup")
+	b.ReportMetric(float64(last.Stream.Cycles), "sim-cycles")
 }
 
 func BenchmarkFig11bCDP4n4096(b *testing.B) { benchCDP(b, cdp.Grid4n4096) }
@@ -132,6 +144,7 @@ func BenchmarkFig11cNeo(b *testing.B) {
 	}
 	b.ReportMetric(last.Speedup, "speedup")
 	b.ReportMetric(float64(last.SavedBytes), "saved-bytes")
+	b.ReportMetric(float64(last.Stream.Cycles), "sim-cycles")
 }
 
 // BenchmarkFig11dSPAS* run the SpMV comparison at a cache-resident and
@@ -147,6 +160,7 @@ func benchSPAS(b *testing.B, rows int) {
 		last = r
 	}
 	b.ReportMetric(last.Speedup, "speedup")
+	b.ReportMetric(float64(last.Stream.Cycles), "sim-cycles")
 }
 
 func BenchmarkFig11dSPASSmall(b *testing.B) { benchSPAS(b, 2000) }

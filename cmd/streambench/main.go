@@ -6,13 +6,15 @@
 //
 //	streambench -list
 //	streambench -exp fig9
-//	streambench -exp all -quick
+//	streambench -exp all -quick -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"streamgpp/internal/bench"
@@ -23,6 +25,10 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig8, fig9, fig11a..fig11d) or 'all'")
 	quick := flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker goroutines across experiments and table rows (output is byte-identical at any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -32,28 +38,60 @@ func main() {
 		return
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *parallel > 0 {
+		bench.Parallelism = *parallel
+	}
+
 	m := sim.MustNew(sim.PentiumD8300())
 	fmt.Println(m.Describe())
 	fmt.Println()
 
-	run := func(e bench.Experiment) {
-		if err := e.Run(os.Stdout, *quick); err != nil {
-			fmt.Fprintf(os.Stderr, "streambench: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "streambench: %s: %v\n", id, err)
+		os.Exit(1)
 	}
 	if *exp == "all" {
-		for _, e := range bench.Experiments() {
-			run(e)
+		if err := bench.RunAll(os.Stdout, *quick); err != nil {
+			fail("all", err)
 		}
-		return
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "streambench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			if err := e.Run(os.Stdout, *quick); err != nil {
+				fail(e.ID, err)
+			}
+		}
 	}
-	for _, id := range strings.Split(*exp, ",") {
-		e, ok := bench.ByID(strings.TrimSpace(id))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "streambench: unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
+			os.Exit(1)
 		}
-		run(e)
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"streamgpp/internal/compiler"
 	"streamgpp/internal/exec"
+	"streamgpp/internal/obs"
 	"streamgpp/internal/sdf"
 	"streamgpp/internal/sim"
 	"streamgpp/internal/svm"
@@ -45,6 +46,11 @@ type Params struct {
 	// the serialised-pipeline ablation used by streamtrace and the
 	// stalls experiment.
 	NoDoubleBuffer bool
+	// Observer, when non-nil, is attached to this run's machines so
+	// the caller can read their metrics afterwards. Unlike
+	// sim.SetDefaultObserver it is scoped to the run, so concurrent
+	// benchmarks cannot observe each other's machines.
+	Observer *obs.Registry
 }
 
 // compileOptions returns the stream compile options for this run.
@@ -58,10 +64,15 @@ func (p Params) compileOptions(srf *svm.SRF) compiler.Options {
 
 // newMachine builds the machine the benchmark runs on.
 func (p Params) newMachine() *sim.Machine {
+	cfg := sim.PentiumD8300()
 	if p.Machine != nil {
-		return sim.MustNew(*p.Machine)
+		cfg = *p.Machine
 	}
-	return sim.MustNew(sim.PentiumD8300())
+	m := sim.MustNew(cfg)
+	if p.Observer != nil {
+		m.SetObserver(p.Observer)
+	}
+	return m
 }
 
 // Validate reports invalid parameters.

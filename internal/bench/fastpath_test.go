@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"streamgpp/internal/sim"
+)
+
+// renderAll runs every experiment in quick mode and returns the
+// concatenated tables.
+func renderAll(t *testing.T, quick bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := RunAll(&buf, quick); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The two orthogonal equivalence claims of the simulator's fast path,
+// checked over every experiment end to end:
+//
+//  1. The bulk fast path must not change a single simulated cycle:
+//     every experiment renders byte-identically with it on and off.
+//  2. The parallel runner must not change a single output byte:
+//     RunAll at high parallelism matches the serial run.
+//
+// Quick mode keeps the sweep affordable; the per-access differential
+// tests in internal/sim and internal/svm cover the full pattern space.
+func TestFastPathAndParallelRunsAreByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment three times")
+	}
+	oldPar := Parallelism
+	defer func() {
+		Parallelism = oldPar
+		sim.SetDefaultFastPath(true)
+	}()
+
+	Parallelism = 1
+	sim.SetDefaultFastPath(true)
+	ref := renderAll(t, true)
+
+	Parallelism = 8
+	parallel := renderAll(t, true)
+	if !bytes.Equal(ref, parallel) {
+		t.Errorf("parallel run differs from serial run:\nserial:\n%s\nparallel:\n%s", ref, parallel)
+	}
+
+	sim.SetDefaultFastPath(false)
+	slow := renderAll(t, true)
+	if !bytes.Equal(ref, slow) {
+		t.Errorf("fast path changes results:\nfast:\n%s\nreference:\n%s", ref, slow)
+	}
+}

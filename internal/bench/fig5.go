@@ -88,10 +88,18 @@ func Fig5(w io.Writer, quick bool) error {
 			Title:  "Fig. 5" + p.name,
 			Header: []string{"record B", "plain GB/s", "non-temporal GB/s"},
 		}
-		for _, rec := range records {
+		p := p
+		rows, err := parMap(len(records), func(i int) ([2]float64, error) {
+			rec := records[i]
 			plain := BandwidthProbe{RecordBytes: rec, Random: p.random, Write: p.write, TotalBytes: total}.Run()
 			nt := BandwidthProbe{RecordBytes: rec, Random: p.random, Write: p.write, NonTemporal: true, TotalBytes: total}.Run()
-			t.AddRow(fmt.Sprintf("%d", rec), fmt.Sprintf("%.3f", plain), fmt.Sprintf("%.3f", nt))
+			return [2]float64{plain, nt}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, r := range rows {
+			t.AddRow(fmt.Sprintf("%d", records[i]), fmt.Sprintf("%.3f", r[0]), fmt.Sprintf("%.3f", r[1]))
 		}
 		t.Note("paper: %s", p.expect)
 		t.Render(w)

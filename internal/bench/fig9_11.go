@@ -26,22 +26,28 @@ func Fig9(w io.Writer, quick bool) error {
 		Title:  "Fig. 9: stream/regular speedup vs COMP",
 		Header: []string{"COMP", "LD-ST-COMP", "GAT-SCAT-COMP", "PROD-CON"},
 	}
-	for _, comp := range comps {
-		p := micro.Params{N: n, Comp: comp, Seed: 9}
+	rows, err := parMap(len(comps), func(i int) ([3]float64, error) {
+		p := micro.Params{N: n, Comp: comps[i], Seed: 9}
 		ld, err := micro.RunLDST(p, exec.Defaults())
 		if err != nil {
-			return err
+			return [3]float64{}, err
 		}
 		gs, err := micro.RunGATSCAT(p, exec.Defaults())
 		if err != nil {
-			return err
+			return [3]float64{}, err
 		}
 		pc, err := micro.RunPRODCON(p, exec.Defaults())
 		if err != nil {
-			return err
+			return [3]float64{}, err
 		}
-		t.AddRow(fmt.Sprintf("%d", comp),
-			fmt.Sprintf("%.2f", ld.Speedup), fmt.Sprintf("%.2f", gs.Speedup), fmt.Sprintf("%.2f", pc.Speedup))
+		return [3]float64{ld.Speedup, gs.Speedup, pc.Speedup}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", comps[i]),
+			fmt.Sprintf("%.2f", r[0]), fmt.Sprintf("%.2f", r[1]), fmt.Sprintf("%.2f", r[2]))
 	}
 	t.Note("paper: LD-ST-COMP largest at low COMP (max +92%%) decaying to ~1;")
 	t.Note("GAT-SCAT rises with COMP then converges (worst case -4%%); PROD-CON above GAT-SCAT throughout.")
@@ -60,13 +66,17 @@ func Fig11a(w io.Writer, quick bool) error {
 		Title:  "Fig. 11(a): streamFEM speedups, 4816 cells",
 		Header: []string{"config", "record B", "speedup", "regular cyc", "stream cyc"},
 	}
-	for _, p := range []fem.Params{fem.EulerLin, fem.EulerQuad, fem.MHDLin, fem.MHDQuad} {
+	cfgs := []fem.Params{fem.EulerLin, fem.EulerQuad, fem.MHDLin, fem.MHDQuad}
+	results, err := parMap(len(cfgs), func(i int) (fem.Result, error) {
+		p := cfgs[i]
 		p.Steps = steps
-		res, err := fem.Run(p, exec.Defaults())
-		if err != nil {
-			return err
-		}
-		t.AddRow(p.Name(), fmt.Sprintf("%d", p.K()*8),
+		return fem.Run(p, exec.Defaults())
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		t.AddRow(cfgs[i].Name(), fmt.Sprintf("%d", cfgs[i].K()*8),
 			fmt.Sprintf("%.2f", res.Speedup),
 			fmt.Sprintf("%d", res.Regular.Cycles), fmt.Sprintf("%d", res.Stream.Cycles))
 	}
@@ -85,13 +95,17 @@ func Fig11b(w io.Writer, quick bool) error {
 		Title:  "Fig. 11(b): streamCDP speedups",
 		Header: []string{"config", "speedup", "regular cyc", "stream cyc"},
 	}
-	for _, p := range []cdp.Params{cdp.Grid4n4096, cdp.Grid4n8192, cdp.Grid6n4096, cdp.Grid6n8192} {
+	cfgs := []cdp.Params{cdp.Grid4n4096, cdp.Grid4n8192, cdp.Grid6n4096, cdp.Grid6n8192}
+	results, err := parMap(len(cfgs), func(i int) (cdp.Result, error) {
+		p := cfgs[i]
 		p.Steps = steps
-		res, err := cdp.Run(p, exec.Defaults())
-		if err != nil {
-			return err
-		}
-		t.AddRow(p.Name(), fmt.Sprintf("%.2f", res.Speedup),
+		return cdp.Run(p, exec.Defaults())
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		t.AddRow(cfgs[i].Name(), fmt.Sprintf("%.2f", res.Speedup),
 			fmt.Sprintf("%d", res.Regular.Cycles), fmt.Sprintf("%d", res.Stream.Cycles))
 	}
 	t.Note("paper: 0.94x-1.27x, improving with neighbours and mesh size")
@@ -109,12 +123,14 @@ func Fig11c(w io.Writer, quick bool) error {
 		Title:  "Fig. 11(c): neo-hookean speedups",
 		Header: []string{"elements", "speedup", "saved writeback MB"},
 	}
-	for _, n := range sizes {
-		res, err := neo.Run(neo.Params{Elements: n, Seed: 11}, exec.Defaults())
-		if err != nil {
-			return err
-		}
-		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", res.Speedup),
+	results, err := parMap(len(sizes), func(i int) (neo.Result, error) {
+		return neo.Run(neo.Params{Elements: sizes[i], Seed: 11}, exec.Defaults())
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		t.AddRow(fmt.Sprintf("%d", sizes[i]), fmt.Sprintf("%.2f", res.Speedup),
 			fmt.Sprintf("%.1f", float64(res.SavedBytes)/1e6))
 	}
 	t.Note("paper: 1.21x-1.23x from producer-consumer locality (elements x 144 B never written back)")
@@ -132,12 +148,14 @@ func Fig11d(w io.Writer, quick bool) error {
 		Title:  "Fig. 11(d): streamSPAS speedups (nnz/row = 46)",
 		Header: []string{"rows", "nnz", "speedup"},
 	}
-	for _, rows := range sizes {
-		res, err := spas.Run(spas.Params{Rows: rows, NNZPerRow: spas.PaperNNZPerRow, Seed: 13}, exec.Defaults())
-		if err != nil {
-			return err
-		}
-		t.AddRow(fmt.Sprintf("%d", rows), fmt.Sprintf("%d", res.NNZ), fmt.Sprintf("%.2f", res.Speedup))
+	results, err := parMap(len(sizes), func(i int) (spas.Result, error) {
+		return spas.Run(spas.Params{Rows: sizes[i], NNZPerRow: spas.PaperNNZPerRow, Seed: 13}, exec.Defaults())
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		t.AddRow(fmt.Sprintf("%d", sizes[i]), fmt.Sprintf("%d", results[i].NNZ), fmt.Sprintf("%.2f", res.Speedup))
 	}
 	t.Note("paper: a slowdown for small meshes (the cache serves the regular code) recovering as the matrix outgrows the cache")
 	t.Render(w)

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism is the number of worker goroutines the experiment
+// runners may use, both across experiments (RunAll) and across the
+// rows of one experiment's table. 1 (the default) runs everything
+// serially. Every row builds its own machines and draws from its own
+// seeded RNGs, so the computed cells are independent of execution
+// order and the rendered tables are byte-identical at any setting.
+var Parallelism = 1
+
+// parMap computes out[i] = f(i) for i in [0,n), running up to
+// Parallelism calls concurrently. Results land in index order, so a
+// table assembled from them matches the serial loop byte for byte.
+// All in-flight calls finish before it returns; the first error by
+// index wins.
+func parMap[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	workers := Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := f(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunAll executes every experiment and writes their tables in paper
+// order. With Parallelism > 1 the experiments run concurrently, each
+// rendering into its own buffer; the buffers are emitted in order, so
+// the output is byte-identical to a serial run.
+func RunAll(w io.Writer, quick bool) error {
+	exps := Experiments()
+	outs, err := parMap(len(exps), func(i int) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := exps[i].Run(&buf, quick); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range outs {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -7,7 +7,6 @@ import (
 	"streamgpp/internal/apps/micro"
 	"streamgpp/internal/exec"
 	"streamgpp/internal/obs"
-	"streamgpp/internal/sim"
 )
 
 // Stalls uses the observability layer to explain where the stream
@@ -33,13 +32,15 @@ func Stalls(w io.Writer, quick bool) error {
 		{"double-buffered", false},
 		{"single-buffered", true},
 	} {
+		// The registry rides Params rather than sim.SetDefaultObserver:
+		// the global default would leak concurrently created machines
+		// into this table under the parallel runner.
 		reg := obs.NewRegistry()
-		sim.SetDefaultObserver(reg)
 		tr := &exec.Trace{}
 		ecfg := exec.Defaults()
 		ecfg.Trace = tr
-		res, err := micro.RunGATSCAT(micro.Params{N: n, Comp: 1, Seed: 9, NoDoubleBuffer: cfgRow.noDouble}, ecfg)
-		sim.SetDefaultObserver(nil)
+		res, err := micro.RunGATSCAT(micro.Params{N: n, Comp: 1, Seed: 9,
+			NoDoubleBuffer: cfgRow.noDouble, Observer: reg}, ecfg)
 		if err != nil {
 			return err
 		}

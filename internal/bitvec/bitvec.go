@@ -131,6 +131,31 @@ func (v Vec) Clone() Vec {
 	return w
 }
 
+// NextSet returns the index of the first set bit at or after i, or -1
+// if there is none. It skips empty words with one comparison each, so
+// iterating a sparse vector costs O(words), not O(bits):
+//
+//	for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) { ... }
+func (v Vec) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= v.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := v.words[wi] >> (i % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(v.words); wi++ {
+		if v.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(v.words[wi])
+		}
+	}
+	return -1
+}
+
 // ForEach calls f for every set bit, in ascending order.
 func (v Vec) ForEach(f func(i int)) {
 	for wi, w := range v.words {

@@ -144,6 +144,76 @@ func TestZeroCapacity(t *testing.T) {
 	}
 }
 
+// nextSetRef is the bit-by-bit reference implementation of NextSet.
+func nextSetRef(v Vec, i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for ; i < v.Len(); i++ {
+		if v.Test(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestNextSet(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 7, 63, 64, 65, 129} {
+		v.Set(i)
+	}
+	for _, tc := range []struct{ from, want int }{
+		{-5, 0}, {0, 0}, {1, 7}, {7, 7}, {8, 63}, {63, 63}, {64, 64},
+		{65, 65}, {66, 129}, {129, 129}, {130, -1}, {1000, -1},
+	} {
+		if got := v.NextSet(tc.from); got != tc.want {
+			t.Errorf("NextSet(%d) = %d, want %d", tc.from, got, tc.want)
+		}
+	}
+	if got := New(64).NextSet(0); got != -1 {
+		t.Errorf("empty NextSet(0) = %d, want -1", got)
+	}
+	if got := New(0).NextSet(0); got != -1 {
+		t.Errorf("zero-capacity NextSet(0) = %d, want -1", got)
+	}
+}
+
+// Property: NextSet agrees with the bit-by-bit reference at every
+// starting index, so iterating with it visits exactly the set bits.
+func TestNextSetMatchesReference(t *testing.T) {
+	f := func(idx []uint8, starts []uint8) bool {
+		v := New(200)
+		for _, i := range idx {
+			if int(i) < v.Len() {
+				v.Set(int(i))
+			}
+		}
+		for s := -1; s <= v.Len()+1; s++ {
+			if v.NextSet(s) != nextSetRef(v, s) {
+				return false
+			}
+		}
+		var got []int
+		for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+			got = append(got, i)
+		}
+		var want []int
+		v.ForEach(func(i int) { want = append(want, i) })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: Count equals the number of distinct set indices.
 func TestCountMatchesDistinctSets(t *testing.T) {
 	f := func(idx []uint8) bool {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"streamgpp/internal/compiler"
+	"streamgpp/internal/obs"
 	"streamgpp/internal/sim"
 	"streamgpp/internal/wq"
 )
@@ -99,6 +100,11 @@ func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 	next := 0
 	finished := false
 	total := len(p.Tasks)
+	if cfg.Trace != nil {
+		// One event per task; a depth sample per completion plus one
+		// per enqueue batch (bounded by the task count).
+		cfg.Trace.Reserve(total, 2*total)
+	}
 
 	var kindCycles [3]uint64
 
@@ -126,17 +132,26 @@ func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 
 	// recordWait attributes one wait's cycles: tasks sat in our queue but
 	// their dependences hadn't cleared (pipeline stall) versus the queue
-	// being genuinely empty or full (starvation).
+	// being genuinely empty or full (starvation). The counters are
+	// resolved once up front; waits are frequent enough that per-wait
+	// name formatting and registry lookups show up in profiles.
+	var waitCtr [2][2]*obs.Counter // [ctx][0=empty 1=dep]
+	if r := m.Observer(); r != nil {
+		for ctx := 0; ctx < 2; ctx++ {
+			for i, reason := range [...]string{"empty", "dep"} {
+				waitCtr[ctx][i] = r.Counter(fmt.Sprintf("exec.ctx%d.wait_cycles.%s", ctx, reason))
+			}
+		}
+	}
 	recordWait := func(c *sim.CPU, qid wq.QueueID, cycles uint64) {
-		r := m.Observer()
-		if r == nil || cycles == 0 {
+		if waitCtr[0][0] == nil || cycles == 0 {
 			return
 		}
-		reason := "empty"
+		reason := 0 // empty
 		if q.PendingIn(qid) > 0 {
-			reason = "dep"
+			reason = 1 // dep
 		}
-		r.Counter(fmt.Sprintf("exec.ctx%d.wait_cycles.%s", c.ID(), reason)).Add(cycles)
+		waitCtr[c.ID()][reason].Add(cycles)
 	}
 
 	st := m.Run(
@@ -234,6 +249,9 @@ func publishRun(m *sim.Machine, label string, st sim.RunStats, kindCycles [3]uin
 // remain; the thread-level overlap does not.
 func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 	var kindCycles [3]uint64
+	if cfg.Trace != nil {
+		cfg.Trace.Reserve(len(p.Tasks), 0)
+	}
 	st := m.Run(func(c *sim.CPU) {
 		for _, t := range p.Tasks {
 			before := c.Now()

@@ -39,6 +39,22 @@ type Trace struct {
 	Counters []CounterSample
 }
 
+// Reserve grows the event and counter buffers to hold at least the
+// given totals, so a run of known task count appends without
+// reallocating mid-execution.
+func (tr *Trace) Reserve(events, counters int) {
+	if n := len(tr.Events) + events; n > cap(tr.Events) {
+		grown := make([]TraceEvent, len(tr.Events), n)
+		copy(grown, tr.Events)
+		tr.Events = grown
+	}
+	if n := len(tr.Counters) + counters; n > cap(tr.Counters) {
+		grown := make([]CounterSample, len(tr.Counters), n)
+		copy(grown, tr.Counters)
+		tr.Counters = grown
+	}
+}
+
 // record appends one event.
 func (tr *Trace) record(e TraceEvent) { tr.Events = append(tr.Events, e) }
 

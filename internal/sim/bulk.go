@@ -1,0 +1,491 @@
+package sim
+
+// This file implements the cycle-exact bulk fast path. Stream
+// workloads (sequential or constant-stride gathers/scatters, and the
+// regular baseline's interleaved loops) touch the same cache line, TLB
+// page or write-combining buffer many times in a row, so almost every
+// access repeats the hierarchy walk the previous access just did. Each
+// Pipe keeps a small set of "pins": windows of memory proven resident
+// (an L1 line plus its TLB entry, or a WC-buffer page). An access that
+// lands inside a pin replays *exactly* the state mutations the
+// per-access reference path would perform — same tick increments, same
+// LRU updates, same statistics, same clock arithmetic, same park
+// cadence — skipping only the redundant searches. Anything a pin
+// cannot prove resident (line/page crossings, evictions by the sibling
+// context, WC flushes) takes the ordinary path, whose result re-arms a
+// pin. Generation counters on the caches and TLB detect foreign
+// mutations that could silently unpin a window.
+//
+// Because the fast step performs literally the same mutations as the
+// reference path, the two are bit-identical by construction; the
+// differential tests in bulk_test.go, internal/svm and internal/bench
+// enforce this.
+
+// defaultFastPath controls whether newly created Machines use the bulk
+// fast path. It mirrors defaultObserver: differential tests need to
+// reach machines created deep inside app packages.
+var defaultFastPath = true
+
+// SetDefaultFastPath enables or disables the bulk fast path on every
+// Machine created after this call. Set it from one goroutine before
+// any machine is built.
+func SetDefaultFastPath(on bool) { defaultFastPath = on }
+
+// SetFastPath enables or disables the bulk fast path on this machine.
+func (m *Machine) SetFastPath(on bool) { m.fastPath = on }
+
+// FastPath reports whether the bulk fast path is enabled.
+func (m *Machine) FastPath() bool { return m.fastPath }
+
+// pipePins is the pin-set size: enough for every concurrent reference
+// stream of the widest loop (array sides, SRF side, index arrays).
+const pipePins = 8
+
+// pin is one proven-resident window.
+type pin struct {
+	valid bool
+	wc    bool // pins a WC-buffer page rather than an L1 line
+
+	lo, hi Addr       // the window: one L1 line (cacheable) or one page (wc)
+	ln     *cacheLine // L1-resident line, cacheable pins only
+	te     *tlbEntry  // TLB entry mapping the window
+	set    int        // L1 set of ln
+
+	l1Gen    uint64
+	l1SetGen uint64
+	tlbGen   uint64
+}
+
+// BulkRef describes one reference pattern of a bulk operation:
+// iteration k of the operation touches [Base+k*Stride, Base+k*Stride+Size).
+type BulkRef struct {
+	Base   Addr
+	Size   int
+	Stride int
+	Write  bool
+	Hint   Hint
+}
+
+// AccessBulk issues n iterations over the given reference patterns,
+// bit-identically to the equivalent loop nest
+//
+//	for k := 0; k < n; k++ {
+//		for _, r := range refs {
+//			p.Access(r.Base+Addr(k*r.Stride), r.Size, r.Write, r.Hint)
+//		}
+//	}
+//
+// Declaring the whole pattern in one call is what lets the fast path
+// coalesce: whenever every reference of an iteration is pinned
+// (guaranteed L1 hit or write-combining post) and the engine would not
+// switch contexts, a whole run of iterations collapses into one
+// closed-form state update (see bulkBatch) — the simulator walks cache
+// lines, not records. With the fast path disabled this is the literal
+// reference loop.
+func (p *Pipe) AccessBulk(n int, refs ...BulkRef) {
+	fast := p.c.m.fastPath
+	for k := 0; k < n; {
+		if fast {
+			if adv := p.bulkBatch(k, n-k, refs); adv > 0 {
+				k += adv
+				continue
+			}
+		}
+		for i := range refs {
+			r := &refs[i]
+			p.Access(r.Base+Addr(k*r.Stride), r.Size, r.Write, r.Hint)
+		}
+		k++
+	}
+}
+
+// maxBatchRefs bounds the per-batch stack state of bulkBatch.
+const maxBatchRefs = 8
+
+// bulkBatch tries to execute iterations k0, k0+1, ... of the reference
+// pattern as one aggregate state update, returning how many iterations
+// it consumed (0 = not batchable right now; the caller runs one
+// reference iteration and retries).
+//
+// A run of iterations is batchable when, for its whole length, every
+// access is a guaranteed L1 hit or WC post (proven by a pin, like
+// fastAccess) and every park the reference path would make is a no-op
+// (the engine would re-pick this context). Under those conditions each
+// access's mutations are fixed increments — tick++, lru=tick, stats++,
+// clock += issue — so k iterations apply in closed form: sums for the
+// counters, final-position values for the LRU stamps. Refs sharing a
+// TLB entry or cache line are stamped in reference order so the last
+// writer matches. The result is bit-identical to the per-access loop.
+func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
+	nrefs := len(refs)
+	if nrefs == 0 || nrefs > maxBatchRefs || p.wlen >= p.mlp {
+		return 0
+	}
+	c := p.c
+	ms := c.m.Mem
+	l1Line := Addr(ms.cfg.L1Line)
+	l2Line := Addr(ms.cfg.L2Line)
+
+	// How far may the clock advance before a park would actually yield?
+	// (Engine rule: smallest clock runs, ties to the smaller id.)
+	budget := uint64(1<<64 - 1)
+	if c.m.nlive >= 2 {
+		if sib := c.m.sibling(c.p.id); sib != nil && sib.state != StateDone && !sib.sleeping {
+			bound := sib.now
+			if c.p.id > sib.id {
+				if bound == 0 {
+					return 0
+				}
+				bound--
+			}
+			if c.p.now > bound {
+				return 0
+			}
+			budget = bound - c.p.now
+		}
+	}
+	k := uint64(maxIter)
+	if p.issue > 0 {
+		if kb := budget / (uint64(nrefs) * p.issue); kb < k {
+			k = kb
+		}
+	}
+	if k < 2 {
+		return 0
+	}
+
+	// Resolve a pin for every ref and bound k by each pin's window.
+	var (
+		pinOf  [maxBatchRefs]*pin
+		isWC   [maxBatchRefs]bool
+		cpos   [maxBatchRefs]int // position among cacheable refs
+		ncache int
+		sawWC  bool
+	)
+	for r := 0; r < nrefs; r++ {
+		ref := &refs[r]
+		if ref.Size <= 0 || ref.Stride <= 0 {
+			return 0
+		}
+		addr := ref.Base + Addr(k0*ref.Stride)
+		end := addr + Addr(ref.Size)
+		wc := ref.Write && ref.Hint == HintNonTemporal
+		if wc {
+			if sawWC {
+				return 0 // two NT-store streams share one WC buffer: not batchable
+			}
+			sawWC = true
+		}
+		var pn *pin
+		for i := range p.pins {
+			q := &p.pins[i]
+			if q.valid && q.wc == wc && addr >= q.lo && end <= q.hi {
+				pn = q
+				break
+			}
+		}
+		if pn == nil {
+			return 0
+		}
+		if pn.tlbGen != ms.TLB.gen {
+			te := ms.TLB.probe(pn.lo >> ms.TLB.pageBits)
+			if te == nil {
+				pn.valid = false
+				return 0
+			}
+			pn.te = te
+			pn.tlbGen = ms.TLB.gen
+		}
+		if wc {
+			wcb := &ms.wc[c.p.id]
+			if !wcb.open || wcb.line != addr&^(l2Line-1) {
+				return 0
+			}
+			// Stores must stay in the open buffer's line without
+			// filling it, and each must fit in one L1 chunk.
+			lineEnd := wcb.line + l2Line
+			if end > lineEnd {
+				return 0
+			}
+			if kl := (lineEnd - addr - Addr(ref.Size)) / Addr(ref.Stride); kl+1 < k {
+				k = kl + 1
+			}
+			if kc := uint64(ms.cfg.L2Line-1-wcb.bytes) / uint64(ref.Size); kc < k {
+				k = kc
+			}
+			if k < 2 {
+				return 0
+			}
+			for j := uint64(0); j < k; j++ {
+				a := addr + Addr(j*uint64(ref.Stride))
+				if (a&(l1Line-1))+Addr(ref.Size) > l1Line {
+					k = j
+					break
+				}
+			}
+			if k < 2 {
+				return 0
+			}
+		} else {
+			if pn.l1Gen != ms.L1.gen || pn.l1SetGen != ms.L1.setGen[pn.set] {
+				set, tag := ms.L1.index(pn.lo)
+				ln := ms.L1.findLine(set, tag)
+				if ln == nil {
+					pn.valid = false
+					return 0
+				}
+				pn.ln = ln
+				pn.l1Gen = ms.L1.gen
+				pn.l1SetGen = ms.L1.setGen[set]
+			}
+			// Iterations whose access stays inside the pinned line.
+			if kp := (pn.hi - addr - Addr(ref.Size)) / Addr(ref.Stride); kp+1 < k {
+				k = kp + 1
+			}
+			if k < 2 {
+				return 0
+			}
+			cpos[r] = ncache
+			ncache++
+		}
+		pinOf[r] = pn
+		isWC[r] = wc
+	}
+
+	// Commit: replay k iterations' worth of mutations in closed form.
+	c.p.state = p.state
+	accesses := k * uint64(nrefs)
+	ms.Stats.Accesses += accesses
+	ms.TLB.Stats.Hits += accesses
+	tlb0 := ms.TLB.tick
+	ms.TLB.tick += accesses
+	var l10 uint64
+	if ncache > 0 {
+		l10 = ms.L1.tick
+		ms.L1.tick += k * uint64(ncache)
+		ms.L1.Stats.Hits += k * uint64(ncache)
+		ms.Stats.ByLevel[LevelL1] += k * uint64(ncache)
+	}
+	now0 := c.p.now
+	if p.issue > 0 {
+		adv := accesses * p.issue
+		c.p.now += adv
+		c.p.memCycles += adv
+	}
+	for r := 0; r < nrefs; r++ {
+		pn := pinOf[r]
+		// The ref's last access is iteration k-1, position r (or its
+		// cacheable position) within it; stamping in ref order makes
+		// the last writer win for refs sharing an entry or line.
+		pn.te.lru = tlb0 + (k-1)*uint64(nrefs) + uint64(r) + 1
+		var done uint64
+		if isWC[r] {
+			wcb := &ms.wc[c.p.id]
+			wcb.bytes += int(k) * refs[r].Size
+			ms.Stats.ByLevel[LevelWC] += k
+			done = now0 + ((k-1)*uint64(nrefs)+uint64(r))*p.issue + 1
+		} else {
+			pn.ln.lru = l10 + (k-1)*uint64(ncache) + uint64(cpos[r]) + 1
+			if refs[r].Write {
+				pn.ln.dirty = true
+			}
+			done = now0 + ((k-1)*uint64(nrefs)+uint64(r))*p.issue + ms.cfg.L1HitLat
+		}
+		if done > p.slowest {
+			p.slowest = done
+		}
+	}
+	p.pending = (p.pending + int(accesses)) % pipeParkBatch
+	return int(k)
+}
+
+// pinColdLimit is the miss streak after which Pipe.Access stops
+// probing the pin set: on random (indexed) traffic pins essentially
+// never match, so the per-access scan is pure overhead. Any pin hit
+// resets the streak; a capture while cold grants exactly one probed
+// access (probation) — a stream that settles back into line reuse
+// hits that probe and is fully warm again after one slow access,
+// while random traffic wastes at most one probe per capture. Like all
+// pin policy this changes only which path runs, never any simulated
+// state.
+const pinColdLimit = 32
+
+// fastAccess tries to satisfy the access from the pin set, returning
+// ok=false when no pin proves it resident.
+func (p *Pipe) fastAccess(addr Addr, size int, write bool, hint Hint) (AccessResult, bool) {
+	if size <= 0 {
+		return AccessResult{}, false // let the reference path panic
+	}
+	c := p.c
+	ms := c.m.Mem
+	wc := write && hint == HintNonTemporal
+	end := addr + Addr(size)
+	for i := range p.pins {
+		pn := &p.pins[i]
+		if !pn.valid || pn.wc != wc || addr < pn.lo || end > pn.hi {
+			continue
+		}
+		if pn.tlbGen != ms.TLB.gen {
+			te := ms.TLB.probe(pn.lo >> ms.TLB.pageBits)
+			if te == nil {
+				pn.valid = false
+				continue
+			}
+			pn.te = te
+			pn.tlbGen = ms.TLB.gen
+		}
+		var wcb *wcBuffer
+		if wc {
+			// The non-temporal store must append to the open WC buffer
+			// without filling it (a fill flushes to the bus — slow
+			// path), and must stay within one L1 line (larger accesses
+			// split into chunks).
+			l1Line := Addr(ms.cfg.L1Line)
+			if end > (addr&^(l1Line-1))+l1Line {
+				return AccessResult{}, false
+			}
+			wcb = &ms.wc[c.p.id]
+			if !wcb.open || wcb.line != addr&^Addr(ms.cfg.L2Line-1) || wcb.bytes+size >= ms.cfg.L2Line {
+				return AccessResult{}, false
+			}
+		} else if pn.l1Gen != ms.L1.gen || pn.l1SetGen != ms.L1.setGen[pn.set] {
+			// Something was installed into the pinned set (or the
+			// cache was flushed) since the pin; re-probe the line.
+			set, tag := ms.L1.index(pn.lo)
+			ln := ms.L1.findLine(set, tag)
+			if ln == nil {
+				pn.valid = false
+				continue
+			}
+			pn.ln = ln
+			pn.l1Gen = ms.L1.gen
+			pn.l1SetGen = ms.L1.setGen[set]
+		}
+
+		// The access is a guaranteed hit; replay the exact mutations
+		// of Pipe.Access → MemSystem.Access for this case.
+		c.p.state = p.state
+		start := c.p.now
+		if p.wlen == p.mlp {
+			oldest := p.window[p.whead]
+			p.whead++
+			if p.whead == p.mlp {
+				p.whead = 0
+			}
+			p.wlen--
+			if oldest > start {
+				start = oldest
+			}
+		}
+
+		ms.Stats.Accesses++
+		ms.TLB.tick++
+		pn.te.lru = ms.TLB.tick
+		ms.TLB.Stats.Hits++
+
+		r := AccessResult{}
+		if wc {
+			wcb.bytes += size
+			ms.Stats.ByLevel[LevelWC]++
+			r = AccessResult{Done: start + 1, Level: LevelWC}
+		} else {
+			l1 := ms.L1
+			l1.tick++
+			pn.ln.lru = l1.tick
+			if write {
+				pn.ln.dirty = true
+			}
+			l1.Stats.Hits++
+			ms.Stats.ByLevel[LevelL1]++
+			r = AccessResult{Done: start + ms.cfg.L1HitLat, Level: LevelL1}
+		}
+
+		// L1 hits and posted WC stores never occupy a window slot.
+		if r.Done > p.slowest {
+			p.slowest = r.Done
+		}
+		t := start + p.issue
+		if t > c.p.now {
+			c.p.memCycles += t - c.p.now
+			c.p.now = t
+		}
+		p.pending++
+		if p.pending >= pipeParkBatch {
+			p.pending = 0
+			c.park()
+		}
+		p.pinCold = 0
+		return r, true
+	}
+	p.pinCold++
+	return AccessResult{}, false
+}
+
+// capturePin re-arms a pin after a reference-path access: the line (or
+// WC page) that access touched is now resident, so subsequent accesses
+// inside it qualify for fastAccess.
+//
+// Only accesses with proven reuse arm a pin: an L1 hit (somebody
+// touched the line before and will again — the signature of a stream
+// that just crossed into a new line) or a posted write-combining store.
+// A fill from L2 or DRAM is just as resident, but capturing there would
+// tax every miss of a *random* stream for pins that never hit again;
+// a true stream's second access to the line is an L1 hit and arms the
+// pin then, giving up 1 fast access per line in exchange for making
+// random misses free. Pin policy only decides which accesses take the
+// fast path, never what any access does, so this heuristic cannot
+// affect simulated timing. level tells the capture which kind of
+// window to pin: LevelWC pins the open WC buffer's page, anything else
+// pins the L1 line just accessed.
+func (p *Pipe) capturePin(addr Addr, size int, level Level) {
+	// No duplicate-pin check is needed: a live pin covering this access
+	// would have served it in fastAccess, so a capture here implies no
+	// such pin exists and round-robin replacement suffices.
+	ms := p.c.m.Mem
+	if level == LevelWC {
+		page := addr >> ms.TLB.pageBits
+		te := ms.TLB.probe(page)
+		if te == nil {
+			return
+		}
+		lo := page << ms.TLB.pageBits
+		p.pins[p.pinNext] = pin{valid: true, wc: true, te: te, tlbGen: ms.TLB.gen,
+			lo: lo, hi: lo + (1 << ms.TLB.pageBits)}
+		p.pinNext = (p.pinNext + 1) % pipePins
+		if p.pinCold >= pinColdLimit {
+			p.pinCold = pinColdLimit - 1
+		} else {
+			p.pinCold = 0
+		}
+		return
+	}
+	// Pin the line holding the access's last byte: a forward-moving
+	// stream's next accesses land there (or beyond, re-pinning). The
+	// lookup that produced this hit usually just stashed the line, so
+	// the set scan is normally skipped.
+	l1 := ms.L1
+	line := l1.LineAddr(addr + Addr(size) - 1)
+	ln, set := l1.lastHit, l1.lastHitSet
+	if ln == nil || l1.lastHitLine != line ||
+		l1.lastHitGen != l1.gen || l1.lastHitSetGen != l1.setGen[set] {
+		var tag uint64
+		set, tag = l1.index(line)
+		ln = l1.findLine(set, tag)
+		if ln == nil {
+			return
+		}
+	}
+	te := ms.TLB.probe(line >> ms.TLB.pageBits)
+	if te == nil {
+		return
+	}
+	p.pins[p.pinNext] = pin{valid: true, lo: line, hi: line + Addr(ms.cfg.L1Line),
+		ln: ln, te: te, set: set,
+		l1Gen: l1.gen, l1SetGen: l1.setGen[set], tlbGen: ms.TLB.gen}
+	p.pinNext = (p.pinNext + 1) % pipePins
+	if p.pinCold >= pinColdLimit {
+		p.pinCold = pinColdLimit - 1
+	} else {
+		p.pinCold = 0
+	}
+}

@@ -26,8 +26,49 @@ type Cache struct {
 	sets     [][]cacheLine
 	tick     uint64
 
+	// Precomputed shift/mask forms of the geometry (everything is a
+	// power of two), so the hot index() avoids integer division.
+	lineShift uint
+	setShift  uint
+	setMask   uint64
+
+	// gen counts whole-cache invalidations and setGen[s] counts
+	// installs into set s. Any cached *cacheLine pointer (the memo
+	// below, or a bulk fast-path pin) is only trustworthy while both
+	// generations are unchanged.
+	gen    uint64
+	setGen []uint64
+
+	// memo is a tiny MRU front-end over the set scan: bulk copies
+	// touch the same few lines (array, SRF, indices) repeatedly, so
+	// most lookups resolve here. A memo hit performs exactly the
+	// mutations a scan hit would, so timing and statistics are
+	// unchanged. Only caches wider than the memo use it — for a cache
+	// whose set scan is no longer than the memo scan (the 4-way L1)
+	// the front-end is pure overhead on misses.
+	memo     [cacheMemoWays]cacheMemo
+	memoNext int
+	useMemo  bool
+
+	// lastHit stashes the line of the most recent scan hit so the bulk
+	// fast path can re-arm a pin without re-scanning the set. Like any
+	// cached *cacheLine it is only trustworthy while gen and
+	// setGen[lastHitSet] are unchanged (checked by the consumer).
+	lastHit       *cacheLine
+	lastHitLine   Addr
+	lastHitSet    int
+	lastHitGen    uint64
+	lastHitSetGen uint64
+
 	// CacheStats accumulates since construction or the last reset.
 	Stats CacheStats
+}
+
+const cacheMemoWays = 4
+
+type cacheMemo struct {
+	line Addr
+	ln   *cacheLine
 }
 
 // CacheStats counts cache events.
@@ -56,7 +97,16 @@ func NewCache(name string, totalBytes, ways, lineSize, ntWays int) *Cache {
 	for i := range sets {
 		sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
 	}
-	return &Cache{name: name, lineSize: lineSize, ways: ways, nsets: nsets, ntWays: ntWays, sets: sets}
+	c := &Cache{name: name, lineSize: lineSize, ways: ways, nsets: nsets, ntWays: ntWays,
+		sets: sets, setGen: make([]uint64, nsets), setMask: uint64(nsets - 1),
+		useMemo: ways > cacheMemoWays}
+	for 1<<c.lineShift != lineSize {
+		c.lineShift++
+	}
+	for 1<<c.setShift != nsets {
+		c.setShift++
+	}
+	return c
 }
 
 // LineSize returns the cache line size in bytes.
@@ -75,14 +125,28 @@ func (c *Cache) SizeBytes() int { return c.nsets * c.ways * c.lineSize }
 func (c *Cache) LineAddr(addr Addr) Addr { return addr &^ uint64(c.lineSize-1) }
 
 func (c *Cache) index(line Addr) (set int, tag uint64) {
-	l := line / uint64(c.lineSize)
-	return int(l % uint64(c.nsets)), l / uint64(c.nsets)
+	l := line >> c.lineShift
+	return int(l & c.setMask), l >> c.setShift
 }
 
 // Lookup probes the cache without filling. On a hit it refreshes LRU
 // state and applies the write's dirty bit.
 func (c *Cache) Lookup(addr Addr, write bool) bool {
-	set, tag := c.index(c.LineAddr(addr))
+	line := addr &^ uint64(c.lineSize-1)
+	if c.useMemo {
+		for i := range c.memo {
+			if m := &c.memo[i]; m.ln != nil && m.line == line {
+				c.tick++
+				m.ln.lru = c.tick
+				if write {
+					m.ln.dirty = true
+				}
+				c.Stats.Hits++
+				return true
+			}
+		}
+	}
+	set, tag := c.index(line)
 	for i := range c.sets[set] {
 		ln := &c.sets[set][i]
 		if ln.valid && ln.tag == tag {
@@ -92,11 +156,37 @@ func (c *Cache) Lookup(addr Addr, write bool) bool {
 				ln.dirty = true
 			}
 			c.Stats.Hits++
+			c.remember(line, ln)
+			c.lastHit = ln
+			c.lastHitLine = line
+			c.lastHitSet = set
+			c.lastHitGen = c.gen
+			c.lastHitSetGen = c.setGen[set]
 			return true
 		}
 	}
 	c.Stats.Misses++
 	return false
+}
+
+func (c *Cache) remember(line Addr, ln *cacheLine) {
+	if !c.useMemo {
+		return
+	}
+	c.memo[c.memoNext] = cacheMemo{line: line, ln: ln}
+	c.memoNext = (c.memoNext + 1) % cacheMemoWays
+}
+
+// findLine returns the resident line with the given set and tag, with
+// no statistics or LRU effects, or nil.
+func (c *Cache) findLine(set int, tag uint64) *cacheLine {
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			return &ways[i]
+		}
+	}
+	return nil
 }
 
 // Evicted describes a line displaced by a fill.
@@ -113,20 +203,25 @@ type Evicted struct {
 func (c *Cache) Fill(addr Addr, write bool, hint Hint) Evicted {
 	line := c.LineAddr(addr)
 	set, tag := c.index(line)
-	ways := c.sets[set]
 
 	// Already present (e.g. a prefetch landed before the demand fill).
-	for i := range ways {
-		ln := &ways[i]
-		if ln.valid && ln.tag == tag {
-			c.tick++
-			ln.lru = c.tick
-			if write {
-				ln.dirty = true
-			}
-			return Evicted{}
+	if ln := c.findLine(set, tag); ln != nil {
+		c.tick++
+		ln.lru = c.tick
+		if write {
+			ln.dirty = true
 		}
+		return Evicted{}
 	}
+	return c.fillMiss(line, write, hint)
+}
+
+// fillMiss is Fill for a line the caller has just proven absent (by a
+// failed Lookup with no intervening installs), skipping the
+// already-present scan. Mutations are identical to Fill's miss case.
+func (c *Cache) fillMiss(line Addr, write bool, hint Hint) Evicted {
+	set, tag := c.index(line)
+	ways := c.sets[set]
 
 	lo, hi := 0, c.ways // candidate victim ways
 	if hint == HintNonTemporal && c.ntWays > 0 {
@@ -175,11 +270,19 @@ func (c *Cache) Fill(addr Addr, write bool, hint Hint) Evicted {
 	}
 	c.tick++
 	ways[victim] = cacheLine{tag: tag, valid: true, dirty: write, nt: hint == HintNonTemporal, lru: c.tick}
+	c.setGen[set]++
+	if c.useMemo {
+		for i := range c.memo {
+			if c.memo[i].ln == &ways[victim] {
+				c.memo[i] = cacheMemo{}
+			}
+		}
+	}
 	return ev
 }
 
 func (c *Cache) lineFromSetTag(set int, tag uint64) Addr {
-	return (tag*uint64(c.nsets) + uint64(set)) * uint64(c.lineSize)
+	return (tag<<c.setShift | uint64(set)) << c.lineShift
 }
 
 // Contains reports whether the line holding addr is resident (no LRU
@@ -218,5 +321,8 @@ func (c *Cache) Flush() (dirty int) {
 			c.sets[s][w] = cacheLine{}
 		}
 	}
+	c.memo = [cacheMemoWays]cacheMemo{}
+	c.memoNext = 0
+	c.gen++
 	return dirty
 }

@@ -25,10 +25,25 @@ func (c *CPU) Now() uint64 { return c.p.now }
 func (c *CPU) Machine() *Machine { return c.m }
 
 // park hands control back to the engine so the other context can catch
-// up in virtual time. No-op in single-thread mode.
+// up in virtual time. No-op whenever the engine would immediately
+// resume this same context — single-thread mode, a sibling that cannot
+// run right now (done or asleep), or a sibling that is runnable but not
+// next by the engine's rule (smallest clock, ties to the smaller id) —
+// because in those cases the channel round-trip changes nothing. A
+// sleeping context must always yield, because only the engine can block
+// it until its event is signalled.
 func (c *CPU) park() {
 	if c.m.nlive < 2 {
 		return
+	}
+	if !c.p.sleeping {
+		sib := c.m.sibling(c.p.id)
+		if sib == nil || sib.state == StateDone || sib.sleeping {
+			return
+		}
+		if c.p.now < sib.now || (c.p.now == sib.now && c.p.id < sib.id) {
+			return
+		}
 	}
 	c.p.yield <- struct{}{}
 	<-c.p.resume
@@ -141,11 +156,17 @@ func (c *CPU) Idle(cycles uint64) {
 type Pipe struct {
 	c       *CPU
 	mlp     int
-	window  []uint64 // completion times, oldest first
+	window  []uint64 // completion-time ring buffer, fixed at mlp slots
+	whead   int      // index of the oldest entry
+	wlen    int      // occupied slots
 	issue   uint64   // per-access issue cost, cycles
 	pending int      // accesses since last park
 	state   ProcState
 	slowest uint64
+
+	pins    [pipePins]pin // proven-resident windows, see bulk.go
+	pinNext int
+	pinCold int // consecutive accesses no pin served, see fastAccess
 }
 
 // pipeParkBatch bounds how many accesses a Pipe performs between engine
@@ -161,7 +182,7 @@ func (c *CPU) NewPipe(mlp int, issueCycles uint64, state ProcState) *Pipe {
 	if mlp < 1 {
 		panic(fmt.Sprintf("sim: pipe MLP %d", mlp))
 	}
-	return &Pipe{c: c, mlp: mlp, issue: issueCycles, state: state}
+	return &Pipe{c: c, mlp: mlp, window: make([]uint64, mlp), issue: issueCycles, state: state}
 }
 
 // Access issues one access through the window. The context clock tracks
@@ -171,19 +192,33 @@ func (c *CPU) NewPipe(mlp int, issueCycles uint64, state ProcState) *Pipe {
 // issue slot but never block the window.
 func (p *Pipe) Access(addr Addr, size int, write bool, hint Hint) AccessResult {
 	c := p.c
+	if c.m.fastPath && p.pinCold < pinColdLimit {
+		if r, ok := p.fastAccess(addr, size, write, hint); ok {
+			return r
+		}
+	}
 	c.p.state = p.state
 
 	start := c.p.now
-	if len(p.window) >= p.mlp {
-		oldest := p.window[0]
-		p.window = p.window[1:]
+	if p.wlen == p.mlp {
+		oldest := p.window[p.whead]
+		p.whead++
+		if p.whead == p.mlp {
+			p.whead = 0
+		}
+		p.wlen--
 		if oldest > start {
 			start = oldest
 		}
 	}
 	r := c.m.Mem.Access(c.p.id, start, addr, size, write, hint)
 	if r.Level == LevelPF || r.Level == LevelMem {
-		p.window = append(p.window, r.Done)
+		i := p.whead + p.wlen
+		if i >= p.mlp {
+			i -= p.mlp
+		}
+		p.window[i] = r.Done
+		p.wlen++
 	}
 	if r.Done > p.slowest {
 		p.slowest = r.Done
@@ -200,6 +235,9 @@ func (p *Pipe) Access(addr Addr, size int, write bool, hint Hint) AccessResult {
 		p.pending = 0
 		c.park()
 	}
+	if c.m.fastPath && (r.Level == LevelL1 || r.Level == LevelWC) {
+		p.capturePin(addr, size, r.Level)
+	}
 	return r
 }
 
@@ -212,14 +250,15 @@ func (p *Pipe) Drain() {
 		c.p.memCycles += p.slowest - c.p.now
 		c.p.now = p.slowest
 	}
-	p.window = p.window[:0]
+	p.whead = 0
+	p.wlen = 0
 	p.slowest = 0
 	p.pending = 0
 	c.park()
 }
 
 // Outstanding returns the number of in-flight accesses.
-func (p *Pipe) Outstanding() int { return len(p.window) }
+func (p *Pipe) Outstanding() int { return p.wlen }
 
 // Signal publishes e: any context sleeping on e wakes after its
 // policy's dispatch latency; spinning contexts notice on their next

@@ -42,6 +42,11 @@ type Machine struct {
 	nlive  int
 	epoch  uint64 // virtual time at which the current Run started
 	events []*Event
+
+	// fastPath enables the cycle-exact bulk shortcut (see bulk.go).
+	// Disabling it forces every bulk access through the per-access
+	// reference path; differential tests compare the two.
+	fastPath bool
 }
 
 type proc struct {
@@ -99,7 +104,8 @@ func New(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Machine{cfg: cfg, Mem: NewMemSystem(cfg), AS: NewAddrSpace(cfg.PageBytes), obs: defaultObserver}, nil
+	return &Machine{cfg: cfg, Mem: NewMemSystem(cfg), AS: NewAddrSpace(cfg.PageBytes),
+		obs: defaultObserver, fastPath: defaultFastPath}, nil
 }
 
 // MustNew is New, panicking on config errors. For tests and examples.

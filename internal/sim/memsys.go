@@ -204,18 +204,20 @@ func (ms *MemSystem) translate(start uint64, addr Addr) uint64 {
 	return done
 }
 
-// fillL2 installs a line, issuing a writeback for any dirty victim.
+// fillL2 installs a line its caller just missed on, issuing a writeback
+// for any dirty victim.
 func (ms *MemSystem) fillL2(ctx int, line Addr, write bool, hint Hint) {
-	ev := ms.L2.Fill(line, write, hint)
+	ev := ms.L2.fillMiss(line, write, hint)
 	if ev.Valid && ev.Dirty {
 		ms.Bus.Acquire(ctx, ms.Bus.BusyUntil(), ev.Line, ms.cfg.L2Line, xferWB)
 	}
 }
 
-// fillL1 installs the L1 line for addr. Dirty L1 victims write back
-// into L2 (modelled as free: L2 is inclusive enough for our purposes).
+// fillL1 installs the L1 line for addr, which the caller just missed
+// on. Dirty L1 victims write back into L2 (modelled as free: L2 is
+// inclusive enough for our purposes).
 func (ms *MemSystem) fillL1(ctx int, addr Addr, write bool) {
-	ms.L1.Fill(ms.L1.LineAddr(addr), write, HintNone)
+	ms.L1.fillMiss(ms.L1.LineAddr(addr), write, HintNone)
 }
 
 // ntStore posts a non-temporal store into the context's write-combining

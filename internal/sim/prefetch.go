@@ -114,6 +114,9 @@ func (p *Prefetcher) issue(ctx int, bus *Bus, now uint64, from Addr, lineSize in
 // Claim checks whether line has an in-flight or completed prefetch and
 // removes it, returning its arrival time.
 func (p *Prefetcher) Claim(line Addr) (arrival uint64, ok bool) {
+	if len(p.pending) == 0 {
+		return 0, false
+	}
 	arrival, ok = p.pending[line]
 	if ok {
 		delete(p.pending, line)

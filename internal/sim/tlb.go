@@ -10,7 +10,28 @@ type TLB struct {
 	entries  []tlbEntry
 	tick     uint64
 
+	// gen counts installs and flushes; any cached *tlbEntry pointer
+	// (the memo below, or a bulk fast-path pin) is only trustworthy
+	// while gen is unchanged, because an install may repurpose the
+	// entry it points at.
+	gen uint64
+
+	// memo is a tiny MRU front-end over the fully-associative scan.
+	// Bulk copies alternate between a handful of pages (array, SRF,
+	// indices), so almost every lookup resolves here instead of
+	// scanning all entries. A memo hit performs exactly the mutations
+	// a scan hit would, so timing and statistics are unchanged.
+	memo     [tlbMemoWays]tlbMemo
+	memoNext int
+
 	Stats TLBStats
+}
+
+const tlbMemoWays = 4
+
+type tlbMemo struct {
+	page uint64
+	e    *tlbEntry
 }
 
 type tlbEntry struct {
@@ -42,12 +63,20 @@ func NewTLB(entries, pageBytes int) *TLB {
 func (t *TLB) Translate(addr Addr) bool {
 	page := addr >> t.pageBits
 	t.tick++
+	for i := range t.memo {
+		if m := &t.memo[i]; m.e != nil && m.page == page {
+			m.e.lru = t.tick
+			t.Stats.Hits++
+			return true
+		}
+	}
 	victim, best := 0, uint64(1<<64-1)
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.page == page {
 			e.lru = t.tick
 			t.Stats.Hits++
+			t.remember(page, e)
 			return true
 		}
 		score := e.lru
@@ -59,8 +88,40 @@ func (t *TLB) Translate(addr Addr) bool {
 		}
 	}
 	t.Stats.Misses++
-	t.entries[victim] = tlbEntry{page: page, valid: true, lru: t.tick}
+	e := &t.entries[victim]
+	*e = tlbEntry{page: page, valid: true, lru: t.tick}
+	t.gen++
+	for i := range t.memo {
+		if t.memo[i].e == e {
+			t.memo[i] = tlbMemo{}
+		}
+	}
+	t.remember(page, e)
 	return false
+}
+
+func (t *TLB) remember(page uint64, e *tlbEntry) {
+	t.memo[t.memoNext] = tlbMemo{page: page, e: e}
+	t.memoNext = (t.memoNext + 1) % tlbMemoWays
+}
+
+// probe returns the entry currently mapping page, with no statistics or
+// LRU effects, or nil when the page is not resident. The memo is
+// consulted first: probe runs right after an access translated the same
+// page, so the scan is almost always skipped.
+func (t *TLB) probe(page uint64) *tlbEntry {
+	for i := range t.memo {
+		if m := &t.memo[i]; m.e != nil && m.page == page {
+			return m.e
+		}
+	}
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.page == page {
+			return e
+		}
+	}
+	return nil
 }
 
 // Flush invalidates all entries.
@@ -68,6 +129,9 @@ func (t *TLB) Flush() {
 	for i := range t.entries {
 		t.entries[i] = tlbEntry{}
 	}
+	t.memo = [tlbMemoWays]tlbMemo{}
+	t.memoNext = 0
+	t.gen++
 }
 
 // Coverage returns the bytes of address space the TLB can map at once.

@@ -1,0 +1,46 @@
+package svm
+
+import (
+	"sync"
+
+	"streamgpp/internal/obs"
+)
+
+// opCounters holds the resolved instrument handles for one bulk
+// operation kind.
+type opCounters struct {
+	strips, elems, arrayBytes *obs.Counter
+}
+
+// regCounters caches the handles per registry, so the per-strip
+// observeOp avoids three registry map lookups and three string
+// concatenations on every call.
+type regCounters struct {
+	gather, scatter opCounters
+}
+
+// counterCache maps *obs.Registry → *regCounters. Registries are
+// long-lived relative to strips (one per tool invocation or test), so
+// the cache stays tiny. sync.Map because independent machines may run
+// on concurrent goroutines under the parallel experiment runner.
+var counterCache sync.Map
+
+func countersFor(r *obs.Registry) *regCounters {
+	if v, ok := counterCache.Load(r); ok {
+		return v.(*regCounters)
+	}
+	rc := &regCounters{
+		gather: opCounters{
+			strips:     r.Counter("svm.gather.strips"),
+			elems:      r.Counter("svm.gather.elems"),
+			arrayBytes: r.Counter("svm.gather.array_bytes"),
+		},
+		scatter: opCounters{
+			strips:     r.Counter("svm.scatter.strips"),
+			elems:      r.Counter("svm.scatter.elems"),
+			arrayBytes: r.Counter("svm.scatter.array_bytes"),
+		},
+	}
+	v, _ := counterCache.LoadOrStore(r, rc)
+	return v.(*regCounters)
+}

@@ -16,7 +16,8 @@ func groupBytes(groups []Group) int {
 }
 
 // observeOp records one bulk operation's traffic: the strip count and
-// the array-side bytes moved, split by operation.
+// the array-side bytes moved, split by operation. The instrument
+// handles are resolved once per registry (see metrics.go).
 func observeOp(c *sim.CPU, op string, n, bytesPerRec int) {
 	if c == nil {
 		return
@@ -25,9 +26,14 @@ func observeOp(c *sim.CPU, op string, n, bytesPerRec int) {
 	if r == nil {
 		return
 	}
-	r.Counter("svm." + op + ".strips").Inc()
-	r.Counter("svm." + op + ".elems").Add(uint64(n))
-	r.Counter("svm." + op + ".array_bytes").Add(uint64(n * bytesPerRec))
+	cs := countersFor(r)
+	oc := &cs.gather
+	if op == "scatter" {
+		oc = &cs.scatter
+	}
+	oc.strips.Inc()
+	oc.elems.Add(uint64(n))
+	oc.arrayBytes.Add(uint64(n * bytesPerRec))
 }
 
 // ScatterMode selects how scattered values combine with the array.
@@ -89,6 +95,25 @@ func Gather(c *sim.CPU, cfg OpConfig, dst *Stream, dstStart int, src *Array, fie
 
 	nf := len(src.Layout.Fields)
 	snf := dst.NumFields()
+	seq := idx == nil
+	if c != nil && seq {
+		// A sequential gather is a fixed set of constant-stride
+		// reference streams — one per contiguous field group, each
+		// paired with its SRF-side store — which the simulator
+		// coalesces on the cycle-exact bulk fast path. The access
+		// order is identical to the indexed loop below.
+		refs := make([]sim.BulkRef, 0, 2*len(groups))
+		base := src.RecordAddr(srcStart)
+		for _, g := range groups {
+			refs = append(refs, sim.BulkRef{Base: base + uint64(g.Offset), Size: g.Size,
+				Stride: src.Layout.Stride, Hint: cfg.Hint})
+			if buf.Size > 0 {
+				refs = append(refs, sim.BulkRef{Base: buf.Base, Size: g.Size,
+					Stride: elemBytes, Write: true, Hint: sim.HintNone})
+			}
+		}
+		pipe.AccessBulk(n, refs...)
+	}
 	for k := 0; k < n; k++ {
 		rec := srcStart + k
 		if idx != nil {
@@ -103,7 +128,7 @@ func Gather(c *sim.CPU, cfg OpConfig, dst *Stream, dstStart int, src *Array, fie
 		}
 		df := 0
 		for _, g := range groups {
-			if c != nil {
+			if c != nil && !seq {
 				pipe.Access(src.RecordAddr(rec)+uint64(g.Offset), g.Size, false, cfg.Hint)
 				if buf.Size > 0 {
 					pipe.Access(buf.ElemAddr(k, elemBytes), g.Size, true, sim.HintNone)
@@ -146,6 +171,31 @@ func Scatter(c *sim.CPU, cfg OpConfig, src *Stream, srcStart int, dst *Array, fi
 
 	nf := len(dst.Layout.Fields)
 	snf := src.NumFields()
+	seq := idx == nil
+	if c != nil && seq {
+		// Sequential scatter: constant-stride streams per field group,
+		// in the same per-record order as the indexed loop below (SRF
+		// read, then array RMW or store).
+		refs := make([]sim.BulkRef, 0, 3*len(groups))
+		base := dst.RecordAddr(dstStart)
+		for _, g := range groups {
+			if buf.Size > 0 {
+				refs = append(refs, sim.BulkRef{Base: buf.Base, Size: g.Size,
+					Stride: elemBytes, Hint: sim.HintNone})
+			}
+			if mode == ModeAdd {
+				refs = append(refs,
+					sim.BulkRef{Base: base + uint64(g.Offset), Size: g.Size,
+						Stride: dst.Layout.Stride, Hint: sim.HintNone},
+					sim.BulkRef{Base: base + uint64(g.Offset), Size: g.Size,
+						Stride: dst.Layout.Stride, Write: true, Hint: sim.HintNone})
+			} else {
+				refs = append(refs, sim.BulkRef{Base: base + uint64(g.Offset), Size: g.Size,
+					Stride: dst.Layout.Stride, Write: true, Hint: cfg.Hint})
+			}
+		}
+		pipe.AccessBulk(n, refs...)
+	}
 	for k := 0; k < n; k++ {
 		rec := dstStart + k
 		if idx != nil {
@@ -159,7 +209,7 @@ func Scatter(c *sim.CPU, cfg OpConfig, src *Stream, srcStart int, dst *Array, fi
 		}
 		sf := 0
 		for _, g := range groups {
-			if c != nil {
+			if c != nil && !seq {
 				if buf.Size > 0 {
 					pipe.Access(buf.ElemAddr(k, elemBytes), g.Size, false, sim.HintNone)
 				}

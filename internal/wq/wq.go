@@ -96,6 +96,13 @@ type DWQ struct {
 	slots []slot
 	byID  map[int]int // in-flight task ID → slot index
 
+	// free marks unoccupied slots; pending[qid] marks slots holding a
+	// not-yet-claimed task of that queue. Both mirror the slot states
+	// so the hot scans (Enqueue's free-slot search, NextReady,
+	// Complete's dependence clearing) walk words instead of slots.
+	free    bitvec.Vec
+	pending [2]bitvec.Vec
+
 	seq          uint64
 	maxID        int          // highest ID ever enqueued (-1 initially)
 	doneBelow    int          // all IDs < doneBelow have completed
@@ -108,6 +115,32 @@ type DWQ struct {
 	// sampled at every enqueue and completion, and task counters by
 	// kind. The executors attach the machine's registry here.
 	Obs *obs.Registry
+
+	// Instrument handles resolved from Obs, cached so the per-task hot
+	// path skips the registry's name lookups. Rebuilt whenever Obs
+	// differs from obsReg (the registry they were resolved from).
+	obsReg    *obs.Registry
+	obsDepth  *obs.Histogram
+	obsMaxOcc *obs.Gauge
+	obsEnq    [3]*obs.Counter // by Kind
+	obsDone   [3]*obs.Counter // by Kind
+}
+
+// refreshObs re-resolves the cached instrument handles after Obs
+// changed. Kept out of line so the hot-path check inlines.
+func (q *DWQ) refreshObs() {
+	q.obsReg = q.Obs
+	if q.Obs == nil {
+		q.obsDepth, q.obsMaxOcc = nil, nil
+		q.obsEnq, q.obsDone = [3]*obs.Counter{}, [3]*obs.Counter{}
+		return
+	}
+	q.obsDepth = q.Obs.Histogram("wq.depth")
+	q.obsMaxOcc = q.Obs.Gauge("wq.max_occupancy")
+	for k := Gather; k <= Scatter; k++ {
+		q.obsEnq[k] = q.Obs.Counter("wq.enqueued." + k.String())
+		q.obsDone[k] = q.Obs.Counter("wq.completed." + k.String())
+	}
 }
 
 // New returns an empty queue with the given slot capacity.
@@ -118,11 +151,14 @@ func New(capacity int) *DWQ {
 	q := &DWQ{
 		slots:     make([]slot, capacity),
 		byID:      make(map[int]int),
+		free:      bitvec.New(capacity),
+		pending:   [2]bitvec.Vec{bitvec.New(capacity), bitvec.New(capacity)},
 		maxID:     -1,
 		doneAbove: map[int]bool{},
 	}
 	for i := range q.slots {
 		q.slots[i].deps = bitvec.New(capacity)
+		q.free.Set(i)
 	}
 	return q
 }
@@ -154,13 +190,7 @@ func (q *DWQ) Enqueue(t Task) error {
 	if t.Run == nil {
 		return fmt.Errorf("wq: task %d (%s) has no body", t.ID, t.Name)
 	}
-	free := -1
-	for i := range q.slots {
-		if q.slots[i].state == slotFree {
-			free = i
-			break
-		}
-	}
+	free := q.free.NextSet(0)
 	if free < 0 {
 		return ErrFull
 	}
@@ -181,6 +211,8 @@ func (q *DWQ) Enqueue(t Task) error {
 	}
 	s.state = slotPending
 	s.task = t
+	q.free.Clear(free)
+	q.pending[t.Kind.Queue()].Set(free)
 	q.seq++
 	s.seq = q.seq
 	q.byID[t.ID] = free
@@ -190,9 +222,12 @@ func (q *DWQ) Enqueue(t Task) error {
 		q.maxOccupancy = q.inflight
 	}
 	if q.Obs != nil {
-		q.Obs.Histogram("wq.depth").Observe(float64(q.inflight))
-		q.Obs.Counter("wq.enqueued." + t.Kind.String()).Inc()
-		q.Obs.Gauge("wq.max_occupancy").Set(float64(q.maxOccupancy))
+		if q.Obs != q.obsReg {
+			q.refreshObs()
+		}
+		q.obsDepth.Observe(float64(q.inflight))
+		q.obsEnq[t.Kind].Inc()
+		q.obsMaxOcc.Set(float64(q.maxOccupancy))
 	}
 	return nil
 }
@@ -202,9 +237,9 @@ func (q *DWQ) Enqueue(t Task) error {
 // no task is ready.
 func (q *DWQ) NextReady(qid QueueID) (slotIdx int, t Task, ok bool) {
 	best := -1
-	for i := range q.slots {
+	for i := q.pending[qid].NextSet(0); i >= 0; i = q.pending[qid].NextSet(i + 1) {
 		s := &q.slots[i]
-		if s.state != slotPending || s.task.Kind.Queue() != qid || s.deps.Any() {
+		if s.deps.Any() {
 			continue
 		}
 		if best < 0 || s.seq < q.slots[best].seq {
@@ -215,6 +250,7 @@ func (q *DWQ) NextReady(qid QueueID) (slotIdx int, t Task, ok bool) {
 		return 0, Task{}, false
 	}
 	q.slots[best].state = slotRunning
+	q.pending[qid].Clear(best)
 	return best, q.slots[best].task, true
 }
 
@@ -229,8 +265,8 @@ func (q *DWQ) Complete(slotIdx int) {
 		panic(fmt.Sprintf("wq: Complete on slot %d in state %d", slotIdx, s.state))
 	}
 	id := s.task.ID
-	for i := range q.slots {
-		if q.slots[i].state == slotPending {
+	for _, pv := range q.pending {
+		for i := pv.NextSet(0); i >= 0; i = pv.NextSet(i + 1) {
 			q.slots[i].deps.Clear(slotIdx)
 		}
 	}
@@ -238,11 +274,15 @@ func (q *DWQ) Complete(slotIdx int) {
 	delete(q.byID, id)
 	s.state = slotFree
 	s.task = Task{}
+	q.free.Set(slotIdx)
 	q.inflight--
 	q.totalDone++
 	if q.Obs != nil {
-		q.Obs.Histogram("wq.depth").Observe(float64(q.inflight))
-		q.Obs.Counter("wq.completed." + kind.String()).Inc()
+		if q.Obs != q.obsReg {
+			q.refreshObs()
+		}
+		q.obsDepth.Observe(float64(q.inflight))
+		q.obsDone[kind].Inc()
 	}
 
 	// Advance the completion watermark.
@@ -255,22 +295,15 @@ func (q *DWQ) Complete(slotIdx int) {
 
 // PendingIn counts tasks waiting (not running) in the given queue.
 func (q *DWQ) PendingIn(qid QueueID) int {
-	n := 0
-	for i := range q.slots {
-		if q.slots[i].state == slotPending && q.slots[i].task.Kind.Queue() == qid {
-			n++
-		}
-	}
-	return n
+	return q.pending[qid].Count()
 }
 
 // ReadyIn counts pending tasks in the queue whose dependencies are
 // clear.
 func (q *DWQ) ReadyIn(qid QueueID) int {
 	n := 0
-	for i := range q.slots {
-		s := &q.slots[i]
-		if s.state == slotPending && s.task.Kind.Queue() == qid && s.deps.None() {
+	for i := q.pending[qid].NextSet(0); i >= 0; i = q.pending[qid].NextSet(i + 1) {
+		if q.slots[i].deps.None() {
 			n++
 		}
 	}

@@ -1,0 +1,113 @@
+#!/bin/sh
+# Measures the simulator's wall-clock performance on the fig5/fig9/fig11
+# benchmarks, with the bulk fast path on and off (same binary, selected
+# via STREAMGPP_FASTPATH), and writes BENCH_wallclock.json: per
+# benchmark, the best ns/op of each mode, the simulated cycles per
+# iteration, the simulated-cycles-per-second throughput, and the
+# fast-path speedup.
+#
+# If STREAMGPP_BASELINE_BIN names a `go test -c` binary built from an
+# older tree (e.g. via `git worktree add /tmp/base <ref>`), it is run
+# interleaved with the current one and each record additionally gets
+# baseline_ns_per_op and speedup_vs_baseline — wall-clock before/after
+# across commits, with machine noise hitting all modes alike.
+#
+# Usage:
+#   scripts/bench.sh          # the measured set (a few minutes)
+#   scripts/bench.sh smoke    # one tiny benchmark, for check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+OUT="BENCH_wallclock.json"
+case "$MODE" in
+smoke | --smoke)
+	PAT='^BenchmarkFig9LDSTCompLow$'
+	TIME=1x
+	COUNT=1
+	# A smoke run only proves the harness works; don't clobber the
+	# checked-in measurement.
+	OUT="${TMPDIR:-/tmp}/BENCH_wallclock.smoke.json"
+	;;
+*)
+	PAT='^(BenchmarkFig5Bandwidth|BenchmarkFig9LDSTCompLow|BenchmarkFig9GATSCATLow|BenchmarkFig9PRODCONLow|BenchmarkFig11aFEMEulerLin|BenchmarkFig11bCDP4n8192|BenchmarkFig11cNeo|BenchmarkFig11dSPASLarge)$'
+	TIME=3x
+	COUNT=3
+	;;
+esac
+BIN="$(mktemp /tmp/streamgpp-bench.XXXXXX)"
+ON="$(mktemp /tmp/streamgpp-on.XXXXXX)"
+OFF="$(mktemp /tmp/streamgpp-off.XXXXXX)"
+BASE="$(mktemp /tmp/streamgpp-base.XXXXXX)"
+trap 'rm -f "$BIN" "$ON" "$OFF" "$BASE"' EXIT
+
+go test -c -o "$BIN" .
+
+# Interleave the modes count times so machine noise hits all alike.
+: >"$ON"
+: >"$OFF"
+: >"$BASE"
+i=0
+while [ "$i" -lt "$COUNT" ]; do
+	"$BIN" -test.run '^$' -test.bench "$PAT" -test.benchtime "$TIME" >>"$ON"
+	STREAMGPP_FASTPATH=off "$BIN" -test.run '^$' -test.bench "$PAT" -test.benchtime "$TIME" >>"$OFF"
+	if [ -n "${STREAMGPP_BASELINE_BIN:-}" ]; then
+		"$STREAMGPP_BASELINE_BIN" -test.run '^$' -test.bench "$PAT" -test.benchtime "$TIME" >>"$BASE"
+	fi
+	i=$((i + 1))
+done
+
+awk -v onfile="$ON" -v offfile="$OFF" -v basefile="$BASE" '
+function ingest(file, best, cyc,    n, i, name, ns, c, line, f) {
+	while ((getline line <file) > 0) {
+		n = split(line, f, /[ \t]+/)
+		if (f[1] !~ /^Benchmark/) continue
+		name = f[1]
+		sub(/-[0-9]+$/, "", name)
+		ns = -1; c = -1
+		for (i = 3; i <= n; i++) {
+			if (f[i] == "ns/op") ns = f[i-1]
+			if (f[i] == "sim-cycles") c = f[i-1]
+		}
+		if (ns < 0) continue
+		if (!(name in best) || ns < best[name]) best[name] = ns
+		if (c >= 0) cyc[name] = c
+		order[++norder] = name
+	}
+	close(file)
+}
+BEGIN {
+	norder = 0
+	ingest(onfile, on, cycles)
+	ingest(offfile, off, cycles)
+	ingest(basefile, base, basecycles)
+	printf "[\n"
+	first = 1
+	for (i = 1; i <= norder; i++) {
+		name = order[i]
+		if (name in done) continue
+		done[name] = 1
+		if (!first) printf ",\n"
+		first = 0
+		printf "  {\"benchmark\": \"%s\"", name
+		printf ", \"fast_ns_per_op\": %.0f", on[name]
+		printf ", \"reference_ns_per_op\": %.0f", off[name]
+		if (off[name] > 0 && on[name] > 0)
+			printf ", \"fastpath_speedup\": %.2f", off[name] / on[name]
+		if (name in cycles) {
+			printf ", \"sim_cycles\": %.0f", cycles[name]
+			if (on[name] > 0)
+				printf ", \"sim_cycles_per_sec\": %.0f", cycles[name] * 1e9 / on[name]
+		}
+		if (name in base) {
+			printf ", \"baseline_ns_per_op\": %.0f", base[name]
+			if (on[name] > 0)
+				printf ", \"speedup_vs_baseline\": %.2f", base[name] / on[name]
+		}
+		printf "}"
+	}
+	printf "\n]\n"
+}' >"$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

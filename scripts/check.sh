@@ -1,7 +1,9 @@
 #!/bin/sh
-# Repo health check: vet, build, full tests, and the race detector over
+# Repo health check: vet, build, full tests, the race detector over
 # the packages whose instrumentation relies on the sim engine's
-# virtual-time serialisation (wq, exec, obs).
+# virtual-time serialisation (wq, exec, obs, svm) plus the parallel
+# experiment runner, and a smoke run of the wall-clock benchmark
+# harness.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,7 +16,13 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (wq, exec, obs) =="
-go test -race ./internal/wq/ ./internal/exec/ ./internal/obs/
+echo "== go test -race (wq, exec, obs, svm) =="
+go test -race ./internal/wq/ ./internal/exec/ ./internal/obs/ ./internal/svm/
+
+echo "== go test -race (parallel experiment runner) =="
+go test -race -run 'TestFastPathAndParallelRunsAreByteIdentical' ./internal/bench/
+
+echo "== scripts/bench.sh smoke =="
+sh scripts/bench.sh smoke
 
 echo "OK"
