@@ -247,7 +247,11 @@ func BenchmarkAblationSingleContext(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cycles = exec.RunStream1Ctx(inst.M, prog, exec.Defaults()).Cycles
+		r, err := exec.RunStream1Ctx(inst.M, prog, exec.Defaults())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = r.Cycles
 	}
 	b.ReportMetric(float64(cycles), "sim-cycles")
 }

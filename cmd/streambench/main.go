@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"streamgpp/internal/bench"
+	"streamgpp/internal/fault"
 	"streamgpp/internal/sim"
 )
 
@@ -29,6 +30,8 @@ func main() {
 		"worker goroutines across experiments and table rows (output is byte-identical at any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	faultSpec := flag.String("fault", "", "fault injection spec: kind:rate[,kind:rate...] or all:rate")
+	faultSeed := flag.Uint64("faultseed", 1, "fault schedule seed (same seed replays the identical fault trace)")
 	flag.Parse()
 
 	if *list {
@@ -56,12 +59,33 @@ func main() {
 		bench.Parallelism = *parallel
 	}
 
+	// Fault injection shares one seeded injector across every machine
+	// the experiments build. The draw order — and so the fault schedule
+	// — is only deterministic when runs execute in a fixed order, so
+	// injection forces the experiment runner sequential.
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		fcfg, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
+			os.Exit(2)
+		}
+		fcfg.Seed = *faultSeed
+		inj = fault.New(fcfg)
+		sim.SetDefaultFaultInjector(inj)
+		defer sim.SetDefaultFaultInjector(nil)
+		bench.Parallelism = 1
+	}
+
 	m := sim.MustNew(sim.PentiumD8300())
 	fmt.Println(m.Describe())
 	fmt.Println()
 
 	fail := func(id string, err error) {
 		fmt.Fprintf(os.Stderr, "streambench: %s: %v\n", id, err)
+		if inj != nil && inj.Total() > 0 {
+			fmt.Fprintf(os.Stderr, "fault trace (replay with -faultseed %d):\n%s", *faultSeed, inj.TraceString())
+		}
 		os.Exit(1)
 	}
 	if *exp == "all" {
@@ -77,6 +101,16 @@ func main() {
 			}
 			if err := e.Run(os.Stdout, *quick); err != nil {
 				fail(e.ID, err)
+			}
+		}
+	}
+
+	if inj != nil {
+		fmt.Printf("\nfault injection: %d faults fired over %d draws (seed %d)\n",
+			inj.Total(), inj.Draws(), *faultSeed)
+		for _, k := range fault.Kinds() {
+			if n := inj.Injected(k); n > 0 {
+				fmt.Printf("  %-18s %d\n", k, n)
 			}
 		}
 	}

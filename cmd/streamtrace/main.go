@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 
 	"streamgpp/internal/apps/cdp"
 	"streamgpp/internal/apps/fem"
@@ -30,6 +31,7 @@ import (
 	"streamgpp/internal/apps/neo"
 	"streamgpp/internal/apps/spas"
 	"streamgpp/internal/exec"
+	"streamgpp/internal/fault"
 	"streamgpp/internal/obs"
 	"streamgpp/internal/sim"
 )
@@ -86,6 +88,9 @@ func main() {
 	list := flag.Bool("list", false, "list applications and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	faultSpec := flag.String("fault", "", "fault injection spec: kind:rate[,kind:rate...] (kinds: "+
+		"latency_spike, dropped_wakeup, dropped_dep_clear, enqueue_full, kernel_fault, poisoned_strip; or all:rate)")
+	faultSeed := flag.Uint64("faultseed", 1, "fault schedule seed (same seed replays the identical fault trace)")
 	flag.Parse()
 
 	if *list {
@@ -145,6 +150,21 @@ func main() {
 	sim.SetDefaultObserver(reg)
 	defer sim.SetDefaultObserver(nil)
 
+	// Fault injection: every machine the app builds shares one seeded
+	// injector, so the run's fault schedule replays from -faultseed.
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		fcfg, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streamtrace: %v\n", err)
+			os.Exit(2)
+		}
+		fcfg.Seed = *faultSeed
+		inj = fault.New(fcfg)
+		sim.SetDefaultFaultInjector(inj)
+		defer sim.SetDefaultFaultInjector(nil)
+	}
+
 	tr := &exec.Trace{}
 	ecfg := exec.Defaults()
 	ecfg.Trace = tr
@@ -152,7 +172,12 @@ func main() {
 
 	name, regular, stream, err := r.run(p, ecfg)
 	if err != nil {
+		// A *RunError renders the failing task, strip, phase, cycle and
+		// any queue diagnosis; the fault trace names what was injected.
 		fmt.Fprintf(os.Stderr, "streamtrace: %s: %v\n", *app, err)
+		if inj != nil && inj.Total() > 0 {
+			fmt.Fprintf(os.Stderr, "fault trace (replay with -faultseed %d):\n%s", *faultSeed, inj.TraceString())
+		}
 		os.Exit(1)
 	}
 
@@ -169,8 +194,20 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("Stall attribution (stream run):")
-	exec.NewStallReport(stream.Run).Render(os.Stdout)
+	exec.NewStallReport(stream).Render(os.Stdout)
 	fmt.Println()
+
+	if inj != nil {
+		fmt.Println("Fault injection:")
+		fmt.Printf("  %s\n", stream.Recovery)
+		if inj.Total() > 0 {
+			fmt.Printf("  trace (replay with -faultseed %d):\n", *faultSeed)
+			for _, line := range strings.Split(strings.TrimRight(inj.TraceString(), "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+		fmt.Println()
+	}
 
 	fmt.Println("Metrics:")
 	reg.Render(os.Stdout)

@@ -103,7 +103,11 @@ func main() {
 	cfg := streamgpp.DefaultExec()
 	tr := &streamgpp.Trace{}
 	cfg.Trace = tr
-	res := streamgpp.RunStream(m, prog, cfg)
+	res, err := streamgpp.RunStream(m, prog, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Printf("executed in %d cycles; timeline:\n", res.Cycles)
 	tr.Gantt(os.Stdout, 76)
 	fmt.Println("\nper-operation totals:")

@@ -79,7 +79,10 @@ func main() {
 	}
 	fmt.Print(prog.Summary())
 
-	res := streamgpp.RunStream(m, prog, streamgpp.DefaultExec())
+	res, err := streamgpp.RunStream(m, prog, streamgpp.DefaultExec())
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\nexecuted %d tasks in %d cycles (%.2f ms simulated)\n",
 		len(prog.Tasks), res.Cycles, 1e3*m.Config().CyclesToSeconds(res.Cycles))
 	fmt.Printf("work-queue high-water mark: %d of %d slots\n",

@@ -65,7 +65,10 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	stream := streamgpp.RunStream(mStr, prog, streamgpp.DefaultExec())
+	stream, err := streamgpp.RunStream(mStr, prog, streamgpp.DefaultExec())
+	if err != nil {
+		panic(err)
+	}
 
 	// ---------------- Compare ----------------
 	for i := 0; i < n; i++ {

@@ -113,7 +113,10 @@ func run(rows int) {
 	if err != nil {
 		panic(err)
 	}
-	stream := streamgpp.RunStream(mStr, prog, streamgpp.DefaultExec())
+	stream, err := streamgpp.RunStream(mStr, prog, streamgpp.DefaultExec())
+	if err != nil {
+		panic(err)
+	}
 
 	// --------- compare ---------
 	var maxDiff float64

@@ -473,7 +473,10 @@ func (inst *Instance) RunStream(ecfg exec.Config) (exec.Result, error) {
 	var total exec.Result
 	for s := 0; s < inst.P.Steps; s++ {
 		inst.MaxRes = 0
-		r := exec.RunStream2Ctx(inst.M, prog, ecfg)
+		r, err := exec.RunStream2Ctx(inst.M, prog, ecfg)
+		if err != nil {
+			return total, err
+		}
 		total.Cycles += r.Cycles
 		total.Run = r.Run
 		total.Queue = r.Queue

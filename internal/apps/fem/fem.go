@@ -437,10 +437,14 @@ func (inst *Instance) RunStreamWith(ecfg exec.Config, opt compiler.Options) (exe
 	}
 	var total exec.Result
 	for s := 0; s < inst.P.Steps; s++ {
-		r := exec.RunStream2Ctx(inst.M, prog, ecfg)
+		r, err := exec.RunStream2Ctx(inst.M, prog, ecfg)
+		if err != nil {
+			return total, err
+		}
 		total.Cycles += r.Cycles
 		total.Run = r.Run
 		total.Queue = r.Queue
+		total.Recovery.Accumulate(r.Recovery)
 		for k := range r.KindCycles {
 			total.KindCycles[k] += r.KindCycles[k]
 		}

@@ -202,7 +202,10 @@ func RunLDST(p Params, ecfg exec.Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	strRes := exec.RunStream2Ctx(str.m, prog, ecfg)
+	strRes, err := exec.RunStream2Ctx(str.m, prog, ecfg)
+	if err != nil {
+		return Result{}, err
+	}
 
 	if err := checkEqual("LD-ST-COMP", reg.o.Data, str.o.Data); err != nil {
 		return Result{}, err
@@ -288,7 +291,10 @@ func RunGATSCAT(p Params, ecfg exec.Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	strRes := exec.RunStream2Ctx(str.m, prog, ecfg)
+	strRes, err := exec.RunStream2Ctx(str.m, prog, ecfg)
+	if err != nil {
+		return Result{}, err
+	}
 
 	if err := checkEqual("GAT-SCAT-COMP", reg.o.Data, str.o.Data); err != nil {
 		return Result{}, err
@@ -434,7 +440,10 @@ func RunPRODCON(p Params, ecfg exec.Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	strRes := exec.RunStream2Ctx(str.m, prog, ecfg)
+	strRes, err := exec.RunStream2Ctx(str.m, prog, ecfg)
+	if err != nil {
+		return Result{}, err
+	}
 
 	if err := checkEqual("PROD-CON", reg.o.Data, str.o.Data); err != nil {
 		return Result{}, err

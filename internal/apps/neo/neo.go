@@ -305,7 +305,7 @@ func (inst *Instance) RunStream(ecfg exec.Config) (exec.Result, error) {
 	if err != nil {
 		return exec.Result{}, err
 	}
-	return exec.RunStream2Ctx(inst.M, prog, ecfg), nil
+	return exec.RunStream2Ctx(inst.M, prog, ecfg)
 }
 
 // Result is one regular-vs-stream comparison.

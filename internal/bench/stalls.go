@@ -44,7 +44,7 @@ func Stalls(w io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		rep := exec.NewStallReport(res.Stream.Run)
+		rep := exec.NewStallReport(res.Stream)
 		depth := reg.Histogram("wq.depth")
 		t.AddRow(cfgRow.label,
 			fmt.Sprintf("%.2f", res.Speedup),

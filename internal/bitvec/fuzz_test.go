@@ -1,0 +1,66 @@
+package bitvec
+
+import (
+	"testing"
+)
+
+// FuzzVec drives a Vec and a map-based oracle through the same random
+// operation sequence and checks every observable (Test, Count, Any,
+// NextSet iteration) agrees after each step. The op stream is decoded
+// from the fuzz input two bytes at a time: opcode, then bit index
+// reduced mod the capacity.
+func FuzzVec(f *testing.F) {
+	f.Add([]byte{0, 3, 1, 3, 0, 70, 2, 0, 4, 0})
+	f.Add([]byte{0, 0, 0, 63, 0, 64, 1, 64, 3, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const n = 130 // spans three words, last one partial
+		v := New(n)
+		oracle := map[int]bool{}
+		for k := 0; k+1 < len(ops); k += 2 {
+			i := int(ops[k+1]) % n
+			switch ops[k] % 5 {
+			case 0:
+				v.Set(i)
+				oracle[i] = true
+			case 1:
+				v.Clear(i)
+				delete(oracle, i)
+			case 2:
+				v.Reset()
+				oracle = map[int]bool{}
+			case 3:
+				if got := v.Test(i); got != oracle[i] {
+					t.Fatalf("Test(%d) = %v, oracle %v", i, got, oracle[i])
+				}
+			case 4:
+				c := v.Clone()
+				c.Set(i)
+				if !oracle[i] && v.Test(i) {
+					t.Fatalf("Clone shares storage: Set(%d) on clone leaked", i)
+				}
+			}
+			if v.Count() != len(oracle) {
+				t.Fatalf("Count = %d, oracle %d", v.Count(), len(oracle))
+			}
+			if v.Any() != (len(oracle) > 0) {
+				t.Fatalf("Any = %v, oracle has %d bits", v.Any(), len(oracle))
+			}
+			// NextSet must enumerate exactly the oracle's set, in order.
+			seen := 0
+			prev := -1
+			for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+				if i <= prev {
+					t.Fatalf("NextSet not ascending: %d after %d", i, prev)
+				}
+				if !oracle[i] {
+					t.Fatalf("NextSet yielded %d, not in oracle", i)
+				}
+				prev = i
+				seen++
+			}
+			if seen != len(oracle) {
+				t.Fatalf("NextSet enumerated %d bits, oracle has %d", seen, len(oracle))
+			}
+		}
+	})
+}

@@ -96,10 +96,11 @@ type StepResult struct {
 }
 
 // Program is one node's runnable shard: Run executes the local stream
-// program and returns its simulated cycles; HaloBytes is the data the
-// node must exchange with its neighbours after the step.
+// program and returns its simulated cycles (or the run's failure);
+// HaloBytes is the data the node must exchange with its neighbours
+// after the step.
 type Program struct {
-	Run       func() uint64
+	Run       func() (uint64, error)
 	HaloBytes uint64
 }
 
@@ -120,7 +121,11 @@ func RunStep(link LinkConfig, programs []Program) (StepResult, error) {
 			return StepResult{}, fmt.Errorf("cluster: node %d has no program", i)
 		}
 		nr := NodeResult{Shard: Shard{Node: i}}
-		nr.ComputeCyc = p.Run()
+		cyc, err := p.Run()
+		if err != nil {
+			return StepResult{}, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		nr.ComputeCyc = cyc
 		if len(programs) > 1 && p.HaloBytes > 0 {
 			// Exchange with both neighbours (full duplex, overlapped
 			// send/receive: one transfer time per neighbour pair).

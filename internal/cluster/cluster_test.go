@@ -76,8 +76,8 @@ func TestLinkTransferCycles(t *testing.T) {
 func TestRunStepMakespan(t *testing.T) {
 	link := DefaultLink()
 	progs := []Program{
-		{Run: func() uint64 { return 100 }, HaloBytes: 0},
-		{Run: func() uint64 { return 5000 }, HaloBytes: 16},
+		{Run: func() (uint64, error) { return 100, nil }, HaloBytes: 0},
+		{Run: func() (uint64, error) { return 5000, nil }, HaloBytes: 16},
 	}
 	res, err := RunStep(link, progs)
 	if err != nil {
@@ -93,7 +93,7 @@ func TestRunStepMakespan(t *testing.T) {
 }
 
 func TestRunStepSingleNodeNoComm(t *testing.T) {
-	res, err := RunStep(DefaultLink(), []Program{{Run: func() uint64 { return 42 }, HaloBytes: 100}})
+	res, err := RunStep(DefaultLink(), []Program{{Run: func() (uint64, error) { return 42, nil }, HaloBytes: 100}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestRunStepErrors(t *testing.T) {
 	if _, err := RunStep(DefaultLink(), []Program{{}}); err == nil {
 		t.Error("nil Run accepted")
 	}
-	if _, err := RunStep(LinkConfig{}, []Program{{Run: func() uint64 { return 1 }}}); err == nil {
+	if _, err := RunStep(LinkConfig{}, []Program{{Run: func() (uint64, error) { return 1, nil }}}); err == nil {
 		t.Error("invalid link accepted")
 	}
 }
@@ -173,8 +173,8 @@ func TestStrongScalingImproves(t *testing.T) {
 			nd := st.nodes[k]
 			progs[k] = Program{
 				HaloBytes: 16,
-				Run: func() uint64 {
-					return runNode(nd)
+				Run: func() (uint64, error) {
+					return runNode(nd), nil
 				},
 			}
 		}
@@ -204,5 +204,9 @@ func TestStrongScalingImproves(t *testing.T) {
 
 // runNode executes one node's compiled program once.
 func runNode(nd *stencilNode) uint64 {
-	return stepOne(nd)
+	cyc, err := stepOne(nd)
+	if err != nil {
+		panic(err)
+	}
+	return cyc
 }

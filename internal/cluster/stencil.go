@@ -162,8 +162,9 @@ func (s *Stencil1D) Step() (StepResult, error) {
 		nd := s.nodes[k]
 		programs[k] = Program{
 			HaloBytes: 2 * 8, // one boundary cell to each neighbour
-			Run: func() uint64 {
-				return exec.RunStream2Ctx(nd.m, nd.prog, nd.ecfg).Cycles
+			Run: func() (uint64, error) {
+				r, err := exec.RunStream2Ctx(nd.m, nd.prog, nd.ecfg)
+				return r.Cycles, err
 			},
 		}
 	}
@@ -193,8 +194,9 @@ func Reference(field []float64, steps int) []float64 {
 }
 
 // stepOne runs one node's program once (test/bench helper).
-func stepOne(nd *stencilNode) uint64 {
-	return exec.RunStream2Ctx(nd.m, nd.prog, nd.ecfg).Cycles
+func stepOne(nd *stencilNode) (uint64, error) {
+	r, err := exec.RunStream2Ctx(nd.m, nd.prog, nd.ecfg)
+	return r.Cycles, err
 }
 
 // NodePrograms exposes the per-node programs for external scaling
@@ -203,7 +205,7 @@ func (s *Stencil1D) NodePrograms() []Program {
 	out := make([]Program, s.Nodes)
 	for k := range s.nodes {
 		nd := s.nodes[k]
-		out[k] = Program{HaloBytes: 16, Run: func() uint64 { return stepOne(nd) }}
+		out[k] = Program{HaloBytes: 16, Run: func() (uint64, error) { return stepOne(nd) }}
 	}
 	return out
 }

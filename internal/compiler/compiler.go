@@ -55,6 +55,23 @@ type Program struct {
 	Options Options
 }
 
+// OutputArrays returns the distinct arrays the program's scatters
+// write, in graph order. Gathers and kernels are idempotent, so these
+// arrays are the only simulated state a run mutates — the snapshot a
+// caller needs to make an aborted run restartable from scratch.
+func (p *Program) OutputArrays() []*svm.Array {
+	seen := map[*svm.Array]bool{}
+	var out []*svm.Array
+	for _, e := range p.Graph.Edges {
+		if e.Scatter == nil || seen[e.Scatter.Array] {
+			continue
+		}
+		seen[e.Scatter.Array] = true
+		out = append(out, e.Scatter.Array)
+	}
+	return out
+}
+
 // PhasePlan records how one phase was strip-mined.
 type PhasePlan struct {
 	Phase         *sdf.Phase

@@ -18,7 +18,7 @@ func TestSmallQueueCapacityStillCompletes(t *testing.T) {
 	}
 	cfg := Defaults()
 	cfg.QueueCapacity = 8
-	res := RunStream2Ctx(s.m, p, cfg)
+	res := mustRun2(t, s.m, p, cfg)
 	if res.Cycles == 0 {
 		t.Fatal("no cycles")
 	}
@@ -42,7 +42,7 @@ func TestControlOverheadMonotone(t *testing.T) {
 		}
 		cfg := Defaults()
 		cfg.ControlOverheadCycles = overhead
-		return RunStream2Ctx(s.m, p, cfg).Cycles
+		return mustRun2(t, s.m, p, cfg).Cycles
 	}
 	// A modest overhead hides in the control thread's slack on this
 	// memory-bound program; an extreme one must show up in the makespan.
@@ -93,7 +93,7 @@ func TestKindCyclesAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := RunStream2Ctx(s.m, p, Defaults())
+	res := mustRun2(t, s.m, p, Defaults())
 	for k, c := range res.KindCycles {
 		if c == 0 {
 			t.Fatalf("kind %d has no cycles", k)

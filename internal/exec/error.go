@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel causes carried by RunError.Err.
+var (
+	// ErrRetriesExhausted: a strip's gather or kernel faulted on every
+	// attempt up to Config.RetryLimit.
+	ErrRetriesExhausted = errors.New("retries exhausted")
+	// ErrWedged: the progress watchdog saw no task completion across
+	// two consecutive cycle budgets.
+	ErrWedged = errors.New("no progress within watchdog budget")
+	// ErrIncomplete: the run ended with tasks still outstanding.
+	ErrIncomplete = errors.New("schedule incomplete")
+)
+
+// RunError is the structured failure of a stream-program run. It
+// replaces the run path's former panics: every abort names the
+// operation, the task (with its phase and strip in the compiled
+// schedule), the hardware context and virtual cycle of the failure,
+// and — for scheduling failures — a queue diagnosis built from the
+// dependence bit-vectors.
+type RunError struct {
+	Op       string // "enqueue", "retry", "watchdog", "incomplete"
+	Task     string // task name ("name#strip"), when task-attributed
+	Kind     string // task kind (G/K/S), when task-attributed
+	Phase    int    // compiled-schedule phase of the task (-1 if n/a)
+	Strip    int    // strip index of the task (-1 if n/a)
+	Ctx      int    // hardware context that aborted
+	Cycle    uint64 // local virtual cycle at the abort
+	Attempts int    // executions attempted, for retry exhaustion
+	Diag     string // wq dependence diagnosis, for scheduling failures
+	Err      error  // sentinel cause
+}
+
+// Error renders the full context in one line (plus the multi-line
+// queue diagnosis when present).
+func (e *RunError) Error() string {
+	s := "exec: " + e.Op
+	if e.Task != "" {
+		s += fmt.Sprintf(" task %s (kind %s, phase %d, strip %d)", e.Task, e.Kind, e.Phase, e.Strip)
+	}
+	s += fmt.Sprintf(" on ctx%d at cycle %d", e.Ctx, e.Cycle)
+	if e.Attempts > 0 {
+		s += fmt.Sprintf(" after %d attempts", e.Attempts)
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	if e.Diag != "" {
+		s += "\n" + e.Diag
+	}
+	return s
+}
+
+// Unwrap exposes the sentinel cause to errors.Is.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// RecoverySummary accounts one run's fault-recovery activity; it is
+// all zeros for a machine without a fault injector.
+type RecoverySummary struct {
+	// FaultsInjected counts injector fires attributed to this run.
+	FaultsInjected uint64
+	// Retries counts strip re-executions after an injected gather or
+	// kernel fault.
+	Retries uint64
+	// ScrubbedDeps counts stale dependence bits the watchdog's Scrub
+	// recovered after dropped dependence-clears.
+	ScrubbedDeps uint64
+	// WakeupTimeouts counts engine deadline wakes that recovered
+	// dropped wakeup signals.
+	WakeupTimeouts uint64
+	// WatchdogTimeouts counts wait budgets that expired without
+	// progress (each triggers a scrub/abort decision).
+	WatchdogTimeouts uint64
+	// Degraded reports that the two-context schedule exhausted its
+	// retries and the run was completed by the sequential fallback.
+	Degraded bool
+	// AbortedCycles is the virtual time spent in the abandoned
+	// two-context attempt before degradation.
+	AbortedCycles uint64
+}
+
+// Accumulate folds another run's (or an aborted attempt's) recovery
+// activity into this summary.
+func (r *RecoverySummary) Accumulate(o RecoverySummary) {
+	r.FaultsInjected += o.FaultsInjected
+	r.Retries += o.Retries
+	r.ScrubbedDeps += o.ScrubbedDeps
+	r.WakeupTimeouts += o.WakeupTimeouts
+	r.WatchdogTimeouts += o.WatchdogTimeouts
+	r.Degraded = r.Degraded || o.Degraded
+	r.AbortedCycles += o.AbortedCycles
+}
+
+// Any reports whether any recovery activity occurred.
+func (r RecoverySummary) Any() bool {
+	return r.FaultsInjected != 0 || r.Retries != 0 || r.ScrubbedDeps != 0 ||
+		r.WakeupTimeouts != 0 || r.WatchdogTimeouts != 0 || r.Degraded
+}
+
+// String renders the non-zero recovery counters on one line.
+func (r RecoverySummary) String() string {
+	if !r.Any() {
+		return "no faults"
+	}
+	s := fmt.Sprintf("%d faults injected, %d retries, %d deps scrubbed, %d wakeup timeouts, %d watchdog timeouts",
+		r.FaultsInjected, r.Retries, r.ScrubbedDeps, r.WakeupTimeouts, r.WatchdogTimeouts)
+	if r.Degraded {
+		s += fmt.Sprintf("; degraded to 1-ctx after %d aborted cycles", r.AbortedCycles)
+	}
+	return s
+}

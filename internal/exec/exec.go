@@ -20,8 +20,10 @@ import (
 	"fmt"
 
 	"streamgpp/internal/compiler"
+	"streamgpp/internal/fault"
 	"streamgpp/internal/obs"
 	"streamgpp/internal/sim"
+	"streamgpp/internal/svm"
 	"streamgpp/internal/wq"
 )
 
@@ -61,6 +63,24 @@ type Config struct {
 	// term scales with references, not computation, so compute-bound
 	// loops still converge to the kernel's cost.
 	RegularRefOps int64
+
+	// RetryLimit bounds how many times a strip's gather or kernel is
+	// re-executed after an injected fault before the run aborts.
+	// Gathers and kernels are idempotent (only scatters commit state),
+	// so a re-run is safe. 0 disables retries: the first fault aborts.
+	RetryLimit int
+	// WatchdogCycles is the progress watchdog's budget: an idle
+	// thread waits at most this many cycles before auditing the queue
+	// (scrubbing stale dependence bits) and, after two consecutive
+	// budgets without any completion, aborting with a deadlock
+	// diagnosis. The watchdog is armed only on machines with a fault
+	// injector, so fault-free timing is untouched.
+	WatchdogCycles uint64
+	// DegradeTo1Ctx falls back to the sequential single-context
+	// schedule when the overlapped two-context run exhausts its
+	// retries: output arrays are restored from a pre-run snapshot and
+	// the whole program re-runs without thread-level overlap.
+	DegradeTo1Ctx bool
 }
 
 // Defaults returns the evaluation configuration.
@@ -74,6 +94,9 @@ func Defaults() Config {
 		ControlOverheadCycles: 12,
 		RegularCPIFactor:      1.0,
 		RegularRefOps:         2,
+		RetryLimit:            3,
+		WatchdogCycles:        1_500_000,
+		DegradeTo1Ctx:         true,
 	}
 }
 
@@ -85,14 +108,129 @@ type Result struct {
 	// KindCycles accumulates context-local cycles spent executing tasks
 	// of each wq.Kind (gather, kernel, scatter) — a profiling aid.
 	KindCycles [3]uint64
+	// Recovery accounts fault-injection and recovery activity (all
+	// zeros on a machine without an injector).
+	Recovery RecoverySummary
+}
+
+// stripRetrier re-executes a strip task after an injected fault,
+// bounded by RetryLimit. Only gathers and kernels are fault sites —
+// they are idempotent, so a re-run is safe; scatters commit
+// (scatter-add is not idempotent) and are never injected or re-run.
+type stripRetrier struct {
+	inj      *fault.Injector
+	limit    int
+	rec      *RecoverySummary
+	retryCtr *obs.Counter
+}
+
+func newStripRetrier(m *sim.Machine, cfg Config, rec *RecoverySummary) stripRetrier {
+	sr := stripRetrier{inj: m.FaultInjector(), limit: cfg.RetryLimit, rec: rec}
+	if sr.inj != nil {
+		if r := m.Observer(); r != nil {
+			sr.retryCtr = r.Counter("exec.strip_retries")
+		}
+	}
+	return sr
+}
+
+// run executes t, retrying while the injector faults it. A non-nil
+// RunError means the retry budget is exhausted.
+func (sr stripRetrier) run(c *sim.CPU, t *wq.Task) *RunError {
+	attempts := 0
+	for {
+		t.Run(c)
+		attempts++
+		if sr.inj == nil {
+			return nil
+		}
+		var k fault.Kind
+		switch t.Kind {
+		case wq.Gather:
+			k = fault.PoisonedStrip
+		case wq.KernelRun:
+			k = fault.KernelFault
+		default:
+			return nil // scatters are the commit point: never injected
+		}
+		if !sr.inj.Roll(k, c.Now()) {
+			return nil
+		}
+		sr.inj.Annotate(t.Name)
+		if attempts > sr.limit {
+			return &RunError{Op: "retry", Task: t.Name, Kind: t.Kind.String(),
+				Phase: t.Phase, Strip: t.Strip, Ctx: c.ID(), Cycle: c.Now(),
+				Attempts: attempts, Err: ErrRetriesExhausted}
+		}
+		sr.rec.Retries++
+		if sr.retryCtr != nil {
+			sr.retryCtr.Inc()
+		}
+	}
+}
+
+// arraySnapshot preserves the program's output arrays so an aborted
+// run can be restarted from pristine state.
+type arraySnapshot struct {
+	arrs []*svm.Array
+	data [][]float64
+}
+
+func snapshotOutputs(p *compiler.Program) *arraySnapshot {
+	snap := &arraySnapshot{arrs: p.OutputArrays()}
+	for _, a := range snap.arrs {
+		snap.data = append(snap.data, a.CloneData())
+	}
+	return snap
+}
+
+func (s *arraySnapshot) restore() {
+	for i, a := range s.arrs {
+		a.RestoreData(s.data[i])
+	}
 }
 
 // RunStream2Ctx executes the program on both hardware contexts.
 // Context 0 time-multiplexes the control thread (enqueuing tasks) with
 // the compute thread (kernels); context 1 is the memory thread.
-func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
+//
+// On a machine with a fault injector the run is guarded: faulted
+// strips are retried (see stripRetrier), idle waits carry a progress
+// watchdog, and if the overlapped schedule still cannot complete, the
+// run degrades to the sequential single-context schedule from restored
+// array state (Config.DegradeTo1Ctx). A non-nil error is always a
+// *RunError naming the failing task, strip, phase and cycle.
+func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, error) {
+	var snap *arraySnapshot
+	if m.FaultInjector() != nil && cfg.DegradeTo1Ctx {
+		snap = snapshotOutputs(p)
+	}
+	res, rerr := runStream2Attempt(m, p, cfg)
+	if rerr == nil {
+		return res, nil
+	}
+	if snap == nil {
+		return res, rerr
+	}
+	// Graceful degradation: abandon thread-level overlap, restore the
+	// committed state and re-run the whole schedule sequentially.
+	snap.restore()
+	if r := m.Observer(); r != nil {
+		r.Counter("exec.degraded_runs").Inc()
+	}
+	aborted := res.Recovery
+	res1, err := RunStream1Ctx(m, p, cfg)
+	res1.Recovery.Accumulate(aborted)
+	res1.Recovery.Degraded = true
+	res1.Recovery.AbortedCycles = res.Cycles
+	return res1, err
+}
+
+// runStream2Attempt is one guarded two-context execution.
+func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result, *RunError) {
 	q := wq.New(cfg.QueueCapacity)
 	q.Obs = m.Observer()
+	q.Fault = m.FaultInjector()
 	// One notification cell covers both "new task enqueued" and "task
 	// completed": either can unblock either thread, and MONITOR watches
 	// a single address anyway.
@@ -107,6 +245,69 @@ func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 	}
 
 	var kindCycles [3]uint64
+	var rec RecoverySummary
+	inj := m.FaultInjector()
+	injBase := uint64(0)
+	if inj != nil {
+		injBase = inj.Total()
+	}
+	wkBase := m.WakeupTimeouts()
+	sr := newStripRetrier(m, cfg, &rec)
+
+	// rerr is the first abort. Setting it also flips finished, so both
+	// threads' wait conditions unblock and their loops drain out.
+	var rerr *RunError
+	abort := func(e *RunError) {
+		if rerr == nil {
+			rerr = e
+		}
+		finished = true
+	}
+
+	// The progress watchdog is armed only under fault injection (the
+	// budget changes nothing until it expires, and it can only expire
+	// when an injected fault wedged the schedule), so fault-free runs
+	// keep byte-identical timing.
+	wdBudget := uint64(0)
+	var wdCtr *obs.Counter
+	if inj != nil {
+		wdBudget = cfg.WatchdogCycles
+		if r := m.Observer(); r != nil {
+			wdCtr = r.Counter("exec.watchdog_timeouts")
+		}
+	}
+	// newWatchdog returns a per-thread timeout handler: a barren
+	// budget first audits the queue for stale dependence bits (lost
+	// dependence-clears) and recovers them with Scrub; two consecutive
+	// budgets with no completion at all abort with the structured
+	// deadlock diagnosis from the dependence bit-vectors.
+	newWatchdog := func() func(c *sim.CPU) {
+		barren := 0
+		var lastDone uint64
+		return func(c *sim.CPU) {
+			rec.WatchdogTimeouts++
+			if wdCtr != nil {
+				wdCtr.Inc()
+			}
+			if n := q.Scrub(); n > 0 {
+				rec.ScrubbedDeps += uint64(n)
+				barren = 0
+				c.Signal(work) // readiness changed; wake the sibling
+				return
+			}
+			if done := q.Completed(); done > lastDone {
+				lastDone = done
+				barren = 0
+				return
+			}
+			barren++
+			if barren >= 2 {
+				abort(&RunError{Op: "watchdog", Ctx: c.ID(), Cycle: c.Now(),
+					Diag: q.Diagnose(), Err: ErrWedged})
+				c.Signal(work)
+			}
+		}
+	}
 
 	// tryRun claims and executes one ready task from the given queue,
 	// returning whether it did any work.
@@ -116,7 +317,11 @@ func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 			return false
 		}
 		before := c.Now()
-		t.Run(c)
+		if e := sr.run(c, &t); e != nil {
+			abort(e)
+			c.Signal(work)
+			return false
+		}
 		kindCycles[t.Kind] += c.Now() - before
 		if cfg.Trace != nil {
 			cfg.Trace.record(TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(),
@@ -157,19 +362,28 @@ func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 	st := m.Run(
 		// Context 0: control + compute.
 		func(c *sim.CPU) {
-			for int(q.Completed()) < total {
+			wd := newWatchdog()
+			for rerr == nil && int(q.Completed()) < total {
 				// Control part: enqueue as much of the schedule as fits.
 				enqueued := false
 				for next < total {
 					if err := q.Enqueue(p.Tasks[next]); err != nil {
 						if err == wq.ErrFull {
+							// Genuine backpressure or an injected
+							// transient failure: wait and retry.
 							break
 						}
-						panic(err)
+						t := &p.Tasks[next]
+						abort(&RunError{Op: "enqueue", Task: t.Name, Kind: t.Kind.String(),
+							Phase: t.Phase, Strip: t.Strip, Ctx: c.ID(), Cycle: c.Now(), Err: err})
+						break
 					}
 					c.Compute(int64(cfg.ControlOverheadCycles))
 					next++
 					enqueued = true
+				}
+				if rerr != nil {
+					break
 				}
 				if enqueued {
 					if cfg.Trace != nil {
@@ -181,45 +395,65 @@ func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 				if tryRun(c, wq.ComputeQueue) {
 					continue
 				}
-				if int(q.Completed()) >= total {
+				if rerr != nil || int(q.Completed()) >= total {
 					break
 				}
 				// Nothing to do: wait for a completion to unblock a
 				// kernel or free a slot.
-				waited := c.Wait(work, cfg.WaitPolicy, func() bool {
+				waited, timedOut := c.WaitBudget(work, cfg.WaitPolicy, wdBudget, func() bool {
 					return q.ReadyIn(wq.ComputeQueue) > 0 ||
 						(next < total && q.InFlight() < q.Capacity()) ||
-						int(q.Completed()) >= total
+						int(q.Completed()) >= total || rerr != nil
 				})
 				recordWait(c, wq.ComputeQueue, waited)
+				if timedOut {
+					wd(c)
+				}
 			}
 			finished = true
 			c.Signal(work)
 		},
 		// Context 1: memory thread.
 		func(c *sim.CPU) {
-			for {
+			wd := newWatchdog()
+			for rerr == nil {
 				if tryRun(c, wq.MemQueue) {
 					continue
+				}
+				if rerr != nil {
+					return
 				}
 				if finished && int(q.Completed()) >= total {
 					return
 				}
-				waited := c.Wait(work, cfg.WaitPolicy, func() bool {
+				waited, timedOut := c.WaitBudget(work, cfg.WaitPolicy, wdBudget, func() bool {
 					return q.ReadyIn(wq.MemQueue) > 0 || finished
 				})
 				recordWait(c, wq.MemQueue, waited)
+				if timedOut {
+					wd(c)
+					continue
+				}
 				if finished && q.ReadyIn(wq.MemQueue) == 0 && int(q.Completed()) >= total {
 					return
 				}
 			}
 		},
 	)
-	if int(q.Completed()) != total {
-		panic(fmt.Sprintf("exec: %d of %d tasks completed", q.Completed(), total))
+	rec.WakeupTimeouts = m.WakeupTimeouts() - wkBase
+	if inj != nil {
+		rec.FaultsInjected = inj.Total() - injBase
+		inj.Publish(m.Observer())
+	}
+	if rerr == nil && int(q.Completed()) != total {
+		// No thread aborted yet the schedule did not finish: an
+		// executor invariant violation, reported structurally instead
+		// of the former panic.
+		rerr = &RunError{Op: "incomplete", Cycle: st.Cycles, Diag: q.Diagnose(),
+			Err: fmt.Errorf("%w: %d of %d tasks completed", ErrIncomplete, q.Completed(), total)}
 	}
 	publishRun(m, "stream2", st, kindCycles)
-	return Result{Cycles: st.Cycles, Run: st, Queue: q, KindCycles: kindCycles}
+	return Result{Cycles: st.Cycles, Run: st, Queue: q, KindCycles: kindCycles, Recovery: rec}, rerr
 }
 
 // publishRun copies one run's cycle accounting into the machine's
@@ -246,16 +480,30 @@ func publishRun(m *sim.Machine, label string, st sim.RunStats, kindCycles [3]uin
 // software-pipelining the schedule: tasks run in enqueue order, which
 // interleaves next-strip gathers with current-strip kernels but cannot
 // overlap them in time. The bulk-transfer and SRF-pinning benefits
-// remain; the thread-level overlap does not.
-func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
+// remain; the thread-level overlap does not. Under fault injection,
+// faulted strips are retried exactly as in the two-context schedule; a
+// non-nil error is always a *RunError.
+func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, error) {
 	var kindCycles [3]uint64
+	var rec RecoverySummary
+	inj := m.FaultInjector()
+	injBase := uint64(0)
+	if inj != nil {
+		injBase = inj.Total()
+	}
+	sr := newStripRetrier(m, cfg, &rec)
+	var rerr *RunError
 	if cfg.Trace != nil {
 		cfg.Trace.Reserve(len(p.Tasks), 0)
 	}
 	st := m.Run(func(c *sim.CPU) {
-		for _, t := range p.Tasks {
+		for i := range p.Tasks {
+			t := &p.Tasks[i]
 			before := c.Now()
-			t.Run(c)
+			if e := sr.run(c, t); e != nil {
+				rerr = e
+				return
+			}
 			kindCycles[t.Kind] += c.Now() - before
 			if cfg.Trace != nil {
 				cfg.Trace.record(TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(),
@@ -263,8 +511,16 @@ func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) Result {
 			}
 		}
 	})
+	if inj != nil {
+		rec.FaultsInjected = inj.Total() - injBase
+		inj.Publish(m.Observer())
+	}
 	publishRun(m, "stream1", st, kindCycles)
-	return Result{Cycles: st.Cycles, Run: st, KindCycles: kindCycles}
+	res := Result{Cycles: st.Cycles, Run: st, KindCycles: kindCycles, Recovery: rec}
+	if rerr != nil {
+		return res, rerr
+	}
+	return res, nil
 }
 
 // Loop is one loop nest of a regular (conventional C-style) program:

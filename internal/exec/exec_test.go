@@ -11,6 +11,26 @@ import (
 
 func testMachine() *sim.Machine { return sim.MustNew(sim.PentiumD8300()) }
 
+// mustRun2 / mustRun1 run a compiled program and fail the test on a
+// RunError (the fault-free paths in these tests must never fault).
+func mustRun2(t testing.TB, m *sim.Machine, p *compiler.Program, cfg Config) Result {
+	t.Helper()
+	res, err := RunStream2Ctx(m, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustRun1(t testing.TB, m *sim.Machine, p *compiler.Program, cfg Config) Result {
+	t.Helper()
+	res, err := RunStream1Ctx(m, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 // fig2Setup builds the paper's Fig. 1/2 example in both styles: the
 // stream graph (kernel1: d = a+b+c; kernel2: y[index5[i]] = d+x) and
 // the equivalent regular loops.
@@ -119,7 +139,7 @@ func TestStream2CtxFunctionalEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := RunStream2Ctx(s.m, p, Defaults())
+	res := mustRun2(t, s.m, p, Defaults())
 	if res.Cycles == 0 {
 		t.Fatal("no cycles recorded")
 	}
@@ -157,7 +177,7 @@ func TestStream1CtxFunctionalEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := RunStream1Ctx(s.m, p, Defaults())
+	res := mustRun1(t, s.m, p, Defaults())
 	if res.Cycles == 0 {
 		t.Fatal("no cycles")
 	}
@@ -180,23 +200,23 @@ func TestExecutorsAgree(t *testing.T) {
 	}{
 		{"2ctx-mwait", func(s *fig2Setup) Result {
 			p, _ := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
-			return RunStream2Ctx(s.m, p, Defaults())
+			return mustRun2(t, s.m, p, Defaults())
 		}},
 		{"2ctx-pause", func(s *fig2Setup) Result {
 			p, _ := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
 			cfg := Defaults()
 			cfg.WaitPolicy = sim.PolicyPause
-			return RunStream2Ctx(s.m, p, cfg)
+			return mustRun2(t, s.m, p, cfg)
 		}},
 		{"2ctx-os", func(s *fig2Setup) Result {
 			p, _ := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
 			cfg := Defaults()
 			cfg.WaitPolicy = sim.PolicyOS
-			return RunStream2Ctx(s.m, p, cfg)
+			return mustRun2(t, s.m, p, cfg)
 		}},
 		{"1ctx", func(s *fig2Setup) Result {
 			p, _ := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
-			return RunStream1Ctx(s.m, p, Defaults())
+			return mustRun1(t, s.m, p, Defaults())
 		}},
 		{"regular", func(s *fig2Setup) Result {
 			return RunRegular(s.m, Defaults(), s.regularLoops()...)
@@ -231,14 +251,14 @@ func TestStreamBeatsRegularWhenMemoryBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	str2 := RunStream2Ctx(s2.m, p2, Defaults())
+	str2 := mustRun2(t, s2.m, p2, Defaults())
 
 	s1 := newFig2(n, ops)
 	p1, err := compiler.Compile(s1.graph(), compiler.DefaultOptions(svm.DefaultSRF(s1.m)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	str1 := RunStream1Ctx(s1.m, p1, Defaults())
+	str1 := mustRun1(t, s1.m, p1, Defaults())
 
 	sp2 := Speedup(reg, str2)
 	sp1 := Speedup(reg, str1)
@@ -264,7 +284,7 @@ func TestSpeedupConvergesWhenComputeBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	str2 := RunStream2Ctx(s2.m, p2, Defaults())
+	str2 := mustRun2(t, s2.m, p2, Defaults())
 
 	sp := Speedup(reg, str2)
 	t.Logf("compute-bound speedup %.3f", sp)
@@ -294,7 +314,7 @@ func TestExecDeterminism(t *testing.T) {
 	run := func() uint64 {
 		s := newFig2(10000, 8)
 		p, _ := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
-		return RunStream2Ctx(s.m, p, Defaults()).Cycles
+		return mustRun2(t, s.m, p, Defaults()).Cycles
 	}
 	c0 := run()
 	for i := 0; i < 2; i++ {
@@ -315,7 +335,7 @@ func TestSRFResidencyDuringRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	RunStream2Ctx(s.m, p, Defaults())
+	mustRun2(t, s.m, p, Defaults())
 	// Buffers of pure producer-consumer streams (ds) never generate
 	// simulated traffic — kernel SRF accesses are folded into kernel
 	// cost — so they are legitimately absent. Every buffer that was

@@ -35,10 +35,21 @@ func (b CtxBreakdown) Bound() string {
 // StallReport is the per-context attribution of a whole run.
 type StallReport struct {
 	Contexts []CtxBreakdown
+	// Recovery carries the run's fault/retry/degradation accounting
+	// (all zeros without fault injection).
+	Recovery RecoverySummary
 }
 
-// NewStallReport builds the attribution from a run's statistics.
-func NewStallReport(st sim.RunStats) StallReport {
+// NewStallReport builds the attribution from a run's result.
+func NewStallReport(res Result) StallReport {
+	rep := newStallReport(res.Run)
+	rep.Recovery = res.Recovery
+	return rep
+}
+
+// newStallReport builds the per-context attribution from raw run
+// statistics.
+func newStallReport(st sim.RunStats) StallReport {
 	var rep StallReport
 	for i := range st.ProcCycles {
 		b := CtxBreakdown{
@@ -76,5 +87,8 @@ func (rep StallReport) Render(w io.Writer) {
 			b.DepWait, pct(b.DepWait, b.Total),
 			b.Idle, pct(b.Idle, b.Total),
 			b.Bound())
+	}
+	if rep.Recovery.Any() {
+		fmt.Fprintf(w, "  recovery: %s\n", rep.Recovery)
 	}
 }

@@ -138,7 +138,7 @@ func TestPerfettoExport(t *testing.T) {
 	cfg := Defaults()
 	tr := &Trace{}
 	cfg.Trace = tr
-	RunStream2Ctx(s.m, p, cfg)
+	mustRun2(t, s.m, p, cfg)
 
 	var buf bytes.Buffer
 	if err := tr.WritePerfetto(&buf, "fig2", 3400); err != nil {
@@ -202,7 +202,7 @@ func TestOverlapVisibleOnlyWithDoubleBuffering(t *testing.T) {
 		cfg := Defaults()
 		tr := &Trace{}
 		cfg.Trace = tr
-		RunStream2Ctx(s.m, p, cfg)
+		mustRun2(t, s.m, p, cfg)
 		return tr.OverlapEfficiency()
 	}
 	with, without := run(true), run(false)

@@ -41,7 +41,11 @@ func TuneStripSize(candidates []int, ecfg Config,
 		if err != nil {
 			continue // e.g. strip too wide for the SRF
 		}
-		cycles := RunStream2Ctx(m, prog, ecfg).Cycles
+		r, err := RunStream2Ctx(m, prog, ecfg)
+		if err != nil {
+			continue // a candidate that cannot complete is no candidate
+		}
+		cycles := r.Cycles
 		res.Tried[cand] = cycles
 		tried++
 		if cycles < best {

@@ -108,7 +108,7 @@ func TestTraceRecordsTimeline(t *testing.T) {
 	cfg := Defaults()
 	tr := &Trace{}
 	cfg.Trace = tr
-	res := RunStream2Ctx(s.m, p, cfg)
+	res := mustRun2(t, s.m, p, cfg)
 
 	if len(tr.Events) != len(p.Tasks) {
 		t.Fatalf("trace has %d events for %d tasks", len(tr.Events), len(p.Tasks))

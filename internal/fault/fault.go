@@ -1,0 +1,251 @@
+// Package fault implements deterministic, seeded fault injection for
+// the simulator's run path. Every potential fault site draws from a
+// single splitmix64 stream owned by the Injector; because simulated
+// threads are engine-serialised, the draw order is a pure function of
+// the program and seed, so a failing run replays byte-identically from
+// its seed. The injector records every fired fault (sequence number,
+// kind, cycle, site), giving a replayable fault trace.
+//
+// The fault taxonomy follows the paper's execution model (§III-B):
+// timing faults in the machine model (latency spikes, lost wakeup
+// signals), queue faults in the distributed work queue (lost
+// dependence-clear updates, transient enqueue failures), and data
+// faults in the strip pipeline (faulted kernels, poisoned SRF strips).
+// Scatters are deliberately not a fault site: a scatter-add commits
+// non-idempotent state, so recovery re-runs only the idempotent
+// gather/kernel stages.
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"streamgpp/internal/obs"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// LatencySpike stretches one memory operation by SpikeCycles —
+	// a DRAM refresh collision or SMI storm on the real machine.
+	LatencySpike Kind = iota
+	// DroppedWakeup loses one Signal: sleeping contexts are not woken
+	// (a lost MONITOR arm race). Spinning waiters are unaffected.
+	DroppedWakeup
+	// DroppedDepClear makes one task completion skip clearing its bit
+	// in the waiting slots' dependence vectors (a lost queue update).
+	DroppedDepClear
+	// EnqueueFull makes one Enqueue spuriously report a full queue (a
+	// transient reservation failure); the control thread retries.
+	EnqueueFull
+	// KernelFault marks one kernel execution as having faulted; the
+	// executor re-runs the strip.
+	KernelFault
+	// PoisonedStrip marks one gathered SRF strip as corrupt; the
+	// executor re-issues the gather.
+	PoisonedStrip
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"latency_spike", "dropped_wakeup", "dropped_dep_clear",
+	"enqueue_full", "kernel_fault", "poisoned_strip",
+}
+
+// String returns the stable snake_case name used by CLI flags and
+// metric names.
+func (k Kind) String() string {
+	if k >= numKinds {
+		return fmt.Sprintf("fault.Kind(%d)", k)
+	}
+	return kindNames[k]
+}
+
+// ParseKind resolves a fault-kind name as printed by String.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q (want one of %s)", s, strings.Join(kindNames[:], ", "))
+}
+
+// Kinds returns all fault kinds, for matrix-style sweeps.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Config parameterises an Injector. The zero value injects nothing.
+type Config struct {
+	// Seed selects the deterministic draw stream.
+	Seed uint64
+	// Rate[k] is the per-draw fire probability of kind k in [0,1].
+	// Kinds at rate 0 never consume a draw, so enabling one kind does
+	// not perturb another kind's schedule.
+	Rate [numKinds]float64
+	// MaxPerKind[k], when non-zero, caps how many faults of kind k
+	// fire; capped kinds stop consuming draws.
+	MaxPerKind [numKinds]uint64
+	// SpikeCycles is the extra latency of one LatencySpike (default
+	// 2000 cycles when zero).
+	SpikeCycles uint64
+}
+
+// ParseSpec parses a CLI fault specification: comma-separated
+// kind:rate pairs, e.g. "kernel_fault:0.01,poisoned_strip:0.02".
+// The pseudo-kind "all" sets every rate at once.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, rateStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return cfg, fmt.Errorf("fault: spec entry %q is not kind:rate", part)
+		}
+		var rate float64
+		if _, err := fmt.Sscanf(rateStr, "%g", &rate); err != nil || rate < 0 || rate > 1 {
+			return cfg, fmt.Errorf("fault: rate %q of %q must be in [0,1]", rateStr, name)
+		}
+		if name == "all" {
+			for k := range cfg.Rate {
+				cfg.Rate[k] = rate
+			}
+			continue
+		}
+		k, err := ParseKind(name)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Rate[k] = rate
+	}
+	return cfg, nil
+}
+
+// Record is one fired fault in the trace.
+type Record struct {
+	Seq   uint64 // draw number that fired (position in the draw stream)
+	Kind  Kind
+	Cycle uint64 // virtual cycle at the fault site, when known
+	Site  string // annotated site (task name or subsystem), when known
+}
+
+// Injector is the seeded fault source. It is not safe for concurrent
+// use from Go threads; in this codebase every caller is a simulated
+// thread serialised by the sim engine, which is what makes the draw
+// order — and therefore the fault schedule — deterministic.
+type Injector struct {
+	cfg      Config
+	rng      uint64
+	draws    uint64
+	injected [numKinds]uint64
+	records  []Record
+}
+
+// New returns an injector drawing from cfg.Seed.
+func New(cfg Config) *Injector {
+	if cfg.SpikeCycles == 0 {
+		cfg.SpikeCycles = 2000
+	}
+	return &Injector{cfg: cfg, rng: cfg.Seed}
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// next advances the splitmix64 stream. splitmix64 rather than
+// math/rand so the schedule is stable across Go releases.
+func (in *Injector) next() uint64 {
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Roll decides whether a fault of kind k fires at this site. cycle is
+// the local virtual clock when the caller has one (0 otherwise); it
+// only annotates the trace. A kind at rate 0 or at its cap returns
+// false without consuming a draw.
+func (in *Injector) Roll(k Kind, cycle uint64) bool {
+	rate := in.cfg.Rate[k]
+	if rate <= 0 {
+		return false
+	}
+	if max := in.cfg.MaxPerKind[k]; max != 0 && in.injected[k] >= max {
+		return false
+	}
+	in.draws++
+	if float64(in.next()>>11)/(1<<53) >= rate {
+		return false
+	}
+	in.injected[k]++
+	in.records = append(in.records, Record{Seq: in.draws, Kind: k, Cycle: cycle})
+	return true
+}
+
+// Annotate tags the most recently fired fault with its site (task or
+// subsystem name). Call immediately after a true Roll.
+func (in *Injector) Annotate(site string) {
+	if n := len(in.records); n > 0 {
+		in.records[n-1].Site = site
+	}
+}
+
+// SpikeCycles returns the configured latency-spike magnitude.
+func (in *Injector) SpikeCycles() uint64 { return in.cfg.SpikeCycles }
+
+// Injected returns how many faults of kind k have fired.
+func (in *Injector) Injected(k Kind) uint64 { return in.injected[k] }
+
+// Total returns how many faults of any kind have fired.
+func (in *Injector) Total() uint64 {
+	var t uint64
+	for _, n := range in.injected {
+		t += n
+	}
+	return t
+}
+
+// Draws returns how many randomness draws have been consumed.
+func (in *Injector) Draws() uint64 { return in.draws }
+
+// Records returns the fault trace in fire order. The slice is owned by
+// the injector; do not mutate it.
+func (in *Injector) Records() []Record { return in.records }
+
+// TraceString renders the fault trace, one fault per line — the
+// replay-identity artifact: two runs with the same seed and workload
+// must render identical traces.
+func (in *Injector) TraceString() string {
+	var sb strings.Builder
+	for _, r := range in.records {
+		fmt.Fprintf(&sb, "#%d %s cycle=%d", r.Seq, r.Kind, r.Cycle)
+		if r.Site != "" {
+			fmt.Fprintf(&sb, " site=%s", r.Site)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Publish copies the per-kind fire counts into the registry as
+// fault.injected.<kind> gauges (gauges, not counters, so repeated
+// publication is idempotent).
+func (in *Injector) Publish(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		r.Gauge("fault.injected." + k.String()).Set(float64(in.injected[k]))
+	}
+	r.Gauge("fault.draws").Set(float64(in.draws))
+}

@@ -1,0 +1,146 @@
+package fault
+
+import "testing"
+
+// TestReplayIdentity: two injectors with the same seed and the same
+// call sequence must produce identical fault schedules and traces.
+func TestReplayIdentity(t *testing.T) {
+	cfg := Config{Seed: 42}
+	for k := range cfg.Rate {
+		cfg.Rate[k] = 0.1
+	}
+	run := func() (string, []bool) {
+		in := New(cfg)
+		var fired []bool
+		for i := 0; i < 500; i++ {
+			k := Kind(i % int(numKinds))
+			f := in.Roll(k, uint64(i))
+			if f {
+				in.Annotate("site")
+			}
+			fired = append(fired, f)
+		}
+		return in.TraceString(), fired
+	}
+	tr1, f1 := run()
+	tr2, f2 := run()
+	if tr1 != tr2 {
+		t.Fatalf("traces differ:\n%s\nvs\n%s", tr1, tr2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("draw %d differs", i)
+		}
+	}
+	if tr1 == "" {
+		t.Fatal("expected at least one fault at rate 0.1 over 500 draws")
+	}
+}
+
+// TestSeedChangesSchedule: a different seed produces a different
+// schedule (overwhelmingly likely over 500 draws).
+func TestSeedChangesSchedule(t *testing.T) {
+	mk := func(seed uint64) string {
+		cfg := Config{Seed: seed}
+		cfg.Rate[KernelFault] = 0.2
+		in := New(cfg)
+		for i := 0; i < 500; i++ {
+			in.Roll(KernelFault, uint64(i))
+		}
+		return in.TraceString()
+	}
+	if mk(1) == mk(2) {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// TestRateZeroConsumesNoDraws: disabled kinds must not perturb the
+// draw stream, so enabling one kind leaves another kind's schedule
+// unchanged.
+func TestRateZeroConsumesNoDraws(t *testing.T) {
+	in := New(Config{Seed: 7})
+	for i := 0; i < 100; i++ {
+		if in.Roll(LatencySpike, 0) {
+			t.Fatal("rate-0 kind fired")
+		}
+	}
+	if in.Draws() != 0 {
+		t.Fatalf("rate-0 rolls consumed %d draws", in.Draws())
+	}
+
+	// The kernel_fault schedule must be identical whether or not a
+	// disabled kind is interleaved.
+	trace := func(interleave bool) string {
+		cfg := Config{Seed: 9}
+		cfg.Rate[KernelFault] = 0.3
+		in := New(cfg)
+		for i := 0; i < 200; i++ {
+			if interleave {
+				in.Roll(LatencySpike, uint64(i))
+			}
+			in.Roll(KernelFault, uint64(i))
+		}
+		return in.TraceString()
+	}
+	if trace(false) != trace(true) {
+		t.Fatal("disabled kind perturbed another kind's schedule")
+	}
+}
+
+func TestMaxPerKind(t *testing.T) {
+	cfg := Config{Seed: 3}
+	cfg.Rate[EnqueueFull] = 1
+	cfg.MaxPerKind[EnqueueFull] = 4
+	in := New(cfg)
+	for i := 0; i < 100; i++ {
+		in.Roll(EnqueueFull, 0)
+	}
+	if got := in.Injected(EnqueueFull); got != 4 {
+		t.Fatalf("cap 4, injected %d", got)
+	}
+	if in.Total() != 4 {
+		t.Fatalf("Total = %d", in.Total())
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("kernel_fault:0.25,poisoned_strip:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rate[KernelFault] != 0.25 || cfg.Rate[PoisonedStrip] != 0.5 {
+		t.Fatalf("rates = %v", cfg.Rate)
+	}
+	if cfg.Rate[LatencySpike] != 0 {
+		t.Fatal("unmentioned kind got a rate")
+	}
+	cfg, err = ParseSpec("all:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, r := range cfg.Rate {
+		if r != 0.1 {
+			t.Fatalf("all: kind %d rate %g", k, r)
+		}
+	}
+	for _, bad := range []string{"nope:0.1", "kernel_fault", "kernel_fault:2", "kernel_fault:-1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseSpec(""); err != nil {
+		t.Fatal("empty spec must be valid (no faults)")
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip %v: %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind accepted bogus")
+	}
+}

@@ -90,6 +90,20 @@ type Graph struct {
 	Name  string
 	Nodes []*Node
 	Edges []*Edge
+
+	// defect records the first construction error. The builder methods
+	// (Input/AddKernel/Output) do not panic on misuse; they record the
+	// defect, keep returning usable placeholders so chained building
+	// code runs to completion, and Validate surfaces the error before
+	// the graph can compile.
+	defect error
+}
+
+// fail records the first construction defect.
+func (g *Graph) fail(format string, args ...interface{}) {
+	if g.defect == nil {
+		g.defect = fmt.Errorf(format, args...)
+	}
 }
 
 // New returns an empty graph.
@@ -99,11 +113,11 @@ func New(name string) *Graph { return &Graph{Name: name} }
 // the iteration count of its consumers.
 func (g *Graph) Input(s *svm.Stream, b Binding) *Edge {
 	if b.Array == nil {
-		panic(fmt.Sprintf("sdf: input %s has no array binding", s.Name))
+		g.fail("sdf: input %s has no array binding", s.Name)
 	}
 	if len(b.Multi) > 0 {
 		if b.Index != nil {
-			panic(fmt.Sprintf("sdf: input %s has both Index and Multi", s.Name))
+			g.fail("sdf: input %s has both Index and Multi", s.Name)
 		}
 		if len(b.Fields)*len(b.Multi) != s.NumFields() {
 			panic(fmt.Sprintf("sdf: input %s binds %d×%d fields to a %d-field stream",
@@ -111,7 +125,7 @@ func (g *Graph) Input(s *svm.Stream, b Binding) *Edge {
 		}
 		for _, ix := range b.Multi {
 			if ix.Len() < s.N {
-				panic(fmt.Sprintf("sdf: input %s needs %d indices, index array %s has %d", s.Name, s.N, ix.Name, ix.Len()))
+				g.fail("sdf: input %s needs %d indices, index array %s has %d", s.Name, s.N, ix.Name, ix.Len())
 			}
 		}
 		bc := b
@@ -120,13 +134,13 @@ func (g *Graph) Input(s *svm.Stream, b Binding) *Edge {
 		return e
 	}
 	if len(b.Fields) != s.NumFields() {
-		panic(fmt.Sprintf("sdf: input %s binds %d fields to a %d-field stream", s.Name, len(b.Fields), s.NumFields()))
+		g.fail("sdf: input %s binds %d fields to a %d-field stream", s.Name, len(b.Fields), s.NumFields())
 	}
 	if b.Index == nil && s.N > b.Array.N {
-		panic(fmt.Sprintf("sdf: sequential input %s (%d elements) overruns array %s (%d records)", s.Name, s.N, b.Array.Name, b.Array.N))
+		g.fail("sdf: sequential input %s (%d elements) overruns array %s (%d records)", s.Name, s.N, b.Array.Name, b.Array.N)
 	}
 	if b.Index != nil && b.Index.Len() < s.N {
-		panic(fmt.Sprintf("sdf: input %s needs %d indices, index array %s has %d", s.Name, s.N, b.Index.Name, b.Index.Len()))
+		g.fail("sdf: input %s needs %d indices, index array %s has %d", s.Name, s.N, b.Index.Name, b.Index.Len())
 	}
 	bc := b
 	e := &Edge{ID: len(g.Edges), Stream: s, Gather: &bc}
@@ -138,14 +152,14 @@ func (g *Graph) Input(s *svm.Stream, b Binding) *Edge {
 // for each stream in outs. All attached streams must have equal length.
 func (g *Graph) AddKernel(k *svm.Kernel, ins []*Edge, outs []*svm.Stream) []*Edge {
 	if len(ins) == 0 && len(outs) == 0 {
-		panic(fmt.Sprintf("sdf: kernel %s attached to no streams", k.Name))
+		g.fail("sdf: kernel %s attached to no streams", k.Name)
 	}
 	n := -1
 	pick := func(l int, what string) {
 		if n < 0 {
 			n = l
 		} else if l != n {
-			panic(fmt.Sprintf("sdf: kernel %s: %s length %d != %d", k.Name, what, l, n))
+			g.fail("sdf: kernel %s: %s length %d != %d", k.Name, what, l, n)
 		}
 	}
 	for _, e := range ins {
@@ -172,24 +186,29 @@ func (g *Graph) AddKernel(k *svm.Kernel, ins []*Edge, outs []*svm.Stream) []*Edg
 // Output scatters the edge back to an array.
 func (g *Graph) Output(e *Edge, b Binding) {
 	if b.Array == nil {
-		panic(fmt.Sprintf("sdf: output %s has no array binding", e.Name()))
+		g.fail("sdf: output %s has no array binding", e.Name())
 	}
 	if len(b.Fields) != e.Stream.NumFields() {
-		panic(fmt.Sprintf("sdf: output %s binds %d fields to a %d-field stream", e.Name(), len(b.Fields), e.Stream.NumFields()))
+		g.fail("sdf: output %s binds %d fields to a %d-field stream", e.Name(), len(b.Fields), e.Stream.NumFields())
 	}
 	if b.Index == nil && e.Stream.N > b.Array.N {
-		panic(fmt.Sprintf("sdf: sequential output %s (%d elements) overruns array %s (%d records)", e.Name(), e.Stream.N, b.Array.Name, b.Array.N))
+		g.fail("sdf: sequential output %s (%d elements) overruns array %s (%d records)", e.Name(), e.Stream.N, b.Array.Name, b.Array.N)
 	}
 	if b.Index != nil && b.Index.Len() < e.Stream.N {
-		panic(fmt.Sprintf("sdf: output %s needs %d indices, index array %s has %d", e.Name(), e.Stream.N, b.Index.Name, b.Index.Len()))
+		g.fail("sdf: output %s needs %d indices, index array %s has %d", e.Name(), e.Stream.N, b.Index.Name, b.Index.Len())
 	}
 	bc := b
 	e.Scatter = &bc
 }
 
 // Validate checks structural well-formedness: every edge is produced
-// exactly one way, consumed or scattered, and the graph is acyclic.
+// exactly one way, consumed or scattered, and the graph is acyclic. A
+// construction defect recorded by the builder methods is reported
+// first.
 func (g *Graph) Validate() error {
+	if g.defect != nil {
+		return g.defect
+	}
 	if len(g.Nodes) == 0 {
 		return fmt.Errorf("sdf: graph %s has no kernels", g.Name)
 	}

@@ -200,53 +200,44 @@ func TestValidateRejectsEmptyGraph(t *testing.T) {
 	}
 }
 
-func TestKernelLengthMismatchPanics(t *testing.T) {
+func TestKernelLengthMismatchRejected(t *testing.T) {
 	m := testMachine()
 	l := svm.Layout("rec", svm.F("v", 8))
 	a := svm.NewArray(m, "a", l, 10)
 	g := New("mismatch")
 	as := g.Input(svm.StreamOf("as", 10, l, l.AllFields()), Bind(a))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("length mismatch accepted")
-		}
-	}()
 	g.AddKernel(addKernel("k", 1, 1), []*Edge{as}, []*svm.Stream{svm.NewStream("o", 20, svm.F("v", 8))})
+	if err := g.Validate(); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
 }
 
 func TestInputValidation(t *testing.T) {
 	m := testMachine()
 	l := svm.Layout("rec", svm.F("a", 8), svm.F("b", 8))
 	arr := svm.NewArray(m, "arr", l, 10)
-	g := New("v")
-	// Field-count mismatch.
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("field count mismatch accepted")
-			}
-		}()
-		g.Input(svm.NewStream("s", 10, svm.F("x", 8)), Bind(arr))
-	}()
-	// Sequential overrun.
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("sequential overrun accepted")
-			}
-		}()
-		g.Input(svm.StreamOf("s", 11, l, l.AllFields()), Bind(arr))
-	}()
-	// Index array too short.
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("short index accepted")
-			}
-		}()
-		idx := svm.NewIndexArray(m, "i", 5)
-		g.Input(svm.StreamOf("s", 10, l, l.AllFields()), Bind(arr).Indexed(idx))
-	}()
+	idx := svm.NewIndexArray(m, "i", 5)
+	// Each misuse leaves a sticky defect that Validate reports.
+	for _, tc := range []struct {
+		name  string
+		build func(g *Graph)
+	}{
+		{"field count mismatch", func(g *Graph) {
+			g.Input(svm.NewStream("s", 10, svm.F("x", 8)), Bind(arr))
+		}},
+		{"sequential overrun", func(g *Graph) {
+			g.Input(svm.StreamOf("s", 11, l, l.AllFields()), Bind(arr))
+		}},
+		{"short index", func(g *Graph) {
+			g.Input(svm.StreamOf("s", 10, l, l.AllFields()), Bind(arr).Indexed(idx))
+		}},
+	} {
+		g := New("v")
+		tc.build(g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
 }
 
 func TestStringAndDot(t *testing.T) {

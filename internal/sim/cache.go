@@ -81,6 +81,10 @@ type CacheStats struct {
 }
 
 // NewCache builds a cache from total size, associativity and line size.
+// The geometry panics below are internal invariants: Config.Validate
+// (enforced by sim.New) rejects every configuration that could trip
+// them, so they are reachable only by constructing a Cache directly
+// with unvalidated parameters.
 func NewCache(name string, totalBytes, ways, lineSize, ntWays int) *Cache {
 	if totalBytes <= 0 || ways <= 0 || lineSize <= 0 || totalBytes%(ways*lineSize) != 0 {
 		panic(fmt.Sprintf("sim: bad cache geometry %s: %d/%d/%d", name, totalBytes, ways, lineSize))

@@ -185,7 +185,11 @@ func ImprovedStream() Config {
 }
 
 // Validate reports a non-nil error when the configuration is internally
-// inconsistent (non-power-of-two geometry, zero rates, and so on).
+// inconsistent (non-power-of-two geometry, zero rates, and so on). It
+// covers every geometry precondition of the cache/TLB/address-space
+// constructors, so New surfaces bad configurations as errors; the
+// panics remaining inside those constructors are internal invariants,
+// reachable only by bypassing New.
 func (c Config) Validate() error {
 	switch {
 	case c.FreqHz <= 0:
@@ -194,10 +198,14 @@ func (c Config) Validate() error {
 		return cfgErr("L1 geometry must be positive")
 	case c.L1Bytes%(c.L1Ways*c.L1Line) != 0:
 		return cfgErr("L1Bytes must be a multiple of L1Ways*L1Line")
+	case !isPow2(c.L1Bytes / (c.L1Ways * c.L1Line)):
+		return cfgErr("L1 set count must be a power of two")
 	case c.L2Bytes <= 0 || c.L2Ways <= 0 || c.L2Line <= 0:
 		return cfgErr("L2 geometry must be positive")
 	case c.L2Bytes%(c.L2Ways*c.L2Line) != 0:
 		return cfgErr("L2Bytes must be a multiple of L2Ways*L2Line")
+	case !isPow2(c.L2Bytes / (c.L2Ways * c.L2Line)):
+		return cfgErr("L2 set count must be a power of two")
 	case c.L2NTWays < 0 || c.L2NTWays > c.L2Ways:
 		return cfgErr("L2NTWays must be in [0, L2Ways]")
 	case !isPow2(c.L1Line) || !isPow2(c.L2Line) || !isPow2(c.PageBytes):

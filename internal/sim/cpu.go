@@ -116,6 +116,7 @@ func (c *CPU) access(addr Addr, size int, write bool, hint Hint) AccessResult {
 		c.p.memCycles += r.Done - c.p.now
 		c.p.now = r.Done
 	}
+	c.faultSpike()
 	c.park()
 	return r
 }
@@ -254,6 +255,7 @@ func (p *Pipe) Drain() {
 	p.wlen = 0
 	p.slowest = 0
 	p.pending = 0
+	c.faultSpike()
 	c.park()
 }
 
@@ -274,18 +276,47 @@ func (c *CPU) Signal(e *Event) {
 // needs no locking; e must be Signalled by whichever thread makes cond
 // true. Returns the number of cycles spent waiting.
 func (c *CPU) Wait(e *Event, policy WaitPolicy, cond func() bool) uint64 {
+	w, _ := c.WaitBudget(e, policy, 0, cond)
+	return w
+}
+
+// WaitBudget is Wait with a cycle budget: if cond() is still false
+// after budget cycles of waiting, it returns with timedOut true
+// instead of waiting forever. A budget of 0 means no deadline (plain
+// Wait). Sleeping policies register the deadline with the engine, so a
+// lost wakeup signal cannot wedge the run: the engine wakes the
+// sleeper at its deadline and the condition is re-checked — if the
+// lost signal's state change is visible, the wait completes normally.
+// Executors use the budget as a progress watchdog.
+func (c *CPU) WaitBudget(e *Event, policy WaitPolicy, budget uint64, cond func() bool) (waited uint64, timedOut bool) {
 	start := c.p.now
 	if cond() {
 		c.p.now += 2 // the check
-		return c.p.now - start
+		return c.p.now - start, false
+	}
+	deadline := uint64(0)
+	if budget > 0 {
+		deadline = start + budget
 	}
 	if c.m.nlive < 2 {
-		panic("sim: Wait with a false condition in single-thread mode would never complete")
+		if deadline == 0 {
+			panic("sim: Wait with a false condition in single-thread mode would never complete")
+		}
+		// Nothing else can make cond true; burn the budget idle and
+		// report the timeout.
+		c.p.state = StateIdle
+		c.p.sleepCycles += deadline - c.p.now
+		c.p.now = deadline
+		return c.p.now - start, true
 	}
 	switch policy {
 	case PolicyPause:
 		c.p.state = StateSpin
 		for !cond() {
+			if deadline != 0 && c.p.now >= deadline {
+				c.p.state = StateIdle
+				return c.p.now - start, true
+			}
 			c.p.now += c.m.cfg.PauseLoopCycles
 			c.p.spinCycles += c.m.cfg.PauseLoopCycles
 			c.park()
@@ -303,6 +334,10 @@ func (c *CPU) Wait(e *Event, policy WaitPolicy, cond func() bool) uint64 {
 			lat = c.m.cfg.OSDispatchLat
 		}
 		for !cond() {
+			if deadline != 0 && c.p.now >= deadline {
+				c.p.state = StateIdle
+				return c.p.now - start, true
+			}
 			if policy == PolicyMwait {
 				c.p.now += c.m.cfg.MonitorSetupLat // arm MONITOR
 				if cond() {
@@ -313,11 +348,23 @@ func (c *CPU) Wait(e *Event, policy WaitPolicy, cond func() bool) uint64 {
 			c.p.sleeping = true
 			c.p.waitEvent = e
 			c.p.wakeLat = lat
-			c.park() // the engine resumes us only after a Signal
+			c.p.deadline = deadline
+			c.park() // the engine resumes us after a Signal or deadline
 			c.p.state = StateIdle
+			if c.p.timedOut {
+				// Woken by the engine at the deadline, not by a
+				// signal. If the state change is visible anyway (the
+				// signal was lost after the update) the wait has
+				// succeeded; otherwise report the timeout.
+				c.p.timedOut = false
+				if !cond() {
+					return c.p.now - start, true
+				}
+				break
+			}
 		}
 	default:
 		panic(fmt.Sprintf("sim: unknown wait policy %d", policy))
 	}
-	return c.p.now - start
+	return c.p.now - start, false
 }

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+
+	"streamgpp/internal/fault"
+)
+
+func injector(k fault.Kind, rate float64, max uint64) *fault.Injector {
+	cfg := fault.Config{Seed: 7}
+	cfg.Rate[k] = rate
+	cfg.MaxPerKind[k] = max
+	return fault.New(cfg)
+}
+
+// A machine without an injector must behave exactly as before: the
+// fault plumbing is nil-guarded everywhere, so cycle counts are
+// untouched. Guard that by comparing against a machine with a rate-0
+// injector, which must also draw nothing.
+func TestZeroRateInjectorChangesNothing(t *testing.T) {
+	run := func(in *fault.Injector) uint64 {
+		m := MustNew(PentiumD8300())
+		m.SetFaultInjector(in)
+		a := m.AS.Alloc("a", 1<<20)
+		return m.Run(memoryTask(a), computeTask(200000)).Cycles
+	}
+	plain := run(nil)
+	zero := fault.New(fault.Config{Seed: 99})
+	if got := run(zero); got != plain {
+		t.Fatalf("rate-0 injector changed cycles: %d vs %d", got, plain)
+	}
+	if zero.Draws() != 0 {
+		t.Fatalf("rate-0 injector consumed %d draws", zero.Draws())
+	}
+}
+
+// An injected latency spike must lengthen the run by its configured
+// cost and leave a replayable record.
+func TestLatencySpikeChargesCycles(t *testing.T) {
+	run := func(in *fault.Injector) uint64 {
+		m := MustNew(PentiumD8300())
+		m.SetFaultInjector(in)
+		a := m.AS.Alloc("a", 1<<20)
+		return m.Run(func(c *CPU) {
+			for addr := a.Base; addr < a.End(); addr += 4096 {
+				c.Read(addr, 64, HintNone) // each blocking access may spike
+			}
+		}, computeTask(200000)).Cycles
+	}
+	base := run(nil)
+	in := injector(fault.LatencySpike, 1, 3)
+	spiked := run(in)
+	if in.Injected(fault.LatencySpike) != 3 {
+		t.Fatalf("injected %d spikes, want 3", in.Injected(fault.LatencySpike))
+	}
+	if spiked <= base {
+		t.Fatalf("spikes did not lengthen the run: %d vs %d", spiked, base)
+	}
+	// Replay with the same seed: identical fault trace and cycle count.
+	in2 := injector(fault.LatencySpike, 1, 3)
+	if run(in2) != spiked {
+		t.Fatal("replay with same seed gave different cycles")
+	}
+	if in.TraceString() != in2.TraceString() {
+		t.Fatalf("fault traces differ:\n%s\nvs\n%s", in.TraceString(), in2.TraceString())
+	}
+}
+
+// WaitBudget must return timedOut when nothing ever signals, after
+// charging (at least) the budget — and never when the condition turns
+// true in time.
+func TestWaitBudgetTimesOut(t *testing.T) {
+	for _, pol := range []WaitPolicy{PolicyPause, PolicyMwait, PolicyOS} {
+		m := MustNew(PentiumD8300())
+		e := m.NewEvent()
+		var waited uint64
+		var timedOut bool
+		m.Run(
+			func(c *CPU) {
+				waited, timedOut = c.WaitBudget(e, pol, 5000, func() bool { return false })
+			},
+			computeTask(50000), // keeps a sibling alive past the deadline
+		)
+		if !timedOut {
+			t.Fatalf("policy %d: no timeout", pol)
+		}
+		if waited < 5000 {
+			t.Fatalf("policy %d: waited %d < budget 5000", pol, waited)
+		}
+	}
+}
+
+// A dropped wakeup signal must not wedge a sleeping waiter: the engine
+// wakes it at its deadline, the condition (made true before the lost
+// signal) is visible, and the wait completes successfully.
+func TestDroppedWakeupRecoveredByDeadline(t *testing.T) {
+	m := MustNew(PentiumD8300())
+	m.SetFaultInjector(injector(fault.DroppedWakeup, 1, 1))
+	e := m.NewEvent()
+	done := false
+	var timedOut bool
+	m.Run(
+		func(c *CPU) {
+			_, timedOut = c.WaitBudget(e, PolicyMwait, 20000, func() bool { return done })
+		},
+		func(c *CPU) {
+			c.Compute(1000)
+			done = true
+			c.Signal(e) // injected: the wakeup is dropped
+		},
+	)
+	if timedOut {
+		t.Fatal("wait reported timeout though the condition was true at the deadline")
+	}
+	if m.WakeupTimeouts() == 0 {
+		t.Fatal("engine never used the deadline wake path")
+	}
+	if m.FaultInjector().Injected(fault.DroppedWakeup) != 1 {
+		t.Fatal("wakeup drop was not injected")
+	}
+}
+
+// Config.Validate must reject non-power-of-two set counts through New
+// as an error, not a constructor panic.
+func TestValidateRejectsBadSetCount(t *testing.T) {
+	cfg := PentiumD8300()
+	cfg.L1Ways = 3 // 16 KB / (3 ways × 64 B) is not a power of two
+	if _, err := New(cfg); err == nil {
+		t.Fatal("non-power-of-two L1 set count accepted")
+	}
+	cfg = PentiumD8300()
+	cfg.L2Ways = 3
+	if _, err := New(cfg); err == nil {
+		t.Fatal("non-power-of-two L2 set count accepted")
+	}
+}

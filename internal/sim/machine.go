@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"streamgpp/internal/fault"
 	"streamgpp/internal/obs"
 )
 
@@ -47,6 +48,15 @@ type Machine struct {
 	// Disabling it forces every bulk access through the per-access
 	// reference path; differential tests compare the two.
 	fastPath bool
+
+	// flt, when non-nil, is the deterministic fault injector driving
+	// the machine-level fault hooks (see fault.go). nil disables every
+	// hook with zero timing effect.
+	flt *fault.Injector
+
+	// wakeupTimeouts counts engine-level deadline wakes (see
+	// WakeupTimeouts).
+	wakeupTimeouts uint64
 }
 
 type proc struct {
@@ -60,6 +70,13 @@ type proc struct {
 	waitEvent *Event
 	wakeLat   uint64
 	panicVal  any
+
+	// deadline, when non-zero, is the absolute cycle at which a
+	// sleeping context must be woken even without a signal (a
+	// WaitBudget in force). timedOut tells the woken Wait loop that it
+	// was the deadline, not a signal, that woke it.
+	deadline uint64
+	timedOut bool
 
 	computeCycles uint64 // cycles spent in StateCompute
 	memCycles     uint64
@@ -105,7 +122,7 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	return &Machine{cfg: cfg, Mem: NewMemSystem(cfg), AS: NewAddrSpace(cfg.PageBytes),
-		obs: defaultObserver, fastPath: defaultFastPath}, nil
+		obs: defaultObserver, fastPath: defaultFastPath, flt: defaultInjector}, nil
 }
 
 // MustNew is New, panicking on config errors. For tests and examples.
@@ -214,6 +231,24 @@ func (m *Machine) schedule() {
 			return
 		}
 		if next == nil {
+			// Every live context is asleep. If any sleeper carries a
+			// wait-budget deadline, wake the earliest one there: the
+			// signal it was waiting for was lost (only possible under
+			// fault injection), and the budget is its recovery path.
+			// With no deadlines this is a genuine engine invariant
+			// violation and we panic with the machine state.
+			if s := m.earliestDeadline(); s != nil {
+				m.wakeupTimeouts++
+				if s.deadline > s.now {
+					s.sleepCycles += s.deadline - s.now
+					s.now = s.deadline
+				}
+				s.sleeping = false
+				s.waitEvent = nil
+				s.deadline = 0
+				s.timedOut = true
+				continue
+			}
 			m.deadlock()
 		}
 		next.resume <- struct{}{}
@@ -224,6 +259,22 @@ func (m *Machine) schedule() {
 			panic(next.panicVal)
 		}
 	}
+}
+
+// earliestDeadline returns the sleeping context with the smallest
+// non-zero wait-budget deadline (ties to the smaller id), or nil.
+func (m *Machine) earliestDeadline() *proc {
+	var best *proc
+	for _, p := range m.procs {
+		if p.state == StateDone || !p.sleeping || p.deadline == 0 {
+			continue
+		}
+		if best == nil || p.deadline < best.deadline ||
+			(p.deadline == best.deadline && p.id < best.id) {
+			best = p
+		}
+	}
+	return best
 }
 
 func (m *Machine) deadlock() {
@@ -248,12 +299,20 @@ func (m *Machine) sibling(id int) *proc {
 
 // signal wakes every context sleeping on e.
 func (m *Machine) signal(e *Event, at uint64) {
+	if m.flt != nil && m.flt.Roll(fault.DroppedWakeup, at) {
+		// The store never reaches the monitored line: sleepers stay
+		// asleep (their wait-budget deadline recovers them) and
+		// spinners simply re-poll their condition.
+		m.flt.Annotate("sim.signal")
+		return
+	}
 	e.seq++
 	e.lastAt = at
 	for _, p := range m.procs {
 		if p.sleeping && p.waitEvent == e {
 			p.sleeping = false
 			p.waitEvent = nil
+			p.deadline = 0
 			wake := at + p.wakeLat
 			if wake > p.now {
 				p.sleepCycles += wake - p.now

@@ -46,7 +46,9 @@ type TLBStats struct {
 	Misses uint64
 }
 
-// NewTLB returns a TLB with the given entry count and page size.
+// NewTLB returns a TLB with the given entry count and page size. The
+// geometry panic is an internal invariant: Config.Validate (enforced
+// by sim.New) rejects configurations that could trip it.
 func NewTLB(entries, pageBytes int) *TLB {
 	if entries <= 0 || !isPow2(pageBytes) {
 		panic("sim: bad TLB geometry")

@@ -1,0 +1,103 @@
+package wq
+
+import (
+	"strings"
+	"testing"
+
+	"streamgpp/internal/fault"
+)
+
+// always returns an injector that fires kind k exactly max times.
+func always(k fault.Kind, max uint64) *fault.Injector {
+	cfg := fault.Config{Seed: 1}
+	cfg.Rate[k] = 1
+	cfg.MaxPerKind[k] = max
+	return fault.New(cfg)
+}
+
+// An injected enqueue failure is indistinguishable from a full queue:
+// the caller sees ErrFull, and a bare retry succeeds once the fault
+// budget is spent.
+func TestInjectedEnqueueFull(t *testing.T) {
+	q := New(8)
+	q.Fault = always(fault.EnqueueFull, 1)
+	if err := q.Enqueue(task(0, Gather)); err != ErrFull {
+		t.Fatalf("want injected ErrFull, got %v", err)
+	}
+	if q.InFlight() != 0 {
+		t.Fatal("failed enqueue must not occupy a slot")
+	}
+	mustEnq(t, q, task(0, Gather)) // budget spent: the retry lands
+	if q.Fault.Injected(fault.EnqueueFull) != 1 {
+		t.Fatalf("injected count %d, want 1", q.Fault.Injected(fault.EnqueueFull))
+	}
+}
+
+// A dropped dependence-clear leaves the waiter blocked on a completed
+// task; Scrub proves the bit stale from the recorded ID and the
+// completion watermark, and the waiter becomes ready.
+func TestDroppedDepClearRecoveredByScrub(t *testing.T) {
+	q := New(8)
+	q.Fault = always(fault.DroppedDepClear, 1)
+	mustEnq(t, q, task(0, Gather))
+	mustEnq(t, q, task(1, KernelRun, 0))
+
+	slot, tk, ok := q.NextReady(MemQueue)
+	if !ok || tk.ID != 0 {
+		t.Fatalf("gather not ready: %+v", tk)
+	}
+	q.Complete(slot) // the clear broadcast is dropped here
+
+	if _, _, ok := q.NextReady(ComputeQueue); ok {
+		t.Fatal("kernel ran despite the (stale) dependence bit")
+	}
+	if q.DroppedClears() != 1 {
+		t.Fatalf("dropped clears %d, want 1", q.DroppedClears())
+	}
+
+	// The diagnosis must name the wedged task and hint at staleness.
+	diag := q.Diagnose()
+	if !strings.Contains(diag, "blocked on [0]") || !strings.Contains(diag, "stale") {
+		t.Fatalf("diagnosis missing blocked task or stale hint:\n%s", diag)
+	}
+
+	if n := q.Scrub(); n != 1 {
+		t.Fatalf("Scrub recovered %d bits, want 1", n)
+	}
+	if _, tk, ok := q.NextReady(ComputeQueue); !ok || tk.ID != 1 {
+		t.Fatal("kernel still blocked after Scrub")
+	}
+	if q.Scrubbed() != 1 {
+		t.Fatalf("scrubbed count %d, want 1", q.Scrubbed())
+	}
+}
+
+// Scrub must never clear a live dependence: with the producer still
+// running, the waiter stays blocked.
+func TestScrubKeepsLiveDeps(t *testing.T) {
+	q := New(8)
+	mustEnq(t, q, task(0, Gather))
+	mustEnq(t, q, task(1, KernelRun, 0))
+	q.NextReady(MemQueue) // claim the gather but do not complete it
+	if n := q.Scrub(); n != 0 {
+		t.Fatalf("Scrub cleared %d live bits", n)
+	}
+	if _, _, ok := q.NextReady(ComputeQueue); ok {
+		t.Fatal("kernel ran before its dependence completed")
+	}
+}
+
+// Blocked reports each wedged task with its unresolved dependency IDs.
+func TestBlockedReport(t *testing.T) {
+	q := New(8)
+	mustEnq(t, q, task(0, Gather))
+	mustEnq(t, q, task(1, Gather))
+	mustEnq(t, q, task(2, KernelRun, 0, 1))
+	bl := q.Blocked()
+	if len(bl) != 1 || bl[0].ID != 2 {
+		t.Fatalf("blocked = %+v, want task 2 only", bl)
+	}
+	if len(bl[0].WaitingOn) != 2 || bl[0].WaitingOn[0] != 0 || bl[0].WaitingOn[1] != 1 {
+		t.Fatalf("waiting on %v, want [0 1]", bl[0].WaitingOn)
+	}
+}

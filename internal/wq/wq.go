@@ -16,9 +16,11 @@ package wq
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"streamgpp/internal/bitvec"
+	"streamgpp/internal/fault"
 	"streamgpp/internal/obs"
 	"streamgpp/internal/sim"
 )
@@ -89,6 +91,13 @@ type slot struct {
 	task  Task
 	deps  bitvec.Vec
 	seq   uint64 // enqueue order, for oldest-first dequeue
+
+	// depID[b] records which task ID the set bit b of deps stands for.
+	// Slot indices are reused, so a dependence bit alone cannot be
+	// audited after the fact; the ID lets Scrub prove a bit stale
+	// (its task completed but the clear was lost) and lets Blocked
+	// name the unresolved dependencies of a wedged schedule.
+	depID []int
 }
 
 // DWQ is the distributed work queue.
@@ -110,6 +119,15 @@ type DWQ struct {
 	inflight     int
 	totalDone    uint64
 	maxOccupancy int
+
+	// Fault, when non-nil, drives the queue's fault hooks: a
+	// transient enqueue failure (fault.EnqueueFull) and a lost
+	// dependence-clear on completion (fault.DroppedDepClear). The
+	// executors attach the machine's injector here.
+	Fault *fault.Injector
+
+	droppedClears uint64 // completions whose dependence clear was lost
+	scrubbed      uint64 // stale dependence bits recovered by Scrub
 
 	// Obs, when non-nil, receives wq.* metrics: a depth histogram
 	// sampled at every enqueue and completion, and task counters by
@@ -158,6 +176,7 @@ func New(capacity int) *DWQ {
 	}
 	for i := range q.slots {
 		q.slots[i].deps = bitvec.New(capacity)
+		q.slots[i].depID = make([]int, capacity)
 		q.free.Set(i)
 	}
 	return q
@@ -190,6 +209,13 @@ func (q *DWQ) Enqueue(t Task) error {
 	if t.Run == nil {
 		return fmt.Errorf("wq: task %d (%s) has no body", t.ID, t.Name)
 	}
+	if q.Fault != nil && q.Fault.Roll(fault.EnqueueFull, 0) {
+		// A transient reservation failure: indistinguishable from a
+		// genuinely full queue, so the control thread's ordinary
+		// backpressure path (wait, retry) is the recovery.
+		q.Fault.Annotate("wq.enqueue:" + t.Name)
+		return ErrFull
+	}
 	free := q.free.NextSet(0)
 	if free < 0 {
 		return ErrFull
@@ -208,6 +234,7 @@ func (q *DWQ) Enqueue(t Task) error {
 			return fmt.Errorf("wq: task %d depends on %d which was never enqueued", t.ID, d)
 		}
 		s.deps.Set(si)
+		s.depID[si] = d
 	}
 	s.state = slotPending
 	s.task = t
@@ -265,9 +292,19 @@ func (q *DWQ) Complete(slotIdx int) {
 		panic(fmt.Sprintf("wq: Complete on slot %d in state %d", slotIdx, s.state))
 	}
 	id := s.task.ID
-	for _, pv := range q.pending {
-		for i := pv.NextSet(0); i >= 0; i = pv.NextSet(i + 1) {
-			q.slots[i].deps.Clear(slotIdx)
+	if q.Fault != nil && q.Fault.Roll(fault.DroppedDepClear, 0) {
+		// The completing task's dependence-clear update is lost:
+		// waiters keep their (now stale) bit and look blocked until
+		// Scrub audits them against the completion watermark. The
+		// slot is still freed and the watermark still advances — it
+		// is only the broadcast to the waiting slots that is dropped.
+		q.Fault.Annotate("wq.complete:" + s.task.Name)
+		q.droppedClears++
+	} else {
+		for _, pv := range q.pending {
+			for i := pv.NextSet(0); i >= 0; i = pv.NextSet(i + 1) {
+				q.slots[i].deps.Clear(slotIdx)
+			}
 		}
 	}
 	kind := s.task.Kind
@@ -308,6 +345,101 @@ func (q *DWQ) ReadyIn(qid QueueID) int {
 		}
 	}
 	return n
+}
+
+// Scrub audits every pending slot's dependence vector against the
+// completion watermark, clearing bits whose recorded task ID has in
+// fact completed (a dependence-clear that was lost). It returns the
+// number of stale bits recovered. Scrub never clears a live
+// dependence: a bit is only removed when its recorded task is proven
+// done, so recovery can only advance readiness, never reorder it. The
+// executors call it from their progress watchdog.
+func (q *DWQ) Scrub() int {
+	n := 0
+	for qi := range q.pending {
+		pv := &q.pending[qi]
+		for i := pv.NextSet(0); i >= 0; i = pv.NextSet(i + 1) {
+			s := &q.slots[i]
+			for b := s.deps.NextSet(0); b >= 0; b = s.deps.NextSet(b + 1) {
+				if q.isDone(s.depID[b]) {
+					s.deps.Clear(b)
+					n++
+				}
+			}
+		}
+	}
+	if n > 0 {
+		q.scrubbed += uint64(n)
+		if q.Obs != nil {
+			q.Obs.Counter("wq.scrubbed_deps").Add(uint64(n))
+		}
+	}
+	return n
+}
+
+// DroppedClears returns how many completions lost their dependence
+// clear (only non-zero under fault injection).
+func (q *DWQ) DroppedClears() uint64 { return q.droppedClears }
+
+// Scrubbed returns how many stale dependence bits Scrub has recovered.
+func (q *DWQ) Scrubbed() uint64 { return q.scrubbed }
+
+// BlockedTask describes one pending task that cannot run yet and which
+// task IDs it is still waiting on.
+type BlockedTask struct {
+	ID        int
+	Name      string
+	Kind      Kind
+	WaitingOn []int // unresolved dependency task IDs, ascending
+}
+
+// Blocked returns every pending task whose dependence vector is
+// non-empty, with the task IDs it is waiting on, oldest first — the
+// structured deadlock diagnosis a progress watchdog reports.
+func (q *DWQ) Blocked() []BlockedTask {
+	var out []BlockedTask
+	for qi := range q.pending {
+		pv := &q.pending[qi]
+		for i := pv.NextSet(0); i >= 0; i = pv.NextSet(i + 1) {
+			s := &q.slots[i]
+			if s.deps.None() {
+				continue
+			}
+			bt := BlockedTask{ID: s.task.ID, Name: s.task.Name, Kind: s.task.Kind}
+			for b := s.deps.NextSet(0); b >= 0; b = s.deps.NextSet(b + 1) {
+				bt.WaitingOn = append(bt.WaitingOn, s.depID[b])
+			}
+			sort.Ints(bt.WaitingOn)
+			out = append(out, bt)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Diagnose renders the queue's progress state for a watchdog report:
+// completion counts, per-queue pending/ready depth, and each blocked
+// task with its unresolved dependencies.
+func (q *DWQ) Diagnose() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "wq: %d done, %d in flight; mem %d pending/%d ready, compute %d pending/%d ready",
+		q.totalDone, q.inflight,
+		q.PendingIn(MemQueue), q.ReadyIn(MemQueue),
+		q.PendingIn(ComputeQueue), q.ReadyIn(ComputeQueue))
+	if q.droppedClears > 0 || q.scrubbed > 0 {
+		fmt.Fprintf(&sb, "; %d dep-clears dropped, %d bits scrubbed", q.droppedClears, q.scrubbed)
+	}
+	for _, bt := range q.Blocked() {
+		done := ""
+		for _, d := range bt.WaitingOn {
+			if q.isDone(d) {
+				done = " (some deps completed but unclear — stale bits, run Scrub)"
+				break
+			}
+		}
+		fmt.Fprintf(&sb, "\n  task %d %s%s blocked on %v%s", bt.ID, bt.Kind, bt.Name, bt.WaitingOn, done)
+	}
+	return sb.String()
 }
 
 // Snapshot renders the queue contents in Fig. 7 style: per queue, the

@@ -22,6 +22,32 @@ go test -race ./internal/wq/ ./internal/exec/ ./internal/obs/ ./internal/svm/
 echo "== go test -race (parallel experiment runner) =="
 go test -race -run 'TestFastPathAndParallelRunsAreByteIdentical' ./internal/bench/
 
+echo "== fuzz smoke (bitvec, wq) =="
+go test -run='^$' -fuzz=FuzzVec -fuzztime=5s ./internal/bitvec/
+go test -run='^$' -fuzz=FuzzDependencyOrder -fuzztime=5s ./internal/wq/
+
+echo "== fault-matrix smoke =="
+# Each fault kind against one experiment at a fixed seed; every run
+# must either recover or fail with a structured RunError (exit 1 with
+# a diagnosis), never panic. Run twice and byte-compare: the seeded
+# schedule must replay identically.
+go build -o /tmp/streamtrace.check ./cmd/streamtrace
+for kind in latency_spike dropped_wakeup dropped_dep_clear enqueue_full kernel_fault poisoned_strip; do
+    echo "-- $kind --"
+    /tmp/streamtrace.check -app gatscat -n 50000 -fault "$kind:0.2" -faultseed 7 >/tmp/fault_a.txt 2>&1 \
+        || grep -q "exec:" /tmp/fault_a.txt \
+        || { echo "fault run ($kind) died without a RunError"; cat /tmp/fault_a.txt; exit 1; }
+    if grep -q "panic" /tmp/fault_a.txt; then
+        echo "fault run ($kind) panicked"; cat /tmp/fault_a.txt; exit 1
+    fi
+    /tmp/streamtrace.check -app gatscat -n 50000 -fault "$kind:0.2" -faultseed 7 >/tmp/fault_b.txt 2>&1 \
+        || grep -q "exec:" /tmp/fault_b.txt \
+        || { echo "fault replay ($kind) died without a RunError"; cat /tmp/fault_b.txt; exit 1; }
+    cmp /tmp/fault_a.txt /tmp/fault_b.txt \
+        || { echo "fault replay ($kind) not byte-identical"; exit 1; }
+done
+rm -f /tmp/streamtrace.check /tmp/fault_a.txt /tmp/fault_b.txt
+
 echo "== scripts/bench.sh smoke =="
 sh scripts/bench.sh smoke
 

@@ -37,6 +37,7 @@ import (
 	"streamgpp/internal/advisor"
 	"streamgpp/internal/compiler"
 	"streamgpp/internal/exec"
+	"streamgpp/internal/fault"
 	"streamgpp/internal/obs"
 	"streamgpp/internal/sdf"
 	"streamgpp/internal/sim"
@@ -175,14 +176,16 @@ func DefaultExec() ExecConfig { return exec.Defaults() }
 
 // RunStream executes a compiled program on both hardware contexts:
 // control+compute on one, the memory thread on the other, communicating
-// through the distributed work queue (§III-B).
-func RunStream(m *Machine, p *Program, cfg ExecConfig) Result {
+// through the distributed work queue (§III-B). A non-nil error is
+// always a *RunError carrying the failing task, strip, phase and
+// cycle; without fault injection it can only report an executor bug.
+func RunStream(m *Machine, p *Program, cfg ExecConfig) (Result, error) {
 	return exec.RunStream2Ctx(m, p, cfg)
 }
 
 // RunStream1Ctx executes a compiled program software-pipelined on a
 // single hardware context.
-func RunStream1Ctx(m *Machine, p *Program, cfg ExecConfig) Result {
+func RunStream1Ctx(m *Machine, p *Program, cfg ExecConfig) (Result, error) {
 	return exec.RunStream1Ctx(m, p, cfg)
 }
 
@@ -249,7 +252,7 @@ type MachineStats = sim.MachineStats
 type StallReport = exec.StallReport
 
 // NewStallReport builds the attribution for one execution.
-func NewStallReport(res Result) StallReport { return exec.NewStallReport(res.Run) }
+func NewStallReport(res Result) StallReport { return exec.NewStallReport(res) }
 
 // AdvisorReport is the §V-A streaming-suitability analysis of a graph.
 type AdvisorReport = advisor.Report
@@ -260,3 +263,54 @@ type AdvisorReport = advisor.Report
 func Advise(g *Graph, cfg MachineConfig) (*AdvisorReport, error) {
 	return advisor.Analyze(g, cfg)
 }
+
+// --- Fault injection and recovery (robustness layer) ---
+
+// FaultKind enumerates the injectable fault classes: latency spikes
+// and dropped wakeups in the machine model, dropped dependence-clears
+// and transient enqueue failures in the work queue, kernel faults and
+// poisoned SRF strips in the executor.
+type FaultKind = fault.Kind
+
+// The injectable fault kinds.
+const (
+	FaultLatencySpike    = fault.LatencySpike
+	FaultDroppedWakeup   = fault.DroppedWakeup
+	FaultDroppedDepClear = fault.DroppedDepClear
+	FaultEnqueueFull     = fault.EnqueueFull
+	FaultKernelFault     = fault.KernelFault
+	FaultPoisonedStrip   = fault.PoisonedStrip
+)
+
+// FaultConfig parameterises a fault injector: a seed, per-kind rates
+// and caps, and the latency-spike magnitude.
+type FaultConfig = fault.Config
+
+// FaultInjector is the deterministic seeded fault source; a run under
+// injection replays byte-identically from its seed.
+type FaultInjector = fault.Injector
+
+// NewFaultInjector returns an injector drawing from cfg.Seed.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return fault.New(cfg) }
+
+// ParseFaultSpec parses a CLI fault specification ("kind:rate,..."
+// with kinds as printed by FaultKind.String, or "all:rate").
+func ParseFaultSpec(spec string) (FaultConfig, error) { return fault.ParseSpec(spec) }
+
+// SetDefaultFaultInjector installs a fault injector onto every Machine
+// created after this call (nil turns injection off). Machine-level
+// hooks, the work queue and the executors all draw from it, and the
+// executors respond with strip-level retry, dependence scrubbing, a
+// progress watchdog and graceful degradation to the single-context
+// schedule (see ExecConfig.RetryLimit, WatchdogCycles, DegradeTo1Ctx).
+func SetDefaultFaultInjector(in *FaultInjector) { sim.SetDefaultFaultInjector(in) }
+
+// RunError is the structured failure of a stream-program run,
+// replacing the run path's former panics: it names the operation,
+// task, phase, strip, context and cycle, plus a work-queue dependence
+// diagnosis for scheduling failures.
+type RunError = exec.RunError
+
+// RecoverySummary accounts one run's fault-recovery activity; see
+// Result.Recovery and StallReport.Recovery.
+type RecoverySummary = exec.RecoverySummary

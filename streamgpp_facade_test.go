@@ -61,7 +61,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	str := streamgpp.RunStream(ms, prog, streamgpp.DefaultExec())
+	str, err := streamgpp.RunStream(ms, prog, streamgpp.DefaultExec())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for i := 0; i < n; i++ {
 		if o1.At(i, 0) != o2.At(i, 0) {
@@ -111,7 +114,10 @@ func TestFacadeSingleContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := streamgpp.RunStream1Ctx(m, prog, streamgpp.DefaultExec())
+	res, err := streamgpp.RunStream1Ctx(m, prog, streamgpp.DefaultExec())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Cycles == 0 {
 		t.Fatal("no cycles")
 	}
@@ -156,11 +162,79 @@ func TestFacadeWaitPolicies(t *testing.T) {
 		}
 		cfg := streamgpp.DefaultExec()
 		cfg.WaitPolicy = pol
-		if res := streamgpp.RunStream(m, prog, cfg); res.Cycles == 0 {
+		res, err := streamgpp.RunStream(m, prog, cfg)
+		if err != nil {
+			t.Fatalf("policy %v: %v", pol, err)
+		}
+		if res.Cycles == 0 {
 			t.Fatalf("policy %v: no cycles", pol)
 		}
 		if o.At(0, 0) != 1 {
 			t.Fatalf("policy %v: wrong result", pol)
+		}
+	}
+}
+
+// TestFacadeFaultInjection drives the robustness layer through the
+// public API: a seeded injector faults every kernel a bounded number
+// of times, the run absorbs the faults by strip retry, and the
+// recovery accounting and replayable trace are visible to the caller.
+func TestFacadeFaultInjection(t *testing.T) {
+	build := func() (*streamgpp.Machine, *streamgpp.Array) {
+		m := streamgpp.NewMachine()
+		l := streamgpp.Layout("rec", streamgpp.F("v", 8))
+		a := streamgpp.NewArray(m, "a", l, 5000)
+		a.Fill(func(i, f int) float64 { return float64(i) })
+		o := streamgpp.NewArray(m, "o", l, 5000)
+		inc := &streamgpp.Kernel{Name: "inc", OpsPerElem: 1,
+			Fn: func(ins, outs []*streamgpp.Stream, start, n int) int64 {
+				for i := start; i < start+n; i++ {
+					outs[0].Set(i, 0, ins[0].At(i, 0)+1)
+				}
+				return 0
+			}}
+		g := streamgpp.NewGraph("flt")
+		as := g.Input(streamgpp.StreamOf("as", 5000, l, l.AllFields()), streamgpp.Bind(a))
+		os := g.AddKernel(inc, []*streamgpp.Edge{as},
+			[]*streamgpp.Stream{streamgpp.NewStream("os", 5000, streamgpp.F("v", 8))})
+		g.Output(os[0], streamgpp.Bind(o))
+		prog, err := streamgpp.Compile(g, streamgpp.DefaultOptions(streamgpp.DefaultSRF(m)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := streamgpp.RunStream(m, prog, streamgpp.DefaultExec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Recovery.Any() && m.FaultInjector() == nil {
+			t.Fatal("recovery activity without an injector")
+		}
+		_ = res
+		return m, o
+	}
+	// Reference, no faults.
+	_, ref := build()
+
+	fcfg, err := streamgpp.ParseFaultSpec("kernel_fault:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg.Seed = 11
+	fcfg.MaxPerKind[streamgpp.FaultKernelFault] = 2
+	inj := streamgpp.NewFaultInjector(fcfg)
+	streamgpp.SetDefaultFaultInjector(inj)
+	defer streamgpp.SetDefaultFaultInjector(nil)
+
+	_, o := build()
+	if inj.Injected(streamgpp.FaultKernelFault) != 2 {
+		t.Fatalf("injected %d kernel faults, want 2", inj.Injected(streamgpp.FaultKernelFault))
+	}
+	if inj.TraceString() == "" {
+		t.Fatal("no fault trace recorded")
+	}
+	for i := 0; i < 5000; i++ {
+		if o.At(i, 0) != ref.At(i, 0) {
+			t.Fatalf("o[%d] wrong after retried faults", i)
 		}
 	}
 }
