@@ -7,23 +7,36 @@
 //	streambench -list
 //	streambench -exp fig9
 //	streambench -exp all -quick -parallel 8
+//	streambench -exp quickstart -quick -ledger BENCH_history.jsonl
+//	streambench -exp quickstart -quick -compare baseline.jsonl
+//	streambench -validate BENCH_history.jsonl
+//
+// With -ledger, every experiment appends one JSONL entry — wall-clock,
+// simulated cycles, metrics snapshot, config and commit — to the named
+// run ledger. With -compare, the run's wall-clock medians are gated
+// against a baseline ledger by the noise-aware regression gate; a
+// confirmed regression renders a verdict table and exits non-zero.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"streamgpp/internal/bench"
 	"streamgpp/internal/fault"
+	"streamgpp/internal/obs"
 	"streamgpp/internal/sim"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig8, fig9, fig11a..fig11d) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig8, fig9, fig11a..fig11d, stalls, quickstart) or 'all'")
 	quick := flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
@@ -32,11 +45,35 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	faultSpec := flag.String("fault", "", "fault injection spec: kind:rate[,kind:rate...] or all:rate")
 	faultSeed := flag.Uint64("faultseed", 1, "fault schedule seed (same seed replays the identical fault trace)")
+	nofast := flag.Bool("nofast", false, "disable the bulk fast path (reference timing path; much slower)")
+	ledgerPath := flag.String("ledger", "", "append one run-ledger JSONL entry per experiment to this file")
+	compare := flag.String("compare", "", "baseline run-ledger JSONL: gate this run's wall-clock against it (exit 3 on regression)")
+	repeat := flag.Int("repeat", 3, "timed repetitions per experiment in -ledger/-compare mode")
+	validate := flag.String("validate", "", "validate the run-ledger file at this path and exit")
+	slowdown := flag.Float64("slowdown", 1.0, "multiply recorded wall-clock by this factor (regression-gate self-test)")
+	commit := flag.String("commit", "", "commit id to record in ledger entries (e.g. git describe --always)")
 	flag.Parse()
+
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *validate != "" {
+		n, err := obs.ValidateLedgerFile(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d ledger entries, schema v%d, all valid\n", *validate, n, obs.LedgerSchema)
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		for _, e := range bench.ExtraExperiments() {
+			fmt.Printf("%-10s %s  (not part of 'all')\n", e.ID, e.Title)
 		}
 		return
 	}
@@ -44,19 +81,21 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 
 	if *parallel > 0 {
 		bench.Parallelism = *parallel
+	}
+	if *nofast {
+		sim.SetDefaultFastPath(false)
+		defer sim.SetDefaultFastPath(true)
 	}
 
 	// Fault injection shares one seeded injector across every machine
@@ -88,6 +127,16 @@ func main() {
 		}
 		os.Exit(1)
 	}
+
+	if *ledgerPath != "" || *compare != "" {
+		runMeasured(measureOpts{
+			exp: *exp, quick: *quick, repeat: *repeat, slowdown: *slowdown,
+			ledger: *ledgerPath, compare: *compare, commit: *commit,
+			machineDesc: m.Describe(), fail: fail, fatal: fatal,
+		})
+		return
+	}
+
 	if *exp == "all" {
 		if err := bench.RunAll(os.Stdout, *quick); err != nil {
 			fail("all", err)
@@ -118,14 +167,138 @@ func main() {
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
+	}
+}
+
+// measureOpts parameterises a -ledger/-compare run.
+type measureOpts struct {
+	exp         string
+	quick       bool
+	repeat      int
+	slowdown    float64
+	ledger      string
+	compare     string
+	commit      string
+	machineDesc string
+	fail        func(id string, err error)
+	fatal       func(err error)
+}
+
+// selectExperiments resolves the -exp value to concrete experiments.
+func selectExperiments(expFlag string) ([]bench.Experiment, error) {
+	if expFlag == "all" {
+		return bench.Experiments(), nil
+	}
+	var out []bench.Experiment
+	for _, id := range strings.Split(expFlag, ",") {
+		e, ok := bench.ByID(strings.TrimSpace(id))
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// runMeasured is the -ledger/-compare mode: each experiment runs
+// repeat times under wall-clock timing with a shared metrics registry,
+// producing ledger entries that are appended (-ledger) and/or gated
+// against a baseline (-compare).
+func runMeasured(o measureOpts) {
+	exps, err := selectExperiments(o.exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
+		os.Exit(2)
+	}
+	if o.repeat < 1 {
+		o.repeat = 1
+	}
+
+	// One registry for all machines: per-experiment metrics come out as
+	// snapshot deltas, which needs the experiments to run sequentially.
+	reg := obs.NewRegistry()
+	sim.SetDefaultObserver(reg)
+	defer sim.SetDefaultObserver(nil)
+
+	var entries []obs.LedgerEntry
+	for _, e := range exps {
+		// One untimed warm-up run per experiment keeps one-off costs —
+		// page faults, allocator growth, branch warm-up — out of the
+		// timed samples; without it the baseline session reads slower
+		// than any later session and the gate's thresholds skew.
+		if err := e.Run(io.Discard, o.quick); err != nil {
+			o.fail(e.ID, err)
+		}
+		for rep := 0; rep < o.repeat; rep++ {
+			var buf bytes.Buffer
+			w := io.Writer(&buf)
+			if rep == 0 {
+				// The paper tables print once; repetitions are timing-only
+				// (their output is byte-identical by construction).
+				w = io.MultiWriter(os.Stdout, &buf)
+			}
+			pre := reg.Snapshot()
+			t0 := time.Now()
+			runErr := e.Run(w, o.quick)
+			wall := time.Since(t0).Nanoseconds()
+			if runErr != nil {
+				o.fail(e.ID, runErr)
+			}
+			delta := reg.Snapshot().Delta(pre)
+			wall = int64(float64(wall) * o.slowdown)
+			simCycles := uint64(delta["sim.run_cycles_total"].Value)
+			entry := obs.LedgerEntry{
+				Schema:     obs.LedgerSchema,
+				Time:       time.Now().UTC().Format(time.RFC3339),
+				Experiment: e.ID,
+				Config:     o.machineDesc,
+				ConfigHash: obs.Hash(o.machineDesc, fmt.Sprintf("quick=%v", o.quick)),
+				Commit:     o.commit,
+				FastPath:   sim.DefaultFastPath(),
+				Quick:      o.quick,
+				Parallel:   bench.Parallelism,
+				WallNs:     wall,
+				SimCycles:  simCycles,
+				OutputHash: obs.Hash(buf.String()),
+				Metrics:    obs.FlattenSnapshot(delta),
+				Source:     "streambench",
+			}
+			if wall > 0 {
+				entry.SimCyclesPerSec = float64(simCycles) / (float64(wall) / 1e9)
+			}
+			entries = append(entries, entry)
+		}
+	}
+
+	if o.ledger != "" {
+		for _, entry := range entries {
+			if err := obs.AppendLedger(o.ledger, entry); err != nil {
+				o.fatal(err)
+			}
+		}
+		fmt.Printf("\nappended %d ledger entries to %s\n", len(entries), o.ledger)
+	}
+
+	if o.compare != "" {
+		baseline, err := obs.ReadLedger(o.compare)
+		if err != nil {
+			o.fatal(err)
+		}
+		rep := obs.CompareLedgers(baseline, entries, obs.DefaultGateOptions())
+		fmt.Printf("\nregression gate vs %s (%d baseline entries, %d current runs):\n",
+			o.compare, len(baseline), len(entries))
+		rep.Render(os.Stdout)
+		if rep.Regressed {
+			fmt.Fprintln(os.Stderr, "streambench: performance regression detected")
+			os.Exit(3)
+		}
+		fmt.Println("no regression detected")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"streamgpp/internal/apps/cdp"
 	"streamgpp/internal/apps/fem"
@@ -52,9 +53,10 @@ func microRunner(key, desc string) runner {
 }
 
 var apps = map[string]runner{
-	"ldst":    microRunner("LD-ST-COMP", "sequential load/compute/store micro-benchmark"),
-	"gatscat": microRunner("GAT-SCAT-COMP", "random gather/compute/scatter micro-benchmark"),
-	"prodcon": microRunner("PROD-CON", "producer-consumer locality micro-benchmark"),
+	"quickstart": microRunner("QUICKSTART", "the documentation's worked example (axpy-style loop)"),
+	"ldst":       microRunner("LD-ST-COMP", "sequential load/compute/store micro-benchmark"),
+	"gatscat":    microRunner("GAT-SCAT-COMP", "random gather/compute/scatter micro-benchmark"),
+	"prodcon":    microRunner("PROD-CON", "producer-consumer locality micro-benchmark"),
 	"fem": {desc: "streamFEM, Euler linear elements",
 		run: func(_ micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error) {
 			r, err := fem.Run(fem.EulerLin, ecfg)
@@ -78,7 +80,7 @@ var apps = map[string]runner{
 }
 
 func main() {
-	app := flag.String("app", "gatscat", "application: ldst, gatscat, prodcon, fem, cdp, neo, spas")
+	app := flag.String("app", "gatscat", "application: quickstart, ldst, gatscat, prodcon, fem, cdp, neo, spas")
 	n := flag.Int("n", 200000, "elements per array (micro-benchmarks)")
 	comp := flag.Int("comp", 1, "COMP knob (micro-benchmarks)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -91,6 +93,9 @@ func main() {
 	faultSpec := flag.String("fault", "", "fault injection spec: kind:rate[,kind:rate...] (kinds: "+
 		"latency_spike, dropped_wakeup, dropped_dep_clear, enqueue_full, kernel_fault, poisoned_strip; or all:rate)")
 	faultSeed := flag.Uint64("faultseed", 1, "fault schedule seed (same seed replays the identical fault trace)")
+	sample := flag.Uint64("sample", obs.DefaultSampleInterval,
+		"timeline sampling window in simulated cycles (0 disables the timeline sampler)")
+	ledgerPath := flag.String("ledger", "", "append this run's summary as one JSONL entry to the run ledger at this path")
 	flag.Parse()
 
 	if *list {
@@ -150,6 +155,17 @@ func main() {
 	sim.SetDefaultObserver(reg)
 	defer sim.SetDefaultObserver(nil)
 
+	// The timeline rides the same default-attachment mechanism: only
+	// stream-side activity samples into it (bulk memory pipes, SRF, the
+	// executors), so the regular baseline leaves no points and the
+	// series stay monotone in the stream machine's virtual time.
+	var tl *obs.Timeline
+	if *sample > 0 {
+		tl = obs.NewTimeline(*sample)
+		sim.SetDefaultTimeline(tl)
+		defer sim.SetDefaultTimeline(nil)
+	}
+
 	// Fault injection: every machine the app builds shares one seeded
 	// injector, so the run's fault schedule replays from -faultseed.
 	var inj *fault.Injector
@@ -170,7 +186,9 @@ func main() {
 	ecfg.Trace = tr
 	p := micro.Params{N: *n, Comp: *comp, Seed: *seed, NoDoubleBuffer: *nodouble}
 
+	t0 := time.Now()
 	name, regular, stream, err := r.run(p, ecfg)
+	wallNs := time.Since(t0).Nanoseconds()
 	if err != nil {
 		// A *RunError renders the failing task, strip, phase, cycle and
 		// any queue diagnosis; the fault trace names what was injected.
@@ -209,8 +227,48 @@ func main() {
 		fmt.Println()
 	}
 
+	if tl != nil {
+		fmt.Println("Timeline (cycle-windowed samples, stream run):")
+		tl.Render(os.Stdout)
+		fmt.Println()
+	}
+
 	fmt.Println("Metrics:")
 	reg.Render(os.Stdout)
+
+	if *ledgerPath != "" {
+		simCycles := regular.Cycles + stream.Cycles
+		entry := obs.LedgerEntry{
+			Schema:     obs.LedgerSchema,
+			Time:       time.Now().UTC().Format(time.RFC3339),
+			Experiment: "streamtrace/" + *app,
+			Config:     fmt.Sprintf("n=%d comp=%d seed=%d nodouble=%v", *n, *comp, *seed, *nodouble),
+			ConfigHash: obs.Hash(fmt.Sprintf("%d/%d/%d/%v", *n, *comp, *seed, *nodouble)),
+			FastPath:   sim.DefaultFastPath(),
+			WallNs:     wallNs,
+			SimCycles:  simCycles,
+			Metrics:    obs.FlattenSnapshot(reg.Snapshot()),
+			Recovery: map[string]uint64{
+				"faults_injected":   stream.Recovery.FaultsInjected,
+				"retries":           stream.Recovery.Retries,
+				"scrubbed_deps":     stream.Recovery.ScrubbedDeps,
+				"wakeup_timeouts":   stream.Recovery.WakeupTimeouts,
+				"watchdog_timeouts": stream.Recovery.WatchdogTimeouts,
+			},
+			Source: "streamtrace",
+		}
+		if wallNs > 0 {
+			entry.SimCyclesPerSec = float64(simCycles) / (float64(wallNs) / 1e9)
+		}
+		if inj != nil {
+			entry.FaultTraceHash = obs.Hash(inj.TraceString())
+		}
+		if err := obs.AppendLedger(*ledgerPath, entry); err != nil {
+			fmt.Fprintf(os.Stderr, "streamtrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nappended ledger entry to %s\n", *ledgerPath)
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -219,7 +277,7 @@ func main() {
 			os.Exit(1)
 		}
 		cyclesPerUsec := sim.PentiumD8300().FreqHz / 1e6
-		if err := tr.WritePerfetto(f, name, cyclesPerUsec); err != nil {
+		if err := tr.WritePerfettoTimeline(f, name, cyclesPerUsec, tl); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "streamtrace: %v\n", err)
 			os.Exit(1)

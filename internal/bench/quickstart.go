@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"streamgpp/internal/apps/micro"
+	"streamgpp/internal/exec"
+	"streamgpp/internal/obs"
+)
+
+// Quickstart runs the documentation's worked example (the QUICKSTART
+// micro-benchmark): small, fast and representative, it is the workload
+// the README's -ledger/-compare walkthrough, the regression-gate smoke
+// in scripts/check.sh and the streamtrace golden test all use. It lives
+// outside Experiments() so `-exp all` keeps reproducing exactly the
+// paper's nine figures, byte-for-byte.
+func Quickstart(w io.Writer, quick bool) error {
+	n := 300000
+	if quick {
+		n = 50000
+	}
+	t := Table{
+		Title:  "Quickstart: out[i] = comp(2.5*a[i] + b[i])",
+		Header: []string{"style", "cycles", "speedup", "overlap"},
+	}
+	tr := &exec.Trace{}
+	ecfg := exec.Defaults()
+	ecfg.Trace = tr
+	res, err := micro.RunQuickstart(micro.Params{N: n, Comp: 1, Seed: 1, Observer: obs.NewRegistry()}, ecfg)
+	if err != nil {
+		return err
+	}
+	t.AddRow("regular", fmt.Sprintf("%d", res.Regular.Cycles), "1.00", "-")
+	t.AddRow("stream", fmt.Sprintf("%d", res.Stream.Cycles),
+		fmt.Sprintf("%.2f", res.Speedup), fmt.Sprintf("%.2f", tr.OverlapEfficiency()))
+	t.Note("the worked example from the README; see streamtrace -app quickstart for its timeline.")
+	t.Render(w)
+	return nil
+}

@@ -92,9 +92,24 @@ func Experiments() []Experiment {
 	}
 }
 
-// ByID returns the experiment with the given id.
+// ExtraExperiments lists runnable workloads that are not part of the
+// paper's evaluation — they are addressable by ID but excluded from
+// "all", so the nine-figure output stays byte-stable across releases.
+func ExtraExperiments() []Experiment {
+	return []Experiment{
+		{"quickstart", "Quickstart: the documentation's worked example", Quickstart},
+	}
+}
+
+// ByID returns the experiment with the given id, searching the paper
+// figures first, then the extras.
 func ByID(id string) (Experiment, bool) {
 	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	for _, e := range ExtraExperiments() {
 		if e.ID == id {
 			return e, true
 		}

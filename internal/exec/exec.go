@@ -122,10 +122,11 @@ type stripRetrier struct {
 	limit    int
 	rec      *RecoverySummary
 	retryCtr *obs.Counter
+	ts       *tlSampler // optional timeline sampler (nil-safe)
 }
 
-func newStripRetrier(m *sim.Machine, cfg Config, rec *RecoverySummary) stripRetrier {
-	sr := stripRetrier{inj: m.FaultInjector(), limit: cfg.RetryLimit, rec: rec}
+func newStripRetrier(m *sim.Machine, cfg Config, rec *RecoverySummary, ts *tlSampler) stripRetrier {
+	sr := stripRetrier{inj: m.FaultInjector(), limit: cfg.RetryLimit, rec: rec, ts: ts}
 	if sr.inj != nil {
 		if r := m.Observer(); r != nil {
 			sr.retryCtr = r.Counter("exec.strip_retries")
@@ -166,6 +167,7 @@ func (sr stripRetrier) run(c *sim.CPU, t *wq.Task) *RunError {
 		if sr.retryCtr != nil {
 			sr.retryCtr.Inc()
 		}
+		sr.ts.recoveryEvent(c.Now(), sr.rec)
 	}
 }
 
@@ -252,7 +254,8 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 		injBase = inj.Total()
 	}
 	wkBase := m.WakeupTimeouts()
-	sr := newStripRetrier(m, cfg, &rec)
+	ts := newTLSampler(m)
+	sr := newStripRetrier(m, cfg, &rec, ts)
 
 	// rerr is the first abort. Setting it also flips finished, so both
 	// threads' wait conditions unblock and their loops drain out.
@@ -289,8 +292,10 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 			if wdCtr != nil {
 				wdCtr.Inc()
 			}
+			ts.recoveryEvent(c.Now(), &rec)
 			if n := q.Scrub(); n > 0 {
 				rec.ScrubbedDeps += uint64(n)
+				ts.recoveryEvent(c.Now(), &rec)
 				barren = 0
 				c.Signal(work) // readiness changed; wake the sibling
 				return
@@ -317,7 +322,9 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 			return false
 		}
 		before := c.Now()
+		ts.taskStart(t.Kind, before)
 		if e := sr.run(c, &t); e != nil {
+			ts.taskEnd(t.Kind, c.Now(), q)
 			abort(e)
 			c.Signal(work)
 			return false
@@ -328,6 +335,7 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 				Phase: t.Phase, Strip: t.Strip, Start: before, End: c.Now()})
 		}
 		q.Complete(slot)
+		ts.taskEnd(t.Kind, c.Now(), q)
 		if cfg.Trace != nil {
 			cfg.Trace.sample("wq depth", c.Now(), float64(q.InFlight()))
 		}
@@ -389,6 +397,7 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 					if cfg.Trace != nil {
 						cfg.Trace.sample("wq depth", c.Now(), float64(q.InFlight()))
 					}
+					ts.enqueued(c.Now(), q)
 					c.Signal(work)
 				}
 				// Compute part: run a ready kernel.
@@ -491,7 +500,8 @@ func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, err
 	if inj != nil {
 		injBase = inj.Total()
 	}
-	sr := newStripRetrier(m, cfg, &rec)
+	ts := newTLSampler(m)
+	sr := newStripRetrier(m, cfg, &rec, ts)
 	var rerr *RunError
 	if cfg.Trace != nil {
 		cfg.Trace.Reserve(len(p.Tasks), 0)
@@ -500,11 +510,14 @@ func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, err
 		for i := range p.Tasks {
 			t := &p.Tasks[i]
 			before := c.Now()
+			ts.taskStart(t.Kind, before)
 			if e := sr.run(c, t); e != nil {
+				ts.taskEnd(t.Kind, c.Now(), nil)
 				rerr = e
 				return
 			}
 			kindCycles[t.Kind] += c.Now() - before
+			ts.taskEnd(t.Kind, c.Now(), nil)
 			if cfg.Trace != nil {
 				cfg.Trace.record(TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(),
 					Phase: t.Phase, Strip: t.Strip, Start: before, End: c.Now()})

@@ -352,6 +352,15 @@ func (tr *Trace) Spans() []obs.Span {
 // simulated cycles to display time (pass the core frequency in MHz, or
 // 0 for 1 cycle = 1 µs).
 func (tr *Trace) WritePerfetto(w io.Writer, label string, cyclesPerUsec float64) error {
+	return tr.WritePerfettoTimeline(w, label, cyclesPerUsec, nil)
+}
+
+// WritePerfettoTimeline is WritePerfetto with the cycle-windowed
+// timeline sampler's series merged in as additional counter tracks
+// (SRF occupancy, per-queue depth, outstanding misses, overlap
+// efficiency, recovery events). Pass a nil timeline to export the
+// trace's own counters only.
+func (tr *Trace) WritePerfettoTimeline(w io.Writer, label string, cyclesPerUsec float64, tl *obs.Timeline) error {
 	tracks := map[int]string{}
 	for _, e := range tr.Events {
 		if _, ok := tracks[e.Ctx]; !ok {
@@ -369,6 +378,7 @@ func (tr *Trace) WritePerfetto(w io.Writer, label string, cyclesPerUsec float64)
 	for _, c := range tr.Counters {
 		counters = append(counters, obs.CounterPoint{Name: c.Name, T: c.T, V: c.V})
 	}
+	counters = append(counters, tl.CounterPoints()...)
 	return obs.WriteTraceEvents(w, obs.TraceMeta{
 		Process:       label,
 		Tracks:        tracks,

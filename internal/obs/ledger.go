@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+// This file implements the durable half of the observability layer: an
+// append-only JSONL run ledger. Every benchmark or trace run appends
+// one self-describing line — what ran, under which configuration and
+// commit, how long it took in wall-clock and simulated cycles, and
+// what the metrics and recovery machinery recorded — so performance
+// history accumulates across sessions in a greppable, diffable file
+// that the regression gate (regress.go) can compare against.
+
+// LedgerSchema is the current entry schema version. Readers accept only
+// entries whose Schema matches; bump it when a field changes meaning.
+const LedgerSchema = 1
+
+// LedgerEntry is one run's durable record. All maps use deterministic
+// (sorted-key) JSON encoding, so identical runs produce identical lines
+// apart from Time/WallNs.
+type LedgerEntry struct {
+	Schema     int    `json:"schema"`
+	Time       string `json:"time,omitempty"` // RFC3339, caller-stamped
+	Experiment string `json:"experiment"`
+	Config     string `json:"config,omitempty"`      // human-readable config summary
+	ConfigHash string `json:"config_hash,omitempty"` // Hash of the canonical config
+	Commit     string `json:"commit,omitempty"`      // git describe --always --dirty
+	FastPath   bool   `json:"fast_path"`
+	Quick      bool   `json:"quick,omitempty"`
+	Parallel   int    `json:"parallel,omitempty"`
+
+	WallNs          int64   `json:"wall_ns"`              // host wall-clock for the run
+	SimCycles       uint64  `json:"sim_cycles,omitempty"` // total simulated cycles
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+
+	OutputHash     string             `json:"output_hash,omitempty"` // hash of the run's report text
+	Metrics        map[string]float64 `json:"metrics,omitempty"`
+	Recovery       map[string]uint64  `json:"recovery,omitempty"`
+	FaultTraceHash string             `json:"fault_trace_hash,omitempty"`
+
+	Source string            `json:"source,omitempty"` // which tool wrote the line
+	Extra  map[string]string `json:"extra,omitempty"`
+}
+
+// Validate checks the entry satisfies the schema invariants the gate
+// and history tooling rely on.
+func (e *LedgerEntry) Validate() error {
+	if e.Schema != LedgerSchema {
+		return fmt.Errorf("obs: ledger entry schema %d, want %d", e.Schema, LedgerSchema)
+	}
+	if e.Experiment == "" {
+		return fmt.Errorf("obs: ledger entry without an experiment name")
+	}
+	if e.WallNs < 0 {
+		return fmt.Errorf("obs: ledger entry %q has negative wall_ns %d", e.Experiment, e.WallNs)
+	}
+	return nil
+}
+
+// Hash returns a short stable FNV-1a hex digest of the given parts —
+// the ledger's config/output/fault-trace fingerprint helper.
+func Hash(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0}) // separator so ("ab","c") != ("a","bc")
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// FlattenSnapshot reduces a metrics snapshot to one representative
+// float per instrument for the ledger: counter totals, gauge current
+// values and histogram means.
+func FlattenSnapshot(s Snapshot) map[string]float64 {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(s))
+	for name, v := range s {
+		switch v.Kind {
+		case KindHistogram:
+			out[name] = v.Mean()
+		default:
+			out[name] = v.Value
+		}
+	}
+	return out
+}
+
+// AppendLedger validates e and appends it as one JSON line to the file
+// at path, creating the file if needed. Appends are atomic at the line
+// level for the file sizes at hand (single short write).
+func AppendLedger(path string, e LedgerEntry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("obs: marshalling ledger entry: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: opening ledger: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("obs: appending to ledger: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadLedger parses every entry in the JSONL file at path, oldest
+// first. Blank lines are skipped; a malformed or schema-mismatched line
+// fails with its line number so a corrupted ledger is diagnosable.
+func ReadLedger(path string) ([]LedgerEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening ledger: %w", err)
+	}
+	defer f.Close()
+	return ParseLedger(f)
+}
+
+// ParseLedger is ReadLedger over an arbitrary reader.
+func ParseLedger(r io.Reader) ([]LedgerEntry, error) {
+	var out []LedgerEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e LedgerEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return out, fmt.Errorf("obs: ledger line %d: %w", lineno, err)
+		}
+		if err := e.Validate(); err != nil {
+			return out, fmt.Errorf("obs: ledger line %d: %w", lineno, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: reading ledger: %w", err)
+	}
+	return out, nil
+}
+
+// WriteLedger writes entries as JSONL to path, replacing any existing
+// file — used to write a fresh baseline for the regression gate.
+func WriteLedger(path string, entries []LedgerEntry) error {
+	var buf []byte
+	for i := range entries {
+		if err := entries[i].Validate(); err != nil {
+			return err
+		}
+		line, err := json.Marshal(entries[i])
+		if err != nil {
+			return fmt.Errorf("obs: marshalling ledger entry: %w", err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("obs: writing ledger: %w", err)
+	}
+	return nil
+}
+
+// ValidateLedgerFile checks every line of the ledger at path, returning
+// how many entries it holds. The check.sh schema gate calls this.
+func ValidateLedgerFile(path string) (int, error) {
+	entries, err := ReadLedger(path)
+	return len(entries), err
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleEntry(exp string, wallNs int64) LedgerEntry {
+	return LedgerEntry{
+		Schema:     LedgerSchema,
+		Experiment: exp,
+		Config:     "quick",
+		ConfigHash: Hash("quick"),
+		FastPath:   true,
+		WallNs:     wallNs,
+		SimCycles:  1000,
+		Metrics:    map[string]float64{"sim.cycles": 1000},
+		Recovery:   map[string]uint64{"retries": 0},
+		Source:     "test",
+	}
+}
+
+func TestLedgerAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	want := []LedgerEntry{sampleEntry("fig5", 100), sampleEntry("fig6", 200)}
+	for _, e := range want {
+		if err := AppendLedger(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d entries, want 2", len(got))
+	}
+	for i := range want {
+		if got[i].Experiment != want[i].Experiment || got[i].WallNs != want[i].WallNs {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+		if got[i].Metrics["sim.cycles"] != 1000 {
+			t.Errorf("entry %d metrics lost: %+v", i, got[i].Metrics)
+		}
+	}
+}
+
+func TestLedgerValidate(t *testing.T) {
+	e := sampleEntry("fig5", 1)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := e
+	bad.Schema = 99
+	if err := bad.Validate(); err == nil {
+		t.Error("schema mismatch not rejected")
+	}
+	bad = e
+	bad.Experiment = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty experiment not rejected")
+	}
+	bad = e
+	bad.WallNs = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative wall_ns not rejected")
+	}
+}
+
+func TestLedgerRejectsMalformedLine(t *testing.T) {
+	entries, err := ParseLedger(strings.NewReader(
+		`{"schema":1,"experiment":"fig5","wall_ns":1}` + "\n" + `{"schema":1` + "\n"))
+	if err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not name the line: %v", err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("valid prefix lost: %d entries", len(entries))
+	}
+}
+
+func TestWriteLedgerAndValidateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.jsonl")
+	if err := WriteLedger(path, []LedgerEntry{sampleEntry("a", 1), sampleEntry("b", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateLedgerFile(path)
+	if err != nil || n != 2 {
+		t.Fatalf("ValidateLedgerFile = %d, %v", n, err)
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	if Hash("ab", "c") == Hash("a", "bc") {
+		t.Error("hash ignores part boundaries")
+	}
+	if Hash("x") != Hash("x") {
+		t.Error("hash not deterministic")
+	}
+	if len(Hash("x")) != 16 {
+		t.Errorf("hash length %d, want 16", len(Hash("x")))
+	}
+}
+
+func TestFlattenSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(2.5)
+	r.Histogram("h").Observe(10)
+	r.Histogram("h").Observe(20)
+	flat := FlattenSnapshot(r.Snapshot())
+	if flat["c"] != 5 || flat["g"] != 2.5 || flat["h"] != 15 {
+		t.Fatalf("unexpected flatten: %v", flat)
+	}
+	if FlattenSnapshot(nil) != nil {
+		t.Error("empty snapshot should flatten to nil")
+	}
+}

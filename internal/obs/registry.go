@@ -8,11 +8,13 @@
 // instead of just timed.
 //
 // The package deliberately imports nothing from the rest of the repo,
-// so every layer can depend on it without cycles. Instruments are not
-// internally synchronised: the sim engine serialises the simulated
-// threads in virtual time (their channel handoffs establish
-// happens-before), so plain field updates are race-free even under the
-// race detector.
+// so every layer can depend on it without cycles. Within one simulated
+// machine the sim engine serialises the simulated threads in virtual
+// time, but one Registry is routinely shared across machines running on
+// concurrent goroutines (the parallel experiment runner, streambench's
+// measured mode), so instruments and the registry's maps are safe for
+// concurrent use: counters are atomic, gauges and histograms carry a
+// small mutex, and instrument registration/snapshot lock the maps.
 package obs
 
 import (
@@ -20,22 +22,25 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing count.
-type Counter struct{ v uint64 }
+type Counter struct{ v atomic.Uint64 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Gauge is a point-in-time value that also tracks its high-water mark.
 type Gauge struct {
+	mu  sync.Mutex
 	v   float64
 	max float64
 	set bool
@@ -43,26 +48,38 @@ type Gauge struct {
 
 // Set records the current value (and raises the high-water mark).
 func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
 	g.v = v
 	if !g.set || v > g.max {
 		g.max = v
 	}
 	g.set = true
+	g.mu.Unlock()
 }
 
 // SetMax raises the high-water mark without moving the current value.
 func (g *Gauge) SetMax(v float64) {
+	g.mu.Lock()
 	if !g.set || v > g.max {
 		g.max = v
 		g.set = true
 	}
+	g.mu.Unlock()
 }
 
 // Value returns the last Set value.
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
 
 // Max returns the high-water mark.
-func (g *Gauge) Max() float64 { return g.max }
+func (g *Gauge) Max() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
 
 // histBuckets is the number of power-of-two histogram buckets: bucket i
 // counts observations in [2^(i-1), 2^i), bucket 0 counts v < 1.
@@ -71,6 +88,7 @@ const histBuckets = 32
 // Histogram accumulates a distribution of samples into power-of-two
 // buckets, keeping exact count/sum/min/max.
 type Histogram struct {
+	mu      sync.Mutex
 	count   uint64
 	sum     float64
 	min     float64
@@ -80,6 +98,7 @@ type Histogram struct {
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -96,16 +115,27 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 	h.buckets[b]++
+	h.mu.Unlock()
 }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Sum returns the sum of all samples.
-func (h *Histogram) Sum() float64 { return h.sum }
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
 
 // Mean returns the sample mean (0 when empty).
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
@@ -113,15 +143,25 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Min returns the smallest sample (0 when empty).
-func (h *Histogram) Min() float64 { return h.min }
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
 
 // Max returns the largest sample (0 when empty).
-func (h *Histogram) Max() float64 { return h.max }
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) from
 // the bucket boundaries — exact enough for queue depths and cycle
 // counts spanning orders of magnitude.
 func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
@@ -145,6 +185,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Registry holds named instruments, created lazily on first use so
 // instrumentation sites need no setup ceremony.
 type Registry struct {
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -161,8 +202,15 @@ func NewRegistry() *Registry {
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
 	c, ok := r.counters[name]
-	if !ok {
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -171,8 +219,15 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
 	g, ok := r.gauges[name]
-	if !ok {
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -181,8 +236,15 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
 	h, ok := r.hists[name]
-	if !ok {
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; !ok {
 		h = &Histogram{}
 		r.hists[name] = h
 	}
@@ -222,15 +284,21 @@ type Snapshot map[string]MetricValue
 
 // Snapshot freezes every instrument's current state.
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	s := make(Snapshot, len(r.counters)+len(r.gauges)+len(r.hists))
 	for name, c := range r.counters {
-		s[name] = MetricValue{Kind: KindCounter, Value: float64(c.v)}
+		s[name] = MetricValue{Kind: KindCounter, Value: float64(c.v.Load())}
 	}
 	for name, g := range r.gauges {
+		g.mu.Lock()
 		s[name] = MetricValue{Kind: KindGauge, Value: g.v, Max: g.max}
+		g.mu.Unlock()
 	}
 	for name, h := range r.hists {
+		h.mu.Lock()
 		s[name] = MetricValue{Kind: KindHistogram, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		h.mu.Unlock()
 	}
 	return s
 }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentUse hammers one registry from many goroutines —
+// lazy registration, instrument updates and snapshots all interleaved —
+// the access pattern of the parallel experiment runner sharing a
+// default registry across machines. Run under -race (scripts/check.sh
+// does) this doubles as the data-race proof.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Some names are shared across workers (contended
+				// registration), some private (steady-state growth).
+				shared := fmt.Sprintf("shared.%d", i%7)
+				private := fmt.Sprintf("w%d.%d", w, i%11)
+				r.Counter(shared).Inc()
+				r.Counter(private).Add(2)
+				r.Gauge(shared).Set(float64(i))
+				r.Gauge(private).SetMax(float64(i))
+				r.Histogram(shared).Observe(float64(i % 100))
+				if i%50 == 0 {
+					snap := r.Snapshot()
+					if len(snap) == 0 {
+						t.Error("empty snapshot during concurrent use")
+						return
+					}
+					snap.Delta(snap)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every shared counter saw exactly workers*iters/7 increments in
+	// total: lost updates would show up here.
+	var total uint64
+	for i := 0; i < 7; i++ {
+		total += r.Counter(fmt.Sprintf("shared.%d", i)).Value()
+	}
+	if want := uint64(workers * iters); total != want {
+		t.Fatalf("shared counters sum to %d, want %d (lost updates)", total, want)
+	}
+	for i := 0; i < 7; i++ {
+		h := r.Histogram(fmt.Sprintf("shared.%d", i))
+		if h.Count() == 0 || h.Max() > 99 {
+			t.Fatalf("histogram shared.%d corrupted: count=%d max=%v", i, h.Count(), h.Max())
+		}
+	}
+}
+
+// TestRegistryConcurrentSameName has every goroutine race to create the
+// SAME instrument: all must observe one shared instance.
+func TestRegistryConcurrentSameName(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	ptrs := make([]*Counter, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("the.one")
+			ptrs[w] = c
+			c.Inc()
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if ptrs[w] != ptrs[0] {
+			t.Fatal("racing registrations returned distinct counters")
+		}
+	}
+	if got := r.Counter("the.one").Value(); got != workers {
+		t.Fatalf("counter = %d, want %d", got, workers)
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSeriesWindowing(t *testing.T) {
+	tl := NewTimeline(100)
+	s := tl.Series("x")
+	s.Sample(0, 1)
+	s.Sample(50, 2)  // same window as t=0: dropped
+	s.Sample(100, 3) // next window
+	s.Sample(199, 4) // same window as t=100: dropped
+	s.Sample(250, 5)
+	pts := s.Points()
+	want := []Point{{0, 1}, {100, 3}, {250, 5}}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points %v, want %v", len(pts), pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("point %d = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestSeriesMonotone(t *testing.T) {
+	tl := NewTimeline(10)
+	s := tl.Series("x")
+	s.Sample(500, 1)
+	s.Sample(120, 2) // behind lastT: dropped (cross-context skew)
+	s.Sample(510, 3)
+	for i, p := range s.Points() {
+		if i > 0 && p.T <= s.Points()[i-1].T {
+			t.Fatalf("non-monotone points: %v", s.Points())
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("got %d points, want 2: %v", s.Len(), s.Points())
+	}
+}
+
+func TestNilTimelineIsInert(t *testing.T) {
+	var tl *Timeline
+	s := tl.Series("anything")
+	if s != nil {
+		t.Fatal("nil timeline returned a live series")
+	}
+	s.Sample(1, 1) // must not panic
+	if s.Due(1) || s.Len() != 0 || s.Last() != (Point{}) || s.Points() != nil {
+		t.Fatal("nil series is not inert")
+	}
+	tl.Probe("p", func() float64 { return 1 })
+	tl.Poll(1)
+	if tl.Names() != nil || tl.CounterPoints() != nil || tl.Interval() != 0 {
+		t.Fatal("nil timeline is not inert")
+	}
+	if n, err := tl.WriteTo(&bytes.Buffer{}); n != 0 || err != nil {
+		t.Fatal("nil timeline WriteTo not a no-op")
+	}
+	tl.Render(&bytes.Buffer{})
+}
+
+func TestProbePollAndReplace(t *testing.T) {
+	tl := NewTimeline(100)
+	v := 1.0
+	tl.Probe("g", func() float64 { return v })
+	tl.Poll(0)
+	v = 2.0
+	tl.Poll(10) // same window: no sample
+	tl.Poll(150)
+	tl.Probe("g", func() float64 { return 42 }) // replace
+	tl.Poll(300)
+	pts := tl.Series("g").Points()
+	want := []Point{{0, 1}, {150, 2}, {300, 42}}
+	if len(pts) != 3 {
+		t.Fatalf("got %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("point %d = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestDue(t *testing.T) {
+	tl := NewTimeline(100)
+	s := tl.Series("x")
+	if !s.Due(0) {
+		t.Fatal("fresh series not due")
+	}
+	s.Sample(0, 1)
+	if s.Due(50) {
+		t.Fatal("due inside sampled window")
+	}
+	if !s.Due(100) {
+		t.Fatal("not due in next window")
+	}
+	if s.Due(0) {
+		t.Fatal("due behind lastT")
+	}
+}
+
+func TestCounterPointsOrder(t *testing.T) {
+	tl := NewTimeline(1)
+	tl.Series("b").Sample(1, 10)
+	tl.Series("a").Sample(2, 20)
+	tl.Series("b").Sample(3, 30)
+	cps := tl.CounterPoints()
+	if len(cps) != 3 {
+		t.Fatalf("got %d counter points", len(cps))
+	}
+	// Creation order: all of "b" first, then "a".
+	if cps[0].Name != "b" || cps[1].Name != "b" || cps[2].Name != "a" {
+		t.Fatalf("unexpected order: %+v", cps)
+	}
+}
+
+func TestWriteToDeterministic(t *testing.T) {
+	build := func() string {
+		tl := NewTimeline(100)
+		tl.Series("srf occupancy").Sample(0, 0.25)
+		tl.Series("wq mem pending").Sample(100, 3)
+		tl.Series("srf occupancy").Sample(200, 0.5)
+		var b strings.Builder
+		if _, err := tl.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("WriteTo not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, `series "srf occupancy" interval=100 points=2`) {
+		t.Fatalf("unexpected dump:\n%s", a)
+	}
+}

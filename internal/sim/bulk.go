@@ -31,6 +31,10 @@ var defaultFastPath = true
 // any machine is built.
 func SetDefaultFastPath(on bool) { defaultFastPath = on }
 
+// DefaultFastPath reports the current default (ledger entries record
+// which mode produced a measurement).
+func DefaultFastPath() bool { return defaultFastPath }
+
 // SetFastPath enables or disables the bulk fast path on this machine.
 func (m *Machine) SetFastPath(on bool) { m.fastPath = on }
 

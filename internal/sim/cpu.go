@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"streamgpp/internal/obs"
+)
 
 // CPU is a thread's handle onto its hardware context. All methods must
 // be called only from the thread function the handle was passed to.
@@ -168,6 +172,14 @@ type Pipe struct {
 	pins    [pipePins]pin // proven-resident windows, see bulk.go
 	pinNext int
 	pinCold int // consecutive accesses no pin served, see fastAccess
+
+	// tlMLP, when non-nil, receives windowed samples of the window
+	// occupancy (outstanding misses — achieved MLP). It is resolved at
+	// NewPipe for bulk memory pipes only, and sampled exclusively at
+	// points both fast-path modes reach identically (DRAM misses and
+	// Drain), so an attached timeline preserves fast-on/off
+	// byte-identity of the sampled series.
+	tlMLP *obs.Series
 }
 
 // pipeParkBatch bounds how many accesses a Pipe performs between engine
@@ -183,7 +195,14 @@ func (c *CPU) NewPipe(mlp int, issueCycles uint64, state ProcState) *Pipe {
 	if mlp < 1 {
 		panic(fmt.Sprintf("sim: pipe MLP %d", mlp))
 	}
-	return &Pipe{c: c, mlp: mlp, window: make([]uint64, mlp), issue: issueCycles, state: state}
+	p := &Pipe{c: c, mlp: mlp, window: make([]uint64, mlp), issue: issueCycles, state: state}
+	if state == StateMemory && c.m.tl != nil {
+		// Only bulk memory traffic feeds the outstanding-miss series:
+		// the regular baseline's interleaved pipes (StateCompute) run on
+		// their own machine with an unrelated virtual clock.
+		p.tlMLP = c.m.tl.Series("mlp outstanding")
+	}
+	return p
 }
 
 // Access issues one access through the window. The context clock tracks
@@ -220,6 +239,9 @@ func (p *Pipe) Access(addr Addr, size int, write bool, hint Hint) AccessResult {
 		}
 		p.window[i] = r.Done
 		p.wlen++
+		// A miss never takes the pinned fast path, so this sample point
+		// is reached identically with the fast path on and off.
+		p.tlMLP.Sample(start, float64(p.wlen))
 	}
 	if r.Done > p.slowest {
 		p.slowest = r.Done
@@ -251,6 +273,7 @@ func (p *Pipe) Drain() {
 		c.p.memCycles += p.slowest - c.p.now
 		c.p.now = p.slowest
 	}
+	p.tlMLP.Sample(c.p.now, float64(p.wlen))
 	p.whead = 0
 	p.wlen = 0
 	p.slowest = 0

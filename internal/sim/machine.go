@@ -38,6 +38,7 @@ type Machine struct {
 	Mem *MemSystem
 	AS  *AddrSpace
 	obs *obs.Registry // optional metrics registry (see SetObserver)
+	tl  *obs.Timeline // optional timeline sampler (see SetTimeline)
 
 	procs  []*proc
 	nlive  int
@@ -122,7 +123,7 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	return &Machine{cfg: cfg, Mem: NewMemSystem(cfg), AS: NewAddrSpace(cfg.PageBytes),
-		obs: defaultObserver, fastPath: defaultFastPath, flt: defaultInjector}, nil
+		obs: defaultObserver, tl: defaultTimeline, fastPath: defaultFastPath, flt: defaultInjector}, nil
 }
 
 // MustNew is New, panicking on config errors. For tests and examples.
@@ -203,8 +204,11 @@ func (m *Machine) Run(threads ...func(*CPU)) RunStats {
 	m.procs = m.procs[:0]
 	if m.obs != nil {
 		// Keep the registry's sim.* gauges current with the cumulative
-		// counters as of this run's end.
+		// counters as of this run's end. The counter accumulates across
+		// every machine sharing the registry, so a whole experiment's
+		// simulated-cycle total (and cycles/s) can be read as a delta.
 		m.StatsSnapshot().Publish(m.obs)
+		m.obs.Counter("sim.run_cycles_total").Add(stats.Cycles)
 	}
 	return stats
 }

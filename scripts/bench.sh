@@ -12,6 +12,12 @@
 # baseline_ns_per_op and speedup_vs_baseline — wall-clock before/after
 # across commits, with machine noise hitting all modes alike.
 #
+# A full run also appends one run-ledger line per benchmark (the JSONL
+# schema of internal/obs/ledger.go, keyed by `git describe`) to
+# BENCH_history.jsonl, so wall-clock history accumulates across commits
+# and `streambench -compare`/`-validate` can consume it. Smoke runs
+# leave the history untouched.
+#
 # Usage:
 #   scripts/bench.sh          # the measured set (a few minutes)
 #   scripts/bench.sh smoke    # one tiny benchmark, for check.sh
@@ -111,3 +117,23 @@ BEGIN {
 
 echo "wrote $OUT:"
 cat "$OUT"
+
+if [ "$MODE" != "smoke" ] && [ "$MODE" != "--smoke" ]; then
+	HIST="BENCH_history.jsonl"
+	COMMIT="$(git describe --always --dirty 2>/dev/null || echo unknown)"
+	NOW="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	awk -v commit="$COMMIT" -v now="$NOW" '
+	/"benchmark"/ {
+		name = ""; ns = ""; cyc = ""; cps = ""
+		if (match($0, /"benchmark": "[^"]+"/)) name = substr($0, RSTART + 14, RLENGTH - 15)
+		if (match($0, /"fast_ns_per_op": [0-9]+/)) ns = substr($0, RSTART + 18, RLENGTH - 18)
+		if (match($0, /"sim_cycles": [0-9]+/)) cyc = substr($0, RSTART + 14, RLENGTH - 14)
+		if (match($0, /"sim_cycles_per_sec": [0-9]+/)) cps = substr($0, RSTART + 22, RLENGTH - 22)
+		if (name == "" || ns == "") next
+		printf "{\"schema\":1,\"time\":\"%s\",\"experiment\":\"%s\",\"commit\":\"%s\",\"fast_path\":true,\"wall_ns\":%s", now, name, commit, ns
+		if (cyc != "") printf ",\"sim_cycles\":%s", cyc
+		if (cps != "") printf ",\"sim_cycles_per_sec\":%s", cps
+		printf ",\"source\":\"bench.sh\"}\n"
+	}' "$OUT" >>"$HIST"
+	echo "appended $(grep -c "\"time\":\"$NOW\"" "$HIST") entries to $HIST (commit $COMMIT)"
+fi

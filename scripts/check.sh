@@ -1,8 +1,9 @@
 #!/bin/sh
 # Repo health check: vet, build, full tests, the race detector over
-# the packages whose instrumentation relies on the sim engine's
-# virtual-time serialisation (wq, exec, obs, svm) plus the parallel
-# experiment runner, and a smoke run of the wall-clock benchmark
+# the instrumented packages (wq, exec, obs, svm) plus the parallel
+# experiment runner, the fault matrix, a smoke of the run-ledger schema
+# and the regression gate (a clean re-run must pass, a synthetically
+# slowed run must fail), and a smoke run of the wall-clock benchmark
 # harness.
 set -eu
 cd "$(dirname "$0")/.."
@@ -46,6 +47,23 @@ for kind in latency_spike dropped_wakeup dropped_dep_clear enqueue_full kernel_f
     cmp /tmp/fault_a.txt /tmp/fault_b.txt \
         || { echo "fault replay ($kind) not byte-identical"; exit 1; }
 done
+echo "== run-ledger schema + regression gate smoke =="
+go build -o /tmp/streambench.check ./cmd/streambench
+GATE_BASE="${TMPDIR:-/tmp}/streamgpp-gate-base.jsonl"
+rm -f "$GATE_BASE"
+/tmp/streambench.check -exp quickstart -quick -repeat 3 -ledger "$GATE_BASE" >/dev/null
+/tmp/streambench.check -validate "$GATE_BASE"
+# An unmodified re-run must pass the gate...
+/tmp/streambench.check -exp quickstart -quick -repeat 3 -compare "$GATE_BASE" >/dev/null \
+    || { echo "regression gate flagged an unmodified re-run"; exit 1; }
+# ...a synthetically slowed run must fail it...
+if /tmp/streambench.check -exp quickstart -quick -repeat 3 -slowdown 1.2 -compare "$GATE_BASE" >/dev/null 2>&1; then
+    echo "regression gate failed to flag a 20% slowdown"; exit 1
+fi
+# ...and streamtrace's ledger entries share the same schema.
+/tmp/streamtrace.check -app quickstart -n 50000 -ledger "$GATE_BASE" >/dev/null
+/tmp/streambench.check -validate "$GATE_BASE"
+rm -f "$GATE_BASE" /tmp/streambench.check
 rm -f /tmp/streamtrace.check /tmp/fault_a.txt /tmp/fault_b.txt
 
 echo "== scripts/bench.sh smoke =="
