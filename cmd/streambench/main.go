@@ -50,6 +50,8 @@ func main() {
 	compare := flag.String("compare", "", "baseline run-ledger JSONL: gate this run's wall-clock against it (exit 3 on regression)")
 	repeat := flag.Int("repeat", 3, "timed repetitions per experiment in -ledger/-compare mode")
 	validate := flag.String("validate", "", "validate the run-ledger file at this path and exit")
+	whatif := flag.String("whatif", "",
+		"what-if scenarios over the quickstart workload, e.g. 'ident,dram=0.5,kernel=1.25,strip=0.5,1ctx': predict each analytically on the frozen task DAG, re-run the simulator with the knob changed, and cross-check (exit 3 on disagreement)")
 	slowdown := flag.Float64("slowdown", 1.0, "multiply recorded wall-clock by this factor (regression-gate self-test)")
 	commit := flag.String("commit", "", "commit id to record in ledger entries (e.g. git describe --always)")
 	flag.Parse()
@@ -128,6 +130,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *whatif != "" {
+		runWhatIf(*whatif, *quick, *ledgerPath, *commit, m.Describe(), fatal)
+		return
+	}
+
 	if *ledgerPath != "" || *compare != "" {
 		runMeasured(measureOpts{
 			exp: *exp, quick: *quick, repeat: *repeat, slowdown: *slowdown,
@@ -174,6 +181,73 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// runWhatIf is the -whatif mode: cross-checked counterfactuals over
+// the quickstart workload, with one ledger entry per scenario when
+// -ledger is given. A gated scenario whose analytical and empirical
+// deltas disagree exits 3, like the regression gate.
+func runWhatIf(spec string, quick bool, ledgerPath, commit, machineDesc string, fatal func(error)) {
+	specs, err := bench.ParseWhatIf(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streambench: %v\n", err)
+		os.Exit(2)
+	}
+	t0 := time.Now()
+	res, err := bench.RunWhatIf(os.Stdout, quick, specs)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(t0).Nanoseconds()
+
+	if ledgerPath != "" {
+		for _, r := range res.Rows {
+			verdict := "pass"
+			switch {
+			case !r.Gated:
+				verdict = "info"
+			case !r.Pass:
+				verdict = "fail"
+			}
+			entry := obs.LedgerEntry{
+				Schema:     obs.LedgerSchema,
+				Time:       time.Now().UTC().Format(time.RFC3339),
+				Experiment: "whatif/quickstart/" + r.Scenario,
+				Config:     machineDesc,
+				ConfigHash: obs.Hash(machineDesc, fmt.Sprintf("quick=%v", quick), r.Scenario),
+				Commit:     commit,
+				FastPath:   sim.DefaultFastPath(),
+				Quick:      quick,
+				WallNs:     wall,
+				SimCycles:  r.Empirical,
+				Source:     "streambench",
+				Metrics: map[string]float64{
+					"whatif.baseline_cycles":   float64(r.Baseline),
+					"whatif.analytical_cycles": float64(r.Analytical),
+					"whatif.empirical_cycles":  float64(r.Empirical),
+					"whatif.analytical_delta":  r.AnalyticalDelta,
+					"whatif.empirical_delta":   r.EmpiricalDelta,
+					"whatif.diff":              r.Diff,
+				},
+				Extra: map[string]string{
+					"whatif_scenario":  r.Scenario,
+					"whatif_verdict":   verdict,
+					"whatif_derived":   fmt.Sprintf("%v", r.Derived),
+					"whatif_tolerance": fmt.Sprintf("%g", res.Tolerance),
+				},
+			}
+			if err := obs.AppendLedger(ledgerPath, entry); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("\nappended %d ledger entries to %s\n", len(res.Rows), ledgerPath)
+	}
+
+	if res.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "streambench: %d what-if scenario(s) disagree beyond the %.0f%% tolerance\n",
+			res.Failed, 100*res.Tolerance)
+		os.Exit(3)
 	}
 }
 

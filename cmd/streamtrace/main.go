@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,29 +27,44 @@ import (
 	"strings"
 	"time"
 
+	"streamgpp/internal/advisor"
 	"streamgpp/internal/apps/cdp"
 	"streamgpp/internal/apps/fem"
 	"streamgpp/internal/apps/micro"
 	"streamgpp/internal/apps/neo"
 	"streamgpp/internal/apps/spas"
+	"streamgpp/internal/critpath"
 	"streamgpp/internal/exec"
 	"streamgpp/internal/fault"
 	"streamgpp/internal/obs"
+	"streamgpp/internal/sdf"
 	"streamgpp/internal/sim"
 )
 
-// runner executes one app in both styles and returns the comparison.
+// mergeMetrics folds extra flat metric keys into a flattened snapshot.
+func mergeMetrics(m, extra map[string]float64) map[string]float64 {
+	if m == nil {
+		m = map[string]float64{}
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	return m
+}
+
+// runner executes one app in both styles and returns the comparison
+// plus the stream version's dataflow graph (for advisor calibration).
 type runner struct {
 	desc  string
 	micro string // micro.Runners key, or "" for a full application
-	run   func(p micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error)
+	run   func(p micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, *sdf.Graph, error)
 }
 
 func microRunner(key, desc string) runner {
 	return runner{desc: desc, micro: key,
-		run: func(p micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error) {
+		run: func(p micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, *sdf.Graph, error) {
 			r, err := micro.Runners[key](p, ecfg)
-			return r.Name, r.Regular, r.Stream, err
+			return r.Name, r.Regular, r.Stream, r.Graph, err
 		}}
 }
 
@@ -58,24 +74,24 @@ var apps = map[string]runner{
 	"gatscat":    microRunner("GAT-SCAT-COMP", "random gather/compute/scatter micro-benchmark"),
 	"prodcon":    microRunner("PROD-CON", "producer-consumer locality micro-benchmark"),
 	"fem": {desc: "streamFEM, Euler linear elements",
-		run: func(_ micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error) {
+		run: func(_ micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, *sdf.Graph, error) {
 			r, err := fem.Run(fem.EulerLin, ecfg)
-			return "streamFEM " + r.Params.Name(), r.Regular, r.Stream, err
+			return "streamFEM " + r.Params.Name(), r.Regular, r.Stream, r.Graph, err
 		}},
 	"cdp": {desc: "streamCDP blast-wave step",
-		run: func(_ micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error) {
+		run: func(_ micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, *sdf.Graph, error) {
 			r, err := cdp.Run(cdp.Grid4n4096, ecfg)
-			return "streamCDP " + r.Params.Name(), r.Regular, r.Stream, err
+			return "streamCDP " + r.Params.Name(), r.Regular, r.Stream, r.Graph, err
 		}},
 	"neo": {desc: "neo-hookean finite elements",
-		run: func(p micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error) {
+		run: func(p micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, *sdf.Graph, error) {
 			r, err := neo.Run(neo.Params{Elements: 8192, Seed: p.Seed}, ecfg)
-			return "neo-hookean", r.Regular, r.Stream, err
+			return "neo-hookean", r.Regular, r.Stream, r.Graph, err
 		}},
 	"spas": {desc: "streamSPAS sparse matrix-vector product",
-		run: func(p micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, error) {
+		run: func(p micro.Params, ecfg exec.Config) (string, exec.Result, exec.Result, *sdf.Graph, error) {
 			r, err := spas.Run(spas.Params{Rows: 8192, NNZPerRow: spas.PaperNNZPerRow, Seed: p.Seed}, ecfg)
-			return "streamSPAS", r.Regular, r.Stream, err
+			return "streamSPAS", r.Regular, r.Stream, r.Graph, err
 		}},
 }
 
@@ -96,6 +112,11 @@ func main() {
 	sample := flag.Uint64("sample", obs.DefaultSampleInterval,
 		"timeline sampling window in simulated cycles (0 disables the timeline sampler)")
 	ledgerPath := flag.String("ledger", "", "append this run's summary as one JSONL entry to the run ledger at this path")
+	critflag := flag.Bool("critpath", false,
+		"reconstruct the stream run's task DAG and report its exact critical path, plus the advisor calibration against it")
+	topk := flag.Int("topk", 5, "longest individual critical-path segments to list with -critpath")
+	jsonOut := flag.Bool("json", false,
+		"emit one machine-readable JSON object (stall report + critical-path summary, ledger flatten conventions) instead of the text report")
 	flag.Parse()
 
 	if *list {
@@ -187,7 +208,7 @@ func main() {
 	p := micro.Params{N: *n, Comp: *comp, Seed: *seed, NoDoubleBuffer: *nodouble}
 
 	t0 := time.Now()
-	name, regular, stream, err := r.run(p, ecfg)
+	name, regular, stream, graph, err := r.run(p, ecfg)
 	wallNs := time.Since(t0).Nanoseconds()
 	if err != nil {
 		// A *RunError renders the failing task, strip, phase, cycle and
@@ -199,42 +220,133 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s\n", name)
-	fmt.Printf("  regular: %12d cycles\n", regular.Cycles)
-	fmt.Printf("  stream:  %12d cycles   (speedup %.2fx)\n",
-		stream.Cycles, exec.Speedup(regular, stream))
-	fmt.Printf("  gather/kernel overlap efficiency: %.2f\n\n", tr.OverlapEfficiency())
+	// The critical path is reconstructed from the task trace whenever
+	// anything downstream wants it: the -critpath report, the -json
+	// summary, the ledger entry's critpath metrics, or the Perfetto
+	// export's highlighted track.
+	var cpath *critpath.Path
+	var cgraph *critpath.Graph
+	if *critflag || *jsonOut || *ledgerPath != "" || *out != "" {
+		cg, err := critpath.Build(tr, stream.Cycles)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streamtrace: critical path: %v\n", err)
+			os.Exit(1)
+		}
+		cgraph = cg
+		cpath = cg.CriticalPath()
+	}
 
-	fmt.Println("Stream timeline:")
-	tr.Gantt(os.Stdout, *width)
-	fmt.Println()
-	tr.Summary(os.Stdout)
-	fmt.Println()
+	// calibration compares the advisor's static estimate with the
+	// measured run. The metrics registry observed both styles, but only
+	// the stream run drives the bulk operations, so the svm payload
+	// counters read as stream-only.
+	var calib *advisor.Calibration
+	if cpath != nil && graph != nil {
+		rep, aerr := advisor.Analyze(graph, sim.PentiumD8300())
+		if aerr != nil {
+			fmt.Fprintf(os.Stderr, "streamtrace: advisor: %v\n", aerr)
+			os.Exit(1)
+		}
+		by := cpath.ByKind()
+		// The advisor predicts one pass over the graph; multi-step apps
+		// (streamFEM timesteps, streamCDP solver rounds) execute the
+		// same schedule Rounds times, so the whole-run payload counters
+		// are normalised to per-round before comparing. Rounds are
+		// homogeneous, so the division is exact and the ratio must
+		// still come out 1.0.
+		rounds := uint64(cgraph.Rounds)
+		calib = rep.Calibrate(advisor.Measured{
+			GatherBytes:  reg.Counter("svm.gather.array_bytes").Value() / rounds,
+			ScatterBytes: reg.Counter("svm.scatter.array_bytes").Value() / rounds,
+			PathGather:   by[critpath.SegGather],
+			PathKernel:   by[critpath.SegKernel],
+			PathScatter:  by[critpath.SegScatter],
+			PathWait:     by[critpath.SegDepWait] + by[critpath.SegQueueWait] + by[critpath.SegRecovery],
+			PathLength:   cpath.Length,
+		})
+	}
 
-	fmt.Println("Stall attribution (stream run):")
-	exec.NewStallReport(stream).Render(os.Stdout)
-	fmt.Println()
+	if *jsonOut {
+		report := struct {
+			App               string               `json:"app"`
+			Name              string               `json:"name"`
+			RegularCycles     uint64               `json:"regular_cycles"`
+			StreamCycles      uint64               `json:"stream_cycles"`
+			Speedup           float64              `json:"speedup"`
+			OverlapEfficiency float64              `json:"overlap_efficiency"`
+			Stalls            exec.StallReport     `json:"stalls"`
+			Critpath          map[string]float64   `json:"critpath"`
+			CritpathBound     string               `json:"critpath_bound"`
+			CritpathByTask    map[string]uint64    `json:"critpath_by_task"`
+			Calibration       *advisor.Calibration `json:"calibration,omitempty"`
+			Metrics           map[string]float64   `json:"metrics"`
+		}{
+			App: *app, Name: name,
+			RegularCycles: regular.Cycles, StreamCycles: stream.Cycles,
+			Speedup:           exec.Speedup(regular, stream),
+			OverlapEfficiency: tr.OverlapEfficiency(),
+			Stalls:            exec.NewStallReport(stream),
+			Critpath:          cpath.Flatten(),
+			CritpathBound:     cpath.Bound(),
+			CritpathByTask:    cpath.ByTask(),
+			Calibration:       calib,
+			Metrics:           obs.FlattenSnapshot(reg.Snapshot()),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "streamtrace: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("%s\n", name)
+		fmt.Printf("  regular: %12d cycles\n", regular.Cycles)
+		fmt.Printf("  stream:  %12d cycles   (speedup %.2fx)\n",
+			stream.Cycles, exec.Speedup(regular, stream))
+		fmt.Printf("  gather/kernel overlap efficiency: %.2f\n\n", tr.OverlapEfficiency())
 
-	if inj != nil {
-		fmt.Println("Fault injection:")
-		fmt.Printf("  %s\n", stream.Recovery)
-		if inj.Total() > 0 {
-			fmt.Printf("  trace (replay with -faultseed %d):\n", *faultSeed)
-			for _, line := range strings.Split(strings.TrimRight(inj.TraceString(), "\n"), "\n") {
-				fmt.Printf("    %s\n", line)
+		fmt.Println("Stream timeline:")
+		tr.Gantt(os.Stdout, *width)
+		fmt.Println()
+		tr.Summary(os.Stdout)
+		fmt.Println()
+
+		fmt.Println("Stall attribution (stream run):")
+		exec.NewStallReport(stream).Render(os.Stdout)
+		fmt.Println()
+
+		if *critflag {
+			fmt.Println("Critical path (stream run):")
+			cpath.Render(os.Stdout, *topk)
+			fmt.Println()
+			if calib != nil {
+				fmt.Println("Advisor calibration (static estimate vs this run):")
+				calib.Render(os.Stdout)
+				fmt.Println()
 			}
 		}
-		fmt.Println()
-	}
 
-	if tl != nil {
-		fmt.Println("Timeline (cycle-windowed samples, stream run):")
-		tl.Render(os.Stdout)
-		fmt.Println()
-	}
+		if inj != nil {
+			fmt.Println("Fault injection:")
+			fmt.Printf("  %s\n", stream.Recovery)
+			if inj.Total() > 0 {
+				fmt.Printf("  trace (replay with -faultseed %d):\n", *faultSeed)
+				for _, line := range strings.Split(strings.TrimRight(inj.TraceString(), "\n"), "\n") {
+					fmt.Printf("    %s\n", line)
+				}
+			}
+			fmt.Println()
+		}
 
-	fmt.Println("Metrics:")
-	reg.Render(os.Stdout)
+		if tl != nil {
+			fmt.Println("Timeline (cycle-windowed samples, stream run):")
+			tl.Render(os.Stdout)
+			fmt.Println()
+		}
+
+		fmt.Println("Metrics:")
+		reg.Render(os.Stdout)
+	}
 
 	if *ledgerPath != "" {
 		simCycles := regular.Cycles + stream.Cycles
@@ -247,7 +359,7 @@ func main() {
 			FastPath:   sim.DefaultFastPath(),
 			WallNs:     wallNs,
 			SimCycles:  simCycles,
-			Metrics:    obs.FlattenSnapshot(reg.Snapshot()),
+			Metrics:    mergeMetrics(obs.FlattenSnapshot(reg.Snapshot()), cpath.Flatten()),
 			Recovery: map[string]uint64{
 				"faults_injected":   stream.Recovery.FaultsInjected,
 				"retries":           stream.Recovery.Retries,
@@ -277,7 +389,11 @@ func main() {
 			os.Exit(1)
 		}
 		cyclesPerUsec := sim.PentiumD8300().FreqHz / 1e6
-		if err := tr.WritePerfettoTimeline(f, name, cyclesPerUsec, tl); err != nil {
+		// The critical path renders as its own highlighted track above
+		// the per-context tracks, with flow arrows joining dependent
+		// tasks across contexts.
+		tracks := map[int]string{critpath.PerfettoTrack: critpath.PerfettoTrackName}
+		if err := tr.WritePerfettoExtra(f, name, cyclesPerUsec, tl, tracks, cpath.Spans(critpath.PerfettoTrack)); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "streamtrace: %v\n", err)
 			os.Exit(1)

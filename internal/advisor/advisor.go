@@ -56,6 +56,15 @@ type Report struct {
 	SavedWriteback uint64 // producer-consumer streams that never leave the SRF
 	WorkingSet     uint64 // distinct array bytes touched
 
+	// Payload traffic for one pass: the useful array-side bytes the
+	// bulk operations move, exactly as the runtime counts them
+	// (svm.gather.array_bytes / svm.scatter.array_bytes). Unlike the
+	// fetch estimates above these carry no line-granularity or RMW
+	// amplification, so a measured run must reproduce them exactly —
+	// the calibration's ground truth.
+	PayloadGatherBytes  uint64
+	PayloadScatterBytes uint64
+
 	// Computation estimate for one pass.
 	KernelOps int64
 
@@ -96,6 +105,11 @@ func Analyze(g *sdf.Graph, cfg sim.Config) (*Report, error) {
 		if b := e.Gather; b != nil {
 			bytes := gatherFetchBytes(e, cfg)
 			r.GatherBytes += bytes
+			payload := n * uint64(b.Array.Layout.SelectedBytes(b.Fields))
+			if len(b.Multi) > 0 {
+				payload *= uint64(len(b.Multi))
+			}
+			r.PayloadGatherBytes += payload
 			if b.Index != nil || len(b.Multi) > 0 {
 				r.RandomBytes += bytes
 			}
@@ -107,6 +121,7 @@ func Analyze(g *sdf.Graph, cfg sim.Config) (*Report, error) {
 			recordCount++
 		}
 		if b := e.Scatter; b != nil {
+			r.PayloadScatterBytes += n * uint64(b.Array.Layout.SelectedBytes(b.Fields))
 			bytes := n * uint64(e.Stream.ElemBytes())
 			if b.Mode == svm.ModeAdd {
 				bytes *= 2 // read-modify-write

@@ -1,0 +1,137 @@
+package advisor
+
+import (
+	"fmt"
+	"io"
+)
+
+// Measured holds the quantities an actual run of the analyzed program
+// produced, for calibrating the static report against reality. The
+// byte counts come from the runtime's payload counters
+// (svm.gather.array_bytes / svm.scatter.array_bytes); the path cycles
+// from the critical-path profiler's per-kind attribution
+// (critpath.Path.ByKind), which measures where the makespan actually
+// went rather than aggregate busy time.
+type Measured struct {
+	GatherBytes  uint64
+	ScatterBytes uint64
+
+	// Critical-path cycles by segment kind.
+	PathGather  uint64
+	PathKernel  uint64
+	PathScatter uint64
+	PathWait    uint64 // dep-wait + queue-wait + recovery
+	PathLength  uint64
+}
+
+// MeasuredBound names the measured limiting resource, mirroring
+// critpath.Path.Bound: "memory" when bulk-transfer execution dominates
+// kernel execution on the critical path.
+func (m Measured) MeasuredBound() string {
+	if m.PathGather+m.PathScatter >= m.PathKernel {
+		return "memory"
+	}
+	return "compute"
+}
+
+// Calibration compares the advisor's static estimates with a measured
+// run.
+type Calibration struct {
+	// PredictedBound is the advisor's EstMemCycles-vs-EstCompCycles
+	// call; MeasuredBound the critical path's. The headline calibration
+	// question is whether they agree.
+	PredictedBound string `json:"predicted_bound"`
+	MeasuredBound  string `json:"measured_bound"`
+	BoundAgree     bool   `json:"bound_agree"`
+
+	// Payload ratios: measured bytes over the report's payload
+	// estimate. The payload estimate is exact by construction, so
+	// anything other than 1.0 is a bug in the advisor or the runtime.
+	GatherPayloadRatio  float64 `json:"gather_payload_ratio"`
+	ScatterPayloadRatio float64 `json:"scatter_payload_ratio"`
+
+	// Fetch amplification: the advisor's fetch-traffic estimate over
+	// the measured payload. Above 1 the estimate charges
+	// line-granularity or RMW overhead on top of the useful bytes;
+	// below 1 it credits cache reuse — one fetched line serving
+	// several indexed touches (streamSPAS's repeated x-vector reads,
+	// streamFEM's node gathers), so fewer bytes cross the bus than the
+	// payload delivered. Purely informational (the simulator's bus
+	// traffic is the authority on actual fetch bytes); the calibration
+	// test tracks the observed band per bundled app.
+	GatherAmplification  float64 `json:"gather_amplification"`
+	ScatterAmplification float64 `json:"scatter_amplification"`
+
+	// WaitFraction is the share of the measured critical path spent
+	// not executing (dep-wait, queue-wait, recovery) — schedule
+	// overhead the static estimate folds into its pipelineOverhead
+	// factor.
+	WaitFraction float64 `json:"wait_fraction"`
+
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Calibrate compares the report with a measured run.
+func (r *Report) Calibrate(m Measured) *Calibration {
+	c := &Calibration{PredictedBound: "compute", MeasuredBound: m.MeasuredBound()}
+	if r.EstMemCycles >= r.EstCompCycles {
+		c.PredictedBound = "memory"
+	}
+	c.BoundAgree = c.PredictedBound == c.MeasuredBound
+
+	c.GatherPayloadRatio = ratioOf(m.GatherBytes, r.PayloadGatherBytes)
+	c.ScatterPayloadRatio = ratioOf(m.ScatterBytes, r.PayloadScatterBytes)
+	c.GatherAmplification = ratioOf(r.GatherBytes, m.GatherBytes)
+	c.ScatterAmplification = ratioOf(r.ScatterBytes, m.ScatterBytes)
+	if m.PathLength > 0 {
+		c.WaitFraction = float64(m.PathWait) / float64(m.PathLength)
+	}
+
+	if !c.BoundAgree {
+		c.Notes = append(c.Notes, fmt.Sprintf(
+			"bound disagrees: advisor estimates %s-bound (mem %.0f vs comp %.0f cycles) but the critical path is %s-bound (gather+scatter %d vs kernel %d cycles)",
+			c.PredictedBound, r.EstMemCycles, r.EstCompCycles,
+			c.MeasuredBound, m.PathGather+m.PathScatter, m.PathKernel))
+	}
+	if c.GatherPayloadRatio != 1 {
+		c.Notes = append(c.Notes, fmt.Sprintf(
+			"gather payload mismatch: measured %d B, predicted %d B (ratio %.4f) — the payload estimate should be exact",
+			m.GatherBytes, r.PayloadGatherBytes, c.GatherPayloadRatio))
+	}
+	if c.ScatterPayloadRatio != 1 {
+		c.Notes = append(c.Notes, fmt.Sprintf(
+			"scatter payload mismatch: measured %d B, predicted %d B (ratio %.4f) — the payload estimate should be exact",
+			m.ScatterBytes, r.PayloadScatterBytes, c.ScatterPayloadRatio))
+	}
+	return c
+}
+
+// ratioOf divides measured by predicted, returning 1 when both are
+// zero (nothing to disagree about) and 0 when only the denominator is.
+func ratioOf(num, den uint64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Render writes the calibration as text.
+func (c *Calibration) Render(w io.Writer) {
+	agree := "AGREE"
+	if !c.BoundAgree {
+		agree = "DISAGREE"
+	}
+	fmt.Fprintf(w, "calibration: predicted %s-bound, measured %s-bound [%s]\n",
+		c.PredictedBound, c.MeasuredBound, agree)
+	fmt.Fprintf(w, "  payload ratio (measured/predicted): gather %.4f, scatter %.4f\n",
+		c.GatherPayloadRatio, c.ScatterPayloadRatio)
+	fmt.Fprintf(w, "  fetch amplification (estimate/payload): gather %.2f×, scatter %.2f×\n",
+		c.GatherAmplification, c.ScatterAmplification)
+	fmt.Fprintf(w, "  critical-path wait fraction: %.1f%%\n", 100*c.WaitFraction)
+	for _, n := range c.Notes {
+		fmt.Fprintf(w, "  ! %s\n", n)
+	}
+}

@@ -493,6 +493,9 @@ type Result struct {
 	Regular exec.Result
 	Stream  exec.Result
 	Speedup float64
+	// Graph is the stream version's dataflow graph, for post-run
+	// analysis (advisor calibration against the critical path).
+	Graph *sdf.Graph
 }
 
 // Run executes both versions on separate machines and verifies the
@@ -523,5 +526,5 @@ func Run(p Params, ecfg exec.Config) (Result, error) {
 	if math.Abs(reg.MaxRes-str.MaxRes) > 1e-9*math.Max(reg.MaxRes, 1) {
 		return Result{}, fmt.Errorf("cdp %s: max residual differs: %v vs %v", p.Name(), reg.MaxRes, str.MaxRes)
 	}
-	return Result{Params: p, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes)}, nil
+	return Result{Params: p, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes), Graph: str.Graph()}, nil
 }

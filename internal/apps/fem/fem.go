@@ -458,6 +458,9 @@ type Result struct {
 	Regular exec.Result
 	Stream  exec.Result
 	Speedup float64
+	// Graph is the stream version's dataflow graph, for post-run
+	// analysis (advisor calibration against the critical path).
+	Graph *sdf.Graph
 }
 
 // Run executes the configuration in both styles on separate machines
@@ -481,7 +484,7 @@ func Run(p Params, ecfg exec.Config) (Result, error) {
 	if err := compareStates("fem "+p.Name(), reg.U.Data, str.U.Data, 1e-9); err != nil {
 		return Result{}, err
 	}
-	return Result{Params: p, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes)}, nil
+	return Result{Params: p, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes), Graph: str.Graph()}, nil
 }
 
 // compareStates checks relative agreement between two runs (scatter-add

@@ -46,6 +46,13 @@ type Params struct {
 	// the serialised-pipeline ablation used by streamtrace and the
 	// stalls experiment.
 	NoDoubleBuffer bool
+	// StripScale rescales the compiler's strip size (0 or 1 = as
+	// chosen). Scales below 1 are always safe; the what-if machinery
+	// uses them for its empirical strip-size re-runs.
+	StripScale float64
+	// SingleCtx runs the stream version on one hardware context (no
+	// gather/compute overlap) — the 1ctx what-if counterfactual.
+	SingleCtx bool
 	// Observer, when non-nil, is attached to this run's machines so
 	// the caller can read their metrics afterwards. Unlike
 	// sim.SetDefaultObserver it is scoped to the run, so concurrent
@@ -59,7 +66,18 @@ func (p Params) compileOptions(srf *svm.SRF) compiler.Options {
 	if p.NoDoubleBuffer {
 		opt.DoubleBuffer = false
 	}
+	opt.StripScale = p.StripScale
 	return opt
+}
+
+// runStream executes the compiled stream program on the mapping the
+// parameters select: both hardware contexts (the paper's default) or a
+// single context for the 1ctx counterfactual.
+func (p Params) runStream(m *sim.Machine, prog *compiler.Program, ecfg exec.Config) (exec.Result, error) {
+	if p.SingleCtx {
+		return exec.RunStream1Ctx(m, prog, ecfg)
+	}
+	return exec.RunStream2Ctx(m, prog, ecfg)
 }
 
 // newMachine builds the machine the benchmark runs on.
@@ -93,6 +111,10 @@ type Result struct {
 	Regular exec.Result
 	Stream  exec.Result
 	Speedup float64
+	// Graph is the stream version's dataflow graph, kept for post-run
+	// analysis (the advisor's static estimate, critical-path
+	// calibration).
+	Graph *sdf.Graph
 }
 
 // compFn is the per-element computation both versions share: a short
@@ -202,7 +224,7 @@ func RunLDST(p Params, ecfg exec.Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	strRes, err := exec.RunStream2Ctx(str.m, prog, ecfg)
+	strRes, err := p.runStream(str.m, prog, ecfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -210,7 +232,7 @@ func RunLDST(p Params, ecfg exec.Config) (Result, error) {
 	if err := checkEqual("LD-ST-COMP", reg.o.Data, str.o.Data); err != nil {
 		return Result{}, err
 	}
-	return Result{Name: "LD-ST-COMP", Params: p, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes)}, nil
+	return Result{Name: "LD-ST-COMP", Params: p, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes), Graph: g}, nil
 }
 
 // gatscatInstance holds one machine's arrays for GAT-SCAT-COMP.
@@ -291,7 +313,7 @@ func RunGATSCAT(p Params, ecfg exec.Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	strRes, err := exec.RunStream2Ctx(str.m, prog, ecfg)
+	strRes, err := p.runStream(str.m, prog, ecfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -299,7 +321,7 @@ func RunGATSCAT(p Params, ecfg exec.Config) (Result, error) {
 	if err := checkEqual("GAT-SCAT-COMP", reg.o.Data, str.o.Data); err != nil {
 		return Result{}, err
 	}
-	return Result{Name: "GAT-SCAT-COMP", Params: p, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes)}, nil
+	return Result{Name: "GAT-SCAT-COMP", Params: p, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes), Graph: g}, nil
 }
 
 // prodconFields is the width of PROD-CON's intermediate record. The
@@ -440,7 +462,7 @@ func RunPRODCON(p Params, ecfg exec.Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	strRes, err := exec.RunStream2Ctx(str.m, prog, ecfg)
+	strRes, err := p.runStream(str.m, prog, ecfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -448,7 +470,7 @@ func RunPRODCON(p Params, ecfg exec.Config) (Result, error) {
 	if err := checkEqual("PROD-CON", reg.o.Data, str.o.Data); err != nil {
 		return Result{}, err
 	}
-	return Result{Name: "PROD-CON", Params: p, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes)}, nil
+	return Result{Name: "PROD-CON", Params: p, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes), Graph: g}, nil
 }
 
 // Runners maps benchmark names to their entry points, for harnesses.

@@ -55,7 +55,7 @@ func RunQuickstart(p Params, ecfg exec.Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	strRes, err := exec.RunStream2Ctx(str.m, prog, ecfg)
+	strRes, err := p.runStream(str.m, prog, ecfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -63,7 +63,7 @@ func RunQuickstart(p Params, ecfg exec.Config) (Result, error) {
 	if err := checkEqual("QUICKSTART", reg.o.Data, str.o.Data); err != nil {
 		return Result{}, err
 	}
-	return Result{Name: "QUICKSTART", Params: p, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes)}, nil
+	return Result{Name: "QUICKSTART", Params: p, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes), Graph: g}, nil
 }
 
 func init() {

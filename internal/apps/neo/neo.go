@@ -317,6 +317,9 @@ type Result struct {
 	// SavedBytes is the intermediate traffic producer-consumer locality
 	// avoided (the paper's elements×144 bytes).
 	SavedBytes uint64
+	// Graph is the stream version's dataflow graph, for post-run
+	// analysis (advisor calibration against the critical path).
+	Graph *sdf.Graph
 }
 
 // Run executes both versions on separate machines and verifies the
@@ -353,5 +356,6 @@ func Run(p Params, ecfg exec.Config) (Result, error) {
 		Stream:     strRes,
 		Speedup:    exec.Speedup(regRes, strRes),
 		SavedBytes: uint64(p.Elements) * IntermediateBytes,
+		Graph:      str.Graph(),
 	}, nil
 }

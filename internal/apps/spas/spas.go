@@ -203,6 +203,9 @@ type Result struct {
 	Regular exec.Result
 	Stream  exec.Result
 	Speedup float64
+	// Graph is the stream version's dataflow graph, for post-run
+	// analysis (advisor calibration against the critical path).
+	Graph *sdf.Graph
 }
 
 // Run executes both versions on separate machines and verifies the
@@ -231,5 +234,5 @@ func Run(p Params, ecfg exec.Config) (Result, error) {
 			return Result{}, fmt.Errorf("spas: y[%d] differs: %v vs %v", i, a, b)
 		}
 	}
-	return Result{Params: p, NNZ: reg.NNZ, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes)}, nil
+	return Result{Params: p, NNZ: reg.NNZ, Regular: regRes, Stream: strRes, Speedup: exec.Speedup(regRes, strRes), Graph: str.Graph()}, nil
 }

@@ -38,6 +38,12 @@ type Options struct {
 	Ops svm.OpConfig
 	// MaxStripElems caps the automatic strip size (0 = no cap).
 	MaxStripElems int
+	// StripScale rescales the strip size after selection (automatic or
+	// forced); 0 or 1 leaves it untouched. Scales below 1 are always
+	// safe; scales above 1 can exceed the SRF budget and fail buffer
+	// allocation. Used by the what-if machinery to re-run an experiment
+	// with smaller strips.
+	StripScale float64
 }
 
 // DefaultOptions returns the configuration used by the evaluation:
@@ -138,6 +144,9 @@ func planPhase(ph *sdf.Phase, opt Options) (*PhasePlan, error) {
 		if opt.MaxStripElems > 0 && s > opt.MaxStripElems {
 			s = opt.MaxStripElems
 		}
+	}
+	if opt.StripScale > 0 && opt.StripScale != 1 {
+		s = int(float64(s)*opt.StripScale + 0.5)
 	}
 	if s > ph.N {
 		s = ph.N

@@ -1,0 +1,261 @@
+package critpath
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamgpp/internal/exec"
+	"streamgpp/internal/wq"
+)
+
+// handBuilt is a 4-task DAG with a known longest path:
+//
+//	g0 (ctx1, [0,100))  ─┬→ k0 (ctx0, [100,300))  ─→ s0 (ctx1, [310,360))
+//	g1 (ctx1, [100,220)) ┘     (k0 deps g0; s0 deps k0)
+//	     (k0 also deps g1 — the later gather binds)
+//
+// k0 is admitted at 5, starts at 100 — but its binding constraint is
+// g1's completion at 220? No: k0 starts at 100, so only g0 gates it.
+// The exact layout below keeps wq semantics (deps complete before
+// start): k0 deps {g0}, runs [100, 300); g1 is an independent gather
+// the path must NOT include; s0 deps {k0}, admitted at 8, starts 310
+// — a 10-cycle gap after k0 (queue dispatch, since it was admitted
+// long before k0 finished... dep k0 ends 300 >= tSer, so dep-wait? The
+// gap classification: s0's Enqueue=8 <= tDep=300, tDep >= tSer (s0's
+// serial pred is g1 ending 220), so the gap [300,310) is dep-wait by
+// the "dependency resolved last" rule.
+//
+// Expected path: queue-wait [2,10) + g0 [10,100) + k0 [100,300) +
+// dep-wait [300,310) + s0 [310,360). Length 358 from base 2.
+func handBuilt() *exec.Trace {
+	return &exec.Trace{Events: []exec.TraceEvent{
+		{Name: "g0#0", Kind: wq.Gather, Ctx: 1, ID: 0, Enqueue: 2, Start: 10, RunStart: 10, End: 100},
+		{Name: "g1#0", Kind: wq.Gather, Ctx: 1, ID: 1, Enqueue: 4, Start: 100, RunStart: 100, End: 220},
+		{Name: "k0#0", Kind: wq.KernelRun, Ctx: 0, ID: 2, Enqueue: 6, Start: 100, RunStart: 100, End: 300, Deps: []int{0}},
+		{Name: "s0#0", Kind: wq.Scatter, Ctx: 1, ID: 3, Enqueue: 8, Start: 310, RunStart: 310, End: 360, Deps: []int{2}},
+	}}
+}
+
+func TestGoldenFourTaskDAG(t *testing.T) {
+	g, err := Build(handBuilt(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Tasks() != 4 || g.Rounds != 1 {
+		t.Fatalf("tasks %d rounds %d", g.Tasks(), g.Rounds)
+	}
+	if g.Base != 2 || g.LastEnd != 360 {
+		t.Fatalf("base %d lastEnd %d", g.Base, g.LastEnd)
+	}
+	p := g.CriticalPath()
+	if p.Length != 358 {
+		t.Fatalf("path length %d, want 358", p.Length)
+	}
+	want := []struct {
+		kind SegKind
+		task string
+		cyc  uint64
+	}{
+		{SegQueueWait, "g0#0", 8},
+		{SegGather, "g0#0", 90},
+		{SegKernel, "k0#0", 200},
+		{SegDepWait, "s0#0", 10},
+		{SegScatter, "s0#0", 50},
+	}
+	if len(p.Segments) != len(want) {
+		t.Fatalf("segments %+v", p.Segments)
+	}
+	for i, w := range want {
+		s := p.Segments[i]
+		if s.Kind != w.kind || s.Task != w.task || s.Cycles() != w.cyc {
+			t.Fatalf("segment %d = %+v, want %+v", i, s, w)
+		}
+	}
+	// The independent gather g1 is not on the path.
+	if _, ok := p.ByTask()["g1"]; ok {
+		t.Fatalf("g1 on the path: %v", p.ByTask())
+	}
+	checkInvariants(t, g, p)
+}
+
+// checkInvariants asserts the structural invariants every path must
+// satisfy: length <= makespan, >= max per-context busy, contiguous
+// segments summing to the length.
+func checkInvariants(t *testing.T, g *Graph, p *Path) {
+	t.Helper()
+	if p.Length > p.Makespan {
+		t.Fatalf("path %d cycles exceeds makespan %d", p.Length, p.Makespan)
+	}
+	if p.Length < p.MaxCtxBusy {
+		t.Fatalf("path %d cycles below max ctx busy %d — the path must cover the busiest context", p.Length, p.MaxCtxBusy)
+	}
+	var sum uint64
+	at := p.Start
+	for i, s := range p.Segments {
+		if s.Start != at {
+			t.Fatalf("segment %d starts at %d, previous ended at %d (path not contiguous)", i, s.Start, at)
+		}
+		if s.End <= s.Start {
+			t.Fatalf("segment %d empty or inverted: %+v", i, s)
+		}
+		sum += s.Cycles()
+		at = s.End
+	}
+	if at != p.End {
+		t.Fatalf("last segment ends at %d, path ends at %d", at, p.End)
+	}
+	if sum != p.Length {
+		t.Fatalf("segments sum to %d, path length %d", sum, p.Length)
+	}
+}
+
+func TestIdentityScenarioIsExact(t *testing.T) {
+	g, err := Build(handBuilt(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := g.Predict(Identity("ident"))
+	if pred.Cycles != 400 || pred.Delta != 0 {
+		t.Fatalf("identity predicted %d cycles (delta %v), want exactly the 400-cycle baseline", pred.Cycles, pred.Delta)
+	}
+}
+
+func TestScenarioRescaling(t *testing.T) {
+	g, err := Build(handBuilt(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kernels twice as fast: k0 runs [100,200); s0's binding edge (dep
+	// on k0, 10-cycle lag) now says 210, but ctx1 is busy with g1 until
+	// 220, so s0 runs [220,270). Last end 360->270: predicted 400-90.
+	pred := g.Predict(Scenario{Name: "kernel=2", Scale: [3]float64{1, 0.5, 1}})
+	if pred.Cycles != 310 {
+		t.Fatalf("kernel x2 predicted %d, want 310", pred.Cycles)
+	}
+	if pred.Delta >= 0 {
+		t.Fatalf("speedup scenario predicted non-negative delta %v", pred.Delta)
+	}
+	// Slower gathers push the whole chain out: g0 [10,190), g1
+	// [190,430), k0 (dep g0, zero lag) [190,390), s0 starts at
+	// max(binding k0 390+10, serial g1 430) = 430, ends 480.
+	// Shift 480-360=+120 -> 520.
+	pred = g.Predict(Scenario{Name: "gather=2", Scale: [3]float64{2, 1, 1}})
+	if pred.Cycles != 520 {
+		t.Fatalf("gather x2 predicted %d, want 520", pred.Cycles)
+	}
+}
+
+func TestSerializePredictsNoOverlap(t *testing.T) {
+	g, err := Build(handBuilt(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential in ID order from base 2: g0 90 + g1 120 + k0 200 +
+	// s0 50 = 460 cycles of work ending at 462; shift 462-360=+102.
+	pred := g.Predict(Scenario{Name: "1ctx", Scale: [3]float64{1, 1, 1}, Serialize: true})
+	if pred.Cycles != 502 {
+		t.Fatalf("serialize predicted %d, want 502", pred.Cycles)
+	}
+}
+
+func TestBuildRejectsBadTraces(t *testing.T) {
+	if _, err := Build(&exec.Trace{}, 0); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	// Dependent starting before its dependency completes.
+	bad := &exec.Trace{Events: []exec.TraceEvent{
+		{Name: "a", Ctx: 0, ID: 0, Start: 0, RunStart: 0, End: 100},
+		{Name: "b", Ctx: 1, ID: 1, Start: 50, RunStart: 50, End: 150, Deps: []int{0}},
+	}}
+	if _, err := Build(bad, 200); err == nil {
+		t.Fatal("dependency-order violation accepted")
+	}
+	// Overlapping tasks on one context.
+	bad = &exec.Trace{Events: []exec.TraceEvent{
+		{Name: "a", Ctx: 0, ID: 0, Start: 0, RunStart: 0, End: 100},
+		{Name: "b", Ctx: 0, ID: 1, Start: 50, RunStart: 50, End: 150},
+	}}
+	if _, err := Build(bad, 200); err == nil {
+		t.Fatal("same-context overlap accepted")
+	}
+}
+
+func TestMultiRoundTraceUsesLastRound(t *testing.T) {
+	tr := handBuilt()
+	// A second round: the same IDs again, later in time (a multi-step
+	// app on a monotone clock).
+	for _, e := range handBuilt().Events {
+		e.Enqueue += 1000
+		e.Start += 1000
+		e.RunStart += 1000
+		e.End += 1000
+		tr.Events = append(tr.Events, e)
+	}
+	g, err := Build(tr, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rounds != 2 || g.Tasks() != 4 {
+		t.Fatalf("rounds %d tasks %d", g.Rounds, g.Tasks())
+	}
+	if g.Base != 1002 || g.LastEnd != 1360 {
+		t.Fatalf("last round not selected: base %d lastEnd %d", g.Base, g.LastEnd)
+	}
+	p := g.CriticalPath()
+	if p.Length != 358 {
+		t.Fatalf("path length %d, want 358", p.Length)
+	}
+	checkInvariants(t, g, p)
+}
+
+func TestRecoverySegment(t *testing.T) {
+	tr := &exec.Trace{Events: []exec.TraceEvent{
+		// A retried gather: claimed at 10, final attempt began at 40.
+		{Name: "g#0", Kind: wq.Gather, Ctx: 1, ID: 0, Enqueue: 0, Start: 10, RunStart: 40, End: 100},
+	}}
+	g, err := Build(tr, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.CriticalPath()
+	by := p.ByKind()
+	if by[SegRecovery] != 30 || by[SegGather] != 60 || by[SegQueueWait] != 10 {
+		t.Fatalf("segments %v", by)
+	}
+	checkInvariants(t, g, p)
+	// Rescaling scales the final attempt, not the recovery prefix.
+	pred := g.Predict(Scenario{Name: "gather=0.5", Scale: [3]float64{0.5, 1, 1}})
+	if pred.Cycles != 90 {
+		t.Fatalf("predicted %d, want 90 (30 fewer gather cycles)", pred.Cycles)
+	}
+}
+
+func TestRenderAndFlatten(t *testing.T) {
+	g, err := Build(handBuilt(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.CriticalPath()
+	var buf bytes.Buffer
+	p.Render(&buf, 3)
+	out := buf.String()
+	for _, want := range []string{"critical path: 358 cycles", "by kind:", "by task", "top 3 segments", "kernel"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	f := p.Flatten()
+	if f["critpath.length"] != 358 || f["critpath.seg.kernel"] != 200 {
+		t.Fatalf("flatten %v", f)
+	}
+	spans := p.Spans(PerfettoTrack)
+	if len(spans) != len(p.Segments) {
+		t.Fatalf("%d spans for %d segments", len(spans), len(p.Segments))
+	}
+	for _, s := range spans {
+		if s.Track != PerfettoTrack {
+			t.Fatalf("span on track %d", s.Track)
+		}
+	}
+}

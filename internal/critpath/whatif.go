@@ -1,0 +1,174 @@
+package critpath
+
+import (
+	"fmt"
+)
+
+// Scenario is one counterfactual over the frozen DAG: per-kind task
+// duration multipliers, optionally with the two-context overlap
+// removed (the 1ctx counterfactual).
+//
+// The prediction is COZ-style virtual speedup made exact: task
+// durations are rescaled and the schedule is replayed through the DAG.
+// Each task's recorded scheduling lag (the gap between its binding
+// predecessor's completion and its own start: dispatch latency,
+// admission delay) is carried on that binding edge only — slack
+// predecessors contribute just their completion, because their
+// recorded slack was an artefact of the old timing, not a constraint.
+// The identity scenario therefore reproduces the original schedule
+// exactly. What rescaling deliberately does NOT model: contention
+// changes (a faster memory system changes bus queueing, which changes
+// durations beyond the applied scale) and schedule changes (the work
+// queue might pick a different ready order). The empirical cross-check
+// in bench quantifies that gap.
+type Scenario struct {
+	Name string
+	// Scale multiplies the duration of tasks of each wq.Kind
+	// (gather, kernel, scatter). 1.0 leaves a kind untouched.
+	Scale [3]float64
+	// Serialize predicts the single-context mapping: every task runs
+	// in schedule (ID) order on one context with no overlap, keeping
+	// dependency edges but dropping the recorded scheduling lags (the
+	// sequential executor has no admission or dispatch delay).
+	Serialize bool
+}
+
+// Identity returns the no-change scenario, which must predict exactly
+// the recorded makespan.
+func Identity(name string) Scenario {
+	return Scenario{Name: name, Scale: [3]float64{1, 1, 1}}
+}
+
+// Prediction is the analytical outcome of one scenario.
+type Prediction struct {
+	Scenario string
+	// Baseline is the recorded makespan; Cycles the predicted one.
+	Baseline uint64
+	Cycles   uint64
+	// Delta is (Cycles-Baseline)/Baseline: negative for a predicted
+	// speedup. Exactly 0 for the identity scenario.
+	Delta float64
+}
+
+func (p Prediction) String() string {
+	return fmt.Sprintf("%s: %d -> %d cycles (%+.2f%%)", p.Scenario, p.Baseline, p.Cycles, 100*p.Delta)
+}
+
+// scaleDur rescales one task duration, rounding to nearest.
+func scaleDur(dur uint64, scale float64) uint64 {
+	if scale == 1 {
+		return dur
+	}
+	if scale < 0 {
+		scale = 0
+	}
+	return uint64(float64(dur)*scale + 0.5)
+}
+
+// newDur returns a node's rescaled duration: the final attempt scaled
+// by its kind's factor, the recovery prefix unscaled (retries re-run
+// the work, so they scale too — but recovery time is dominated by the
+// injected re-executions which the scale already covers; keeping the
+// recorded recovery length keeps the identity scenario exact).
+func (s Scenario) newDur(n *node) uint64 {
+	return scaleDur(n.ev.End-n.runStart, s.Scale[n.ev.Kind]) + (n.runStart - n.ev.Start)
+}
+
+// Predict replays the frozen DAG under the scenario and returns the
+// predicted makespan. The prediction shifts the recorded makespan by
+// the change in the round's last completion, so startup and drain
+// cycles outside the task DAG are carried through unchanged.
+func (g *Graph) Predict(s Scenario) Prediction {
+	p := Prediction{Scenario: s.Name, Baseline: g.Makespan, Cycles: g.Makespan}
+	if len(g.nodes) == 0 {
+		return p
+	}
+	newEnd := make([]uint64, len(g.nodes))
+	var predLast uint64
+	if s.Serialize {
+		// Schedule order on one context: admission order is task-ID
+		// order, each task starts when its predecessor in the chain
+		// and all its dependencies have finished.
+		order := make([]int, len(g.nodes))
+		for i := range order {
+			order[i] = i
+		}
+		sortByID(g, order)
+		prev := g.Base
+		for _, i := range order {
+			start := prev
+			for _, j := range g.nodes[i].deps {
+				if newEnd[j] > start {
+					start = newEnd[j]
+				}
+			}
+			newEnd[i] = start + s.newDur(&g.nodes[i])
+			prev = newEnd[i]
+			if newEnd[i] > predLast {
+				predLast = newEnd[i]
+			}
+		}
+	} else {
+		// Forward pass in topological order. The recorded lag rides
+		// the binding edge only; slack predecessors contribute their
+		// completion without it. Unchanged durations then reproduce
+		// the recorded schedule exactly (the binding edge's end plus
+		// lag equals the recorded start, and every slack predecessor
+		// finished at or before it).
+		for i := range g.nodes {
+			n := &g.nodes[i]
+			e := n.ev
+			start := e.Start // chain heads keep their recorded start
+			if binding, _, _, _ := g.bindingPred(n); binding >= 0 {
+				start = newEnd[binding] + (e.Start - g.nodes[binding].ev.End)
+				if j := n.serial; j >= 0 && newEnd[j] > start {
+					start = newEnd[j]
+				}
+				for _, j := range n.deps {
+					if newEnd[j] > start {
+						start = newEnd[j]
+					}
+				}
+			}
+			newEnd[i] = start + s.newDur(n)
+			if newEnd[i] > predLast {
+				predLast = newEnd[i]
+			}
+		}
+	}
+	shift := int64(predLast) - int64(g.LastEnd)
+	pred := int64(g.Makespan) + shift
+	if pred < 0 {
+		pred = 0
+	}
+	p.Cycles = uint64(pred)
+	if g.Makespan > 0 {
+		p.Delta = (float64(p.Cycles) - float64(g.Makespan)) / float64(g.Makespan)
+	}
+	return p
+}
+
+// sortByID orders node indices by task ID (schedule order).
+func sortByID(g *Graph, idx []int) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && g.nodes[idx[j]].ev.ID < g.nodes[idx[j-1]].ev.ID; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+// KindScales derives per-kind duration multipliers from two measured
+// per-kind busy totals (exec.Result.KindCycles): the scale that, on
+// aggregate, the knob change applied to each task kind. Used by the
+// what-if driver for knobs whose per-task effect is not known a priori
+// (DRAM latency, strip size). Kinds with no recorded cycles keep 1.
+func KindScales(base, changed [3]uint64) [3]float64 {
+	var s [3]float64
+	for k := range s {
+		s[k] = 1
+		if base[k] > 0 {
+			s[k] = float64(changed[k]) / float64(base[k])
+		}
+	}
+	return s
+}

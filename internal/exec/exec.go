@@ -136,14 +136,16 @@ func newStripRetrier(m *sim.Machine, cfg Config, rec *RecoverySummary, ts *tlSam
 }
 
 // run executes t, retrying while the injector faults it. A non-nil
-// RunError means the retry budget is exhausted.
-func (sr stripRetrier) run(c *sim.CPU, t *wq.Task) *RunError {
+// RunError means the retry budget is exhausted. lastStart is the start
+// cycle of the final attempt; everything before it is recovery time.
+func (sr stripRetrier) run(c *sim.CPU, t *wq.Task) (lastStart uint64, rerr *RunError) {
 	attempts := 0
 	for {
+		lastStart = c.Now()
 		t.Run(c)
 		attempts++
 		if sr.inj == nil {
-			return nil
+			return lastStart, nil
 		}
 		var k fault.Kind
 		switch t.Kind {
@@ -152,14 +154,14 @@ func (sr stripRetrier) run(c *sim.CPU, t *wq.Task) *RunError {
 		case wq.KernelRun:
 			k = fault.KernelFault
 		default:
-			return nil // scatters are the commit point: never injected
+			return lastStart, nil // scatters are the commit point: never injected
 		}
 		if !sr.inj.Roll(k, c.Now()) {
-			return nil
+			return lastStart, nil
 		}
 		sr.inj.Annotate(t.Name)
 		if attempts > sr.limit {
-			return &RunError{Op: "retry", Task: t.Name, Kind: t.Kind.String(),
+			return lastStart, &RunError{Op: "retry", Task: t.Name, Kind: t.Kind.String(),
 				Phase: t.Phase, Strip: t.Strip, Ctx: c.ID(), Cycle: c.Now(),
 				Attempts: attempts, Err: ErrRetriesExhausted}
 		}
@@ -323,7 +325,8 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 		}
 		before := c.Now()
 		ts.taskStart(t.Kind, before)
-		if e := sr.run(c, &t); e != nil {
+		runStart, e := sr.run(c, &t)
+		if e != nil {
 			ts.taskEnd(t.Kind, c.Now(), q)
 			abort(e)
 			c.Signal(work)
@@ -331,8 +334,13 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 		}
 		kindCycles[t.Kind] += c.Now() - before
 		if cfg.Trace != nil {
-			cfg.Trace.record(TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(),
-				Phase: t.Phase, Strip: t.Strip, Start: before, End: c.Now()})
+			ev := TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(),
+				Phase: t.Phase, Strip: t.Strip, Start: before, End: c.Now(),
+				ID: t.ID, RunStart: runStart, Enqueue: before, Deps: t.Deps}
+			if ad, ok := cfg.Trace.takeAdmission(t.ID); ok {
+				ev.Enqueue, ev.Deps = ad.t, ad.deps
+			}
+			cfg.Trace.record(ev)
 		}
 		q.Complete(slot)
 		ts.taskEnd(t.Kind, c.Now(), q)
@@ -385,6 +393,15 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 						abort(&RunError{Op: "enqueue", Task: t.Name, Kind: t.Kind.String(),
 							Phase: t.Phase, Strip: t.Strip, Ctx: c.ID(), Cycle: c.Now(), Err: err})
 						break
+					}
+					if cfg.Trace != nil {
+						// Admission provenance for the critical-path
+						// profiler: when the task entered the queue and
+						// which dependencies were still live (read back
+						// from the slot bit-vector, so dependencies on
+						// already-completed tasks are excluded).
+						t := &p.Tasks[next]
+						cfg.Trace.noteAdmission(t.ID, c.Now(), q.LiveDeps(t.ID))
 					}
 					c.Compute(int64(cfg.ControlOverheadCycles))
 					next++
@@ -511,7 +528,8 @@ func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, err
 			t := &p.Tasks[i]
 			before := c.Now()
 			ts.taskStart(t.Kind, before)
-			if e := sr.run(c, t); e != nil {
+			runStart, e := sr.run(c, t)
+			if e != nil {
 				ts.taskEnd(t.Kind, c.Now(), nil)
 				rerr = e
 				return
@@ -519,8 +537,13 @@ func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, err
 			kindCycles[t.Kind] += c.Now() - before
 			ts.taskEnd(t.Kind, c.Now(), nil)
 			if cfg.Trace != nil {
+				// Sequential schedule: admission and start coincide, and
+				// the declared dependencies are the recorded edges (every
+				// predecessor has already run, so none are live — but the
+				// profiler still uses them as the DAG's structure).
 				cfg.Trace.record(TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(),
-					Phase: t.Phase, Strip: t.Strip, Start: before, End: c.Now()})
+					Phase: t.Phase, Strip: t.Strip, Start: before, End: c.Now(),
+					ID: t.ID, RunStart: runStart, Enqueue: before, Deps: t.Deps})
 			}
 		}
 	})

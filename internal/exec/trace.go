@@ -11,7 +11,9 @@ import (
 )
 
 // TraceEvent records one task execution on one hardware context, with
-// phase/strip attribution from the compiled schedule.
+// phase/strip attribution from the compiled schedule and enough DAG
+// provenance (ID, live dependencies, admission cycle) for the
+// critical-path profiler to reconstruct the schedule exactly.
 type TraceEvent struct {
 	Name       string
 	Kind       wq.Kind
@@ -19,6 +21,31 @@ type TraceEvent struct {
 	Phase      int
 	Strip      int
 	Start, End uint64
+
+	// ID is the task's schedule ID (wq.Task.ID). Multi-step apps reuse
+	// IDs across steps; critpath splits such traces into rounds.
+	ID int
+	// Deps are the dependency task IDs that were still live (not yet
+	// completed) when the task was admitted to the work queue — the
+	// edges that could actually have constrained the schedule. Recorded
+	// from wq.LiveDeps on the two-context path; the declared Deps on
+	// the sequential path.
+	Deps []int
+	// Enqueue is the cycle the control thread admitted the task to the
+	// work queue. On the sequential path admission and start coincide.
+	Enqueue uint64
+	// RunStart is the start cycle of the final (successful) execution
+	// attempt; [Start, RunStart) is time lost to injected-fault retries
+	// and is attributed to recovery on the critical path. Equal to
+	// Start when the task ran clean.
+	RunStart uint64
+}
+
+// admission is the queue-entry provenance noted by the control thread,
+// joined to the completion-time TraceEvent by task ID.
+type admission struct {
+	t    uint64
+	deps []int
 }
 
 // CounterSample is one point of a time-series counter recorded during
@@ -37,6 +64,12 @@ type CounterSample struct {
 type Trace struct {
 	Events   []TraceEvent
 	Counters []CounterSample
+
+	// admissions holds queue-entry provenance keyed by task ID between
+	// the control thread's enqueue and the executing thread's
+	// completion record. Entries are consumed (deleted) when joined, so
+	// ID reuse across steps pairs each admission with its own round.
+	admissions map[int]admission
 }
 
 // Reserve grows the event and counter buffers to hold at least the
@@ -57,6 +90,24 @@ func (tr *Trace) Reserve(events, counters int) {
 
 // record appends one event.
 func (tr *Trace) record(e TraceEvent) { tr.Events = append(tr.Events, e) }
+
+// noteAdmission records when the control thread admitted a task and
+// which of its dependencies were still live at that moment.
+func (tr *Trace) noteAdmission(id int, t uint64, deps []int) {
+	if tr.admissions == nil {
+		tr.admissions = make(map[int]admission)
+	}
+	tr.admissions[id] = admission{t: t, deps: deps}
+}
+
+// takeAdmission consumes the admission note for a task ID, if any.
+func (tr *Trace) takeAdmission(id int) (admission, bool) {
+	ad, ok := tr.admissions[id]
+	if ok {
+		delete(tr.admissions, id)
+	}
+	return ad, ok
+}
 
 // sample appends one counter point.
 func (tr *Trace) sample(name string, t uint64, v float64) {
@@ -120,10 +171,11 @@ func (tr *Trace) ByPhase() map[int]uint64 {
 	return out
 }
 
-// baseName removes a recognised strip suffix — "#<n>" or ".<n>" — from
+// BaseName removes a recognised strip suffix — "#<n>" or ".<n>" — from
 // a task name. Names that merely end in digits (an operation called
-// "fft2", say) pass through untouched.
-func baseName(name string) string {
+// "fft2", say) pass through untouched. It is the grouping key for
+// per-operation aggregation here and in the critical-path profiler.
+func BaseName(name string) string {
 	i := strings.LastIndexAny(name, "#.")
 	if i < 0 || i == len(name)-1 {
 		return name
@@ -141,7 +193,7 @@ func baseName(name string) string {
 func (tr *Trace) ByName() map[string]uint64 {
 	out := map[string]uint64{}
 	for _, e := range tr.Events {
-		out[baseName(e.Name)] += e.End - e.Start
+		out[BaseName(e.Name)] += e.End - e.Start
 	}
 	return out
 }
@@ -346,6 +398,32 @@ func (tr *Trace) Spans() []obs.Span {
 	return spans
 }
 
+// Flows derives the dependency arrows of the trace: one obs.Flow per
+// recorded live dependency, from the producer's end to the dependent's
+// start. Events are scanned in recorded (completion) order, so in a
+// trace with reused task IDs (multi-step apps) each dependent binds to
+// the most recent completion of its producer — its own round.
+func (tr *Trace) Flows() []obs.Flow {
+	last := map[int]int{} // task ID → index of latest completed event
+	var flows []obs.Flow
+	for i, e := range tr.Events {
+		for _, d := range e.Deps {
+			pi, ok := last[d]
+			if !ok {
+				continue
+			}
+			p := tr.Events[pi]
+			flows = append(flows, obs.Flow{
+				Name:      fmt.Sprintf("%s->%s", p.Name, e.Name),
+				FromTrack: p.Ctx, FromT: p.End,
+				ToTrack: e.Ctx, ToT: e.Start,
+			})
+		}
+		last[e.ID] = i
+	}
+	return flows
+}
+
 // WritePerfetto exports the trace as Chrome trace_event JSON, loadable
 // at ui.perfetto.dev: one track per hardware context plus a work-queue
 // depth counter track. label names the process; cyclesPerUsec scales
@@ -361,6 +439,14 @@ func (tr *Trace) WritePerfetto(w io.Writer, label string, cyclesPerUsec float64)
 // efficiency, recovery events). Pass a nil timeline to export the
 // trace's own counters only.
 func (tr *Trace) WritePerfettoTimeline(w io.Writer, label string, cyclesPerUsec float64, tl *obs.Timeline) error {
+	return tr.WritePerfettoExtra(w, label, cyclesPerUsec, tl, nil, nil)
+}
+
+// WritePerfettoExtra is WritePerfettoTimeline with caller-supplied
+// extra tracks and spans appended — the critical-path profiler uses it
+// to add a dedicated track highlighting the longest path through the
+// run. Dependency edges are always exported as flow arrows.
+func (tr *Trace) WritePerfettoExtra(w io.Writer, label string, cyclesPerUsec float64, tl *obs.Timeline, extraTracks map[int]string, extraSpans []obs.Span) error {
 	tracks := map[int]string{}
 	for _, e := range tr.Events {
 		if _, ok := tracks[e.Ctx]; !ok {
@@ -374,14 +460,21 @@ func (tr *Trace) WritePerfettoTimeline(w io.Writer, label string, cyclesPerUsec 
 			tracks[e.Ctx] = name
 		}
 	}
+	for t, name := range extraTracks {
+		tracks[t] = name
+	}
 	counters := make([]obs.CounterPoint, 0, len(tr.Counters))
 	for _, c := range tr.Counters {
 		counters = append(counters, obs.CounterPoint{Name: c.Name, T: c.T, V: c.V})
 	}
 	counters = append(counters, tl.CounterPoints()...)
-	return obs.WriteTraceEvents(w, obs.TraceMeta{
+	spans := tr.Spans()
+	if len(extraSpans) > 0 {
+		spans = append(spans, extraSpans...)
+	}
+	return obs.WriteTraceEventsFlows(w, obs.TraceMeta{
 		Process:       label,
 		Tracks:        tracks,
 		CyclesPerUsec: cyclesPerUsec,
-	}, tr.Spans(), counters)
+	}, spans, counters, tr.Flows())
 }

@@ -25,8 +25,8 @@ func TestByNameStripsOnlyRecognisedSuffixes(t *testing.T) {
 		"#3":        "", // pure strip suffix
 	}
 	for in, want := range cases {
-		if got := baseName(in); got != want {
-			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		if got := BaseName(in); got != want {
+			t.Errorf("BaseName(%q) = %q, want %q", in, got, want)
 		}
 	}
 
@@ -124,6 +124,8 @@ type traceFile struct {
 		Dur  float64        `json:"dur"`
 		Pid  int            `json:"pid"`
 		Tid  int            `json:"tid"`
+		ID   int            `json:"id"`
+		BP   string         `json:"bp"`
 		Args map[string]any `json:"args"`
 	} `json:"traceEvents"`
 	DisplayTimeUnit string `json:"displayTimeUnit"`
@@ -184,6 +186,66 @@ func TestPerfettoExport(t *testing.T) {
 	}
 	if threadNames != 2 {
 		t.Fatalf("%d thread_name metadata events, want 2", threadNames)
+	}
+}
+
+// Dependency flow events: every recorded dep edge must export as an
+// "s"/"f" pair joining the producer's completion to the consumer's
+// start, on matching ids, never travelling backwards in time.
+func TestPerfettoFlowEvents(t *testing.T) {
+	s := newFig2(20000, 8)
+	p, err := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Defaults()
+	tr := &Trace{}
+	cfg.Trace = tr
+	mustRun2(t, s.m, p, cfg)
+
+	flows := tr.Flows()
+	if len(flows) == 0 {
+		t.Fatal("no dependency flows recorded (fig2 kernels depend on gathers)")
+	}
+	for _, f := range flows {
+		if f.ToT < f.FromT {
+			t.Fatalf("flow %q travels backwards: %d -> %d", f.Name, f.FromT, f.ToT)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf, "fig2", 3400); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	starts := map[int]float64{}
+	var ends int
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "s":
+			if e.Cat != "dep" || e.ID == 0 {
+				t.Fatalf("flow start %+v lacks cat/id", e)
+			}
+			starts[e.ID] = e.Ts
+		case "f":
+			if e.BP != "e" {
+				t.Fatalf("flow end %+v must bind to the enclosing slice (bp=e)", e)
+			}
+			from, ok := starts[e.ID]
+			if !ok {
+				t.Fatalf("flow end id %d has no start", e.ID)
+			}
+			if e.Ts < from {
+				t.Fatalf("flow id %d ends at %v before start %v", e.ID, e.Ts, from)
+			}
+			ends++
+		}
+	}
+	if len(starts) != len(flows) || ends != len(flows) {
+		t.Fatalf("%d starts / %d ends for %d flows", len(starts), ends, len(flows))
 	}
 }
 

@@ -33,6 +33,19 @@ type CounterPoint struct {
 	V    float64
 }
 
+// Flow is one dependency arrow between two spans: Perfetto draws a line
+// from (FromTrack, FromT) to (ToTrack, ToT). The exporter emits it as an
+// "s"/"f" flow-event pair sharing one id, which the viewer binds to the
+// slices enclosing those points — so task-DAG edges become visible
+// arrows instead of invisible metadata.
+type Flow struct {
+	Name      string
+	FromTrack int
+	FromT     uint64 // cycles (producer's end)
+	ToTrack   int
+	ToT       uint64 // cycles (consumer's start)
+}
+
 // TraceMeta names the process and tracks of an exported trace.
 type TraceMeta struct {
 	// Process names the single process of the trace (pid 0).
@@ -56,6 +69,8 @@ type traceEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"` // flow binding point ("e" on "f" events)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -71,13 +86,20 @@ type traceFile struct {
 // one named thread per track, complete ("X") events for spans and
 // counter ("C") events for time series.
 func WriteTraceEvents(w io.Writer, meta TraceMeta, spans []Span, counters []CounterPoint) error {
+	return WriteTraceEventsFlows(w, meta, spans, counters, nil)
+}
+
+// WriteTraceEventsFlows is WriteTraceEvents plus dependency arrows:
+// every Flow becomes an "s"/"f" flow-event pair so the viewer renders
+// the task DAG's edges between the spans they connect.
+func WriteTraceEventsFlows(w io.Writer, meta TraceMeta, spans []Span, counters []CounterPoint, flows []Flow) error {
 	scale := meta.CyclesPerUsec
 	if scale <= 0 {
 		scale = 1
 	}
 	toUs := func(cycles uint64) float64 { return float64(cycles) / scale }
 
-	events := make([]traceEvent, 0, len(spans)+len(counters)+len(meta.Tracks)+1)
+	events := make([]traceEvent, 0, len(spans)+len(counters)+2*len(flows)+len(meta.Tracks)+1)
 	process := meta.Process
 	if process == "" {
 		process = "streamgpp"
@@ -122,6 +144,16 @@ func WriteTraceEvents(w io.Writer, meta TraceMeta, spans []Span, counters []Coun
 			Name: c.Name, Ph: "C", Ts: toUs(c.T), Pid: 0, Tid: 0,
 			Args: map[string]any{"value": c.V},
 		})
+	}
+	for i, f := range flows {
+		// "s" starts the flow inside the producer's slice, "f" with
+		// binding point "e" (enclosing) ends it inside the consumer's;
+		// the shared id pairs them.
+		events = append(events,
+			traceEvent{Name: f.Name, Cat: "dep", Ph: "s",
+				Ts: toUs(f.FromT), Pid: 0, Tid: f.FromTrack, ID: i + 1},
+			traceEvent{Name: f.Name, Cat: "dep", Ph: "f", BP: "e",
+				Ts: toUs(f.ToT), Pid: 0, Tid: f.ToTrack, ID: i + 1})
 	}
 
 	enc := json.NewEncoder(w)

@@ -330,6 +330,28 @@ func (q *DWQ) Complete(slotIdx int) {
 	}
 }
 
+// LiveDeps returns the dependency task IDs still gating the in-flight
+// task — the subset of its declared Deps that had not completed when it
+// was enqueued, read back from the slot's dependence bit-vector and the
+// per-bit ID provenance. Called right after Enqueue it is exact; later
+// calls see only the bits that remain set. The critical-path profiler
+// records this at admission time as the task's true gating edges
+// (dependencies on already-completed tasks never constrain the
+// schedule). Returns nil when the ID is not in flight.
+func (q *DWQ) LiveDeps(id int) []int {
+	si, ok := q.byID[id]
+	if !ok {
+		return nil
+	}
+	s := &q.slots[si]
+	var out []int
+	for b := s.deps.NextSet(0); b >= 0; b = s.deps.NextSet(b + 1) {
+		out = append(out, s.depID[b])
+	}
+	sort.Ints(out)
+	return out
+}
+
 // PendingIn counts tasks waiting (not running) in the given queue.
 func (q *DWQ) PendingIn(qid QueueID) int {
 	return q.pending[qid].Count()
