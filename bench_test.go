@@ -20,9 +20,29 @@ import (
 	"streamgpp/internal/cluster"
 	"streamgpp/internal/compiler"
 	"streamgpp/internal/exec"
+	"streamgpp/internal/obs"
 	"streamgpp/internal/sim"
 	"streamgpp/internal/svm"
 )
+
+// reportCoverage re-runs the workload once, untimed, with a metrics
+// registry attached, and reports the stream run's fast-path coverage %
+// (what fraction of bulk accesses the simulator's fast path served).
+// The timed iterations run observer-free so the instrumentation cannot
+// distort ns/op; the extra run is deterministic, so its coverage is
+// exactly the timed runs' coverage.
+func reportCoverage(b *testing.B, fn func() error) {
+	b.Helper()
+	b.StopTimer()
+	defer b.StartTimer()
+	reg := obs.NewRegistry()
+	sim.SetDefaultObserver(reg)
+	defer sim.SetDefaultObserver(nil)
+	if err := fn(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(reg.Gauge("coverage.fastpath_pct").Value(), "fastpath-cov-pct")
+}
 
 // TestMain lets the wall-clock benchmarks measure the simulator with
 // its bulk fast path disabled (STREAMGPP_FASTPATH=off), so before/after
@@ -79,6 +99,10 @@ func benchMicro(b *testing.B, run func(micro.Params, exec.Config) (micro.Result,
 	}
 	b.ReportMetric(last.Speedup, "speedup")
 	b.ReportMetric(float64(last.Stream.Cycles), "sim-cycles")
+	reportCoverage(b, func() error {
+		_, err := run(micro.Params{N: 100000, Comp: comp, Seed: 9}, exec.Defaults())
+		return err
+	})
 }
 
 // BenchmarkFig9* sweep the three micro-benchmarks at the knee points of
@@ -104,6 +128,10 @@ func benchFEM(b *testing.B, p fem.Params) {
 	}
 	b.ReportMetric(last.Speedup, "speedup")
 	b.ReportMetric(float64(last.Stream.Cycles), "sim-cycles")
+	reportCoverage(b, func() error {
+		_, err := fem.Run(p, exec.Defaults())
+		return err
+	})
 }
 
 func BenchmarkFig11aFEMEulerLin(b *testing.B)  { benchFEM(b, fem.EulerLin) }
@@ -125,6 +153,10 @@ func benchCDP(b *testing.B, p cdp.Params) {
 	}
 	b.ReportMetric(last.Speedup, "speedup")
 	b.ReportMetric(float64(last.Stream.Cycles), "sim-cycles")
+	reportCoverage(b, func() error {
+		_, err := cdp.Run(p, exec.Defaults())
+		return err
+	})
 }
 
 func BenchmarkFig11bCDP4n4096(b *testing.B) { benchCDP(b, cdp.Grid4n4096) }
@@ -145,6 +177,10 @@ func BenchmarkFig11cNeo(b *testing.B) {
 	b.ReportMetric(last.Speedup, "speedup")
 	b.ReportMetric(float64(last.SavedBytes), "saved-bytes")
 	b.ReportMetric(float64(last.Stream.Cycles), "sim-cycles")
+	reportCoverage(b, func() error {
+		_, err := neo.Run(neo.Params{Elements: 32768, Seed: 11}, exec.Defaults())
+		return err
+	})
 }
 
 // BenchmarkFig11dSPAS* run the SpMV comparison at a cache-resident and
@@ -161,6 +197,10 @@ func benchSPAS(b *testing.B, rows int) {
 	}
 	b.ReportMetric(last.Speedup, "speedup")
 	b.ReportMetric(float64(last.Stream.Cycles), "sim-cycles")
+	reportCoverage(b, func() error {
+		_, err := spas.Run(spas.Params{Rows: rows, NNZPerRow: spas.PaperNNZPerRow, Seed: 13}, exec.Defaults())
+		return err
+	})
 }
 
 func BenchmarkFig11dSPASSmall(b *testing.B) { benchSPAS(b, 2000) }

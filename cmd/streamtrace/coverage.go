@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"streamgpp/internal/obs"
+	"streamgpp/internal/sim"
+)
+
+// This file builds the -coverage report: why the simulator's bulk fast
+// path did or did not serve each access (sim/coverage.go's bail
+// taxonomy), and where the run's memory traffic went per level
+// (obs.BandwidthReport). Both are pure functions of the flattened
+// metrics map, so the same builders serve the text report, the -json
+// object and tests — and could re-derive a report from a ledger
+// entry's Metrics after the fact.
+
+// coverageReport is the -coverage JSON object. All counter-valued
+// fields are float64 because they come from the flattened gauge map.
+type coverageReport struct {
+	FastAccesses float64 `json:"fast_accesses"`
+	SlowAccesses float64 `json:"slow_accesses"`
+	FastPct      float64 `json:"fastpath_pct"`
+	BatchedIters float64 `json:"batched_iters"`
+	// Bails maps every bail reason (always all of them, so the schema
+	// is fixed) to its event count.
+	Bails map[string]float64 `json:"bails"`
+	// DominantBail names the largest bail counter, "" when no bails.
+	DominantBail string `json:"dominant_bail,omitempty"`
+	// SeqElems/IndexedElems split the svm layer's gather+scatter
+	// elements by access pattern; indexed elements can never batch.
+	SeqElems     float64 `json:"seq_elems"`
+	IndexedElems float64 `json:"indexed_elems"`
+	// Arrays lists per-array traffic, heaviest first.
+	Arrays []coverageArray `json:"arrays,omitempty"`
+	// Bandwidth is the per-level traffic and roofline summary.
+	Bandwidth obs.BandwidthReport `json:"bandwidth"`
+}
+
+// coverageArray is one array's traffic split.
+type coverageArray struct {
+	Name         string  `json:"name"`
+	Elems        float64 `json:"elems"`
+	IndexedElems float64 `json:"indexed_elems"`
+}
+
+// dominantBail returns the largest bail counter's reason name, with
+// ties going to the earlier reason in declaration order ("" when every
+// counter is zero).
+func dominantBail(bails map[string]float64) string {
+	best, bestV := "", 0.0
+	for _, r := range sim.BailReasons() {
+		if v := bails[r.String()]; v > bestV {
+			best, bestV = r.String(), v
+		}
+	}
+	return best
+}
+
+// newCoverageReport derives the report from a flattened metrics map
+// (obs.FlattenSnapshot of the run's registry), the stream run's total
+// cycles and the machine configuration (for the roofline peak).
+func newCoverageReport(metrics map[string]float64, streamCycles uint64, cfg sim.Config) coverageReport {
+	rep := coverageReport{
+		FastAccesses: metrics["coverage.fast_accesses"],
+		SlowAccesses: metrics["coverage.slow_accesses"],
+		FastPct:      metrics["coverage.fastpath_pct"],
+		BatchedIters: metrics["coverage.batched_iters"],
+		Bails:        map[string]float64{},
+		SeqElems:     metrics["svm.gather.seq_elems"] + metrics["svm.scatter.seq_elems"],
+		IndexedElems: metrics["svm.gather.indexed_elems"] + metrics["svm.scatter.indexed_elems"],
+		Bandwidth: obs.NewBandwidthReport(metrics, streamCycles,
+			cfg.BusBytesPerCycle*cfg.BusEff),
+	}
+	for _, r := range sim.BailReasons() {
+		rep.Bails[r.String()] = metrics["coverage.bail."+r.String()]
+	}
+	rep.DominantBail = dominantBail(rep.Bails)
+	for key, v := range metrics {
+		name, ok := strings.CutPrefix(key, "coverage.array.")
+		if !ok {
+			continue
+		}
+		name, ok = strings.CutSuffix(name, ".elems")
+		if !ok || strings.HasSuffix(name, ".indexed") {
+			continue
+		}
+		rep.Arrays = append(rep.Arrays, coverageArray{
+			Name:         name,
+			Elems:        v,
+			IndexedElems: metrics["coverage.array."+name+".indexed_elems"],
+		})
+	}
+	sort.Slice(rep.Arrays, func(i, j int) bool {
+		if rep.Arrays[i].Elems != rep.Arrays[j].Elems {
+			return rep.Arrays[i].Elems > rep.Arrays[j].Elems
+		}
+		return rep.Arrays[i].Name < rep.Arrays[j].Name
+	})
+	return rep
+}
+
+// Render writes the human-readable coverage report.
+func (r coverageReport) Render(w io.Writer) {
+	total := r.FastAccesses + r.SlowAccesses
+	fmt.Fprintf(w, "  fast path served %.0f of %.0f accesses (%.1f%%), %.0f batched iterations\n",
+		r.FastAccesses, total, r.FastPct, r.BatchedIters)
+	if r.SeqElems+r.IndexedElems > 0 {
+		fmt.Fprintf(w, "  bulk elements: %.0f sequential, %.0f indexed (indexed can never batch)\n",
+			r.SeqElems, r.IndexedElems)
+	}
+	fmt.Fprintln(w, "  bail reasons (why accesses fell off the fast path):")
+	for _, reason := range sim.BailReasons() {
+		v := r.Bails[reason.String()]
+		if v == 0 {
+			continue
+		}
+		mark := " "
+		if reason.String() == r.DominantBail {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "   %s %-14s %12.0f\n", mark, reason.String(), v)
+	}
+	if r.DominantBail == "" {
+		fmt.Fprintln(w, "    (none)")
+	} else {
+		fmt.Fprintf(w, "  dominant bail: %s\n", r.DominantBail)
+	}
+	if len(r.Arrays) > 0 {
+		fmt.Fprintln(w, "  per-array elements (indexed fraction):")
+		for _, a := range r.Arrays {
+			frac := 0.0
+			if a.Elems > 0 {
+				frac = 100 * a.IndexedElems / a.Elems
+			}
+			fmt.Fprintf(w, "    %-16s %12.0f  %5.1f%% indexed\n", a.Name, a.Elems, frac)
+		}
+	}
+	fmt.Fprintln(w, "  bandwidth by level:")
+	r.Bandwidth.Render(w)
+}

@@ -117,6 +117,8 @@ func main() {
 	topk := flag.Int("topk", 5, "longest individual critical-path segments to list with -critpath")
 	jsonOut := flag.Bool("json", false,
 		"emit one machine-readable JSON object (stall report + critical-path summary, ledger flatten conventions) instead of the text report")
+	covflag := flag.Bool("coverage", false,
+		"report fast-path coverage (which accesses the bulk fast path served, and why the rest bailed) and per-level bandwidth attribution")
 	flag.Parse()
 
 	if *list {
@@ -266,6 +268,18 @@ func main() {
 		})
 	}
 
+	flat := obs.FlattenSnapshot(reg.Snapshot())
+	var cov *coverageReport
+	if *covflag || *jsonOut {
+		c := newCoverageReport(flat, stream.Cycles, sim.PentiumD8300())
+		cov = &c
+		if cpath != nil && cov.DominantBail != "" {
+			// Dep-wait segments name why the work they waited on was
+			// slow, in both the text report and the Perfetto export.
+			cpath.AnnotateDepWaits(cov.DominantBail)
+		}
+	}
+
 	if *jsonOut {
 		report := struct {
 			App               string               `json:"app"`
@@ -279,6 +293,7 @@ func main() {
 			CritpathBound     string               `json:"critpath_bound"`
 			CritpathByTask    map[string]uint64    `json:"critpath_by_task"`
 			Calibration       *advisor.Calibration `json:"calibration,omitempty"`
+			Coverage          *coverageReport      `json:"coverage,omitempty"`
 			Metrics           map[string]float64   `json:"metrics"`
 		}{
 			App: *app, Name: name,
@@ -290,7 +305,8 @@ func main() {
 			CritpathBound:     cpath.Bound(),
 			CritpathByTask:    cpath.ByTask(),
 			Calibration:       calib,
-			Metrics:           obs.FlattenSnapshot(reg.Snapshot()),
+			Coverage:          cov,
+			Metrics:           flat,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -324,6 +340,12 @@ func main() {
 				calib.Render(os.Stdout)
 				fmt.Println()
 			}
+		}
+
+		if cov != nil {
+			fmt.Println("Fast-path coverage and bandwidth (stream run):")
+			cov.Render(os.Stdout)
+			fmt.Println()
 		}
 
 		if inj != nil {

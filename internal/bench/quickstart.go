@@ -6,7 +6,6 @@ import (
 
 	"streamgpp/internal/apps/micro"
 	"streamgpp/internal/exec"
-	"streamgpp/internal/obs"
 )
 
 // Quickstart runs the documentation's worked example (the QUICKSTART
@@ -27,7 +26,11 @@ func Quickstart(w io.Writer, quick bool) error {
 	tr := &exec.Trace{}
 	ecfg := exec.Defaults()
 	ecfg.Trace = tr
-	res, err := micro.RunQuickstart(micro.Params{N: n, Comp: 1, Seed: 1, Observer: obs.NewRegistry()}, ecfg)
+	// No explicit Observer: the machine inherits sim.SetDefaultObserver,
+	// so measured mode (-ledger/-compare) sees this experiment's
+	// metrics — ledger rows must carry sim.*, coverage.* and bw.* for
+	// the regression gate's metric gates to have anything to compare.
+	res, err := micro.RunQuickstart(micro.Params{N: n, Comp: 1, Seed: 1}, ecfg)
 	if err != nil {
 		return err
 	}

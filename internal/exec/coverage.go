@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"fmt"
+
+	"streamgpp/internal/obs"
+	"streamgpp/internal/sim"
+	"streamgpp/internal/wq"
+)
+
+// This file attributes the coverage profiler's per-context counters
+// (sim/coverage.go) to the task kinds and schedule phases that
+// generated them: the executors bracket every task execution with a
+// snapshot of the running context's coverage and bandwidth counters
+// and accumulate the delta into {gather, kernel, scatter} × phase
+// cells. Snapshots only read counters — they never advance a clock —
+// so attribution cannot perturb simulated timing; and because each
+// context owns its counter slot, the interleaved two-context schedule
+// cannot misattribute the sibling's traffic to the wrong task.
+
+// covCell is one attribution bucket.
+type covCell struct {
+	cov sim.CoverageStats
+	bw  sim.BWStats
+}
+
+// covAttr accumulates per-kind and per-phase attribution for one run.
+// A nil *covAttr (machine without an observer) is a no-op on every
+// method, mirroring tlSampler.
+type covAttr struct {
+	m       *sim.Machine
+	pre     [2]covCell // per-context snapshot at taskStart
+	byKind  [3]covCell
+	byPhase map[int]*covCell
+	phases  []int // byPhase keys in first-seen order
+}
+
+// newCovAttr returns an attributor for the run, or nil when the
+// machine has no metrics registry (the zero-cost case).
+func newCovAttr(m *sim.Machine) *covAttr {
+	if m.Observer() == nil {
+		return nil
+	}
+	return &covAttr{m: m, byPhase: make(map[int]*covCell)}
+}
+
+// taskStart snapshots the executing context's counters.
+func (ca *covAttr) taskStart(ctx int) {
+	if ca == nil {
+		return
+	}
+	ca.pre[ctx] = covCell{cov: ca.m.Coverage(ctx), bw: ca.m.Bandwidth(ctx)}
+}
+
+// taskEnd charges the counters the task moved to its kind and phase.
+func (ca *covAttr) taskEnd(ctx int, kind wq.Kind, phase int) {
+	if ca == nil {
+		return
+	}
+	d := covCell{
+		cov: ca.m.Coverage(ctx).Delta(ca.pre[ctx].cov),
+		bw:  ca.m.Bandwidth(ctx).Delta(ca.pre[ctx].bw),
+	}
+	kc := &ca.byKind[kind]
+	kc.cov.Add(d.cov)
+	kc.bw.Add(d.bw)
+	pc := ca.byPhase[phase]
+	if pc == nil {
+		pc = &covCell{}
+		ca.byPhase[phase] = pc
+		ca.phases = append(ca.phases, phase)
+	}
+	pc.cov.Add(d.cov)
+	pc.bw.Add(d.bw)
+}
+
+// publish writes the attribution into the registry as coverage.kind.*,
+// bw.kind.*, coverage.phase.* and bw.phase.* gauges. Kind keys are
+// always present (deterministic key set); phase keys exist for the
+// phases the schedule actually ran.
+func (ca *covAttr) publish(r *obs.Registry) {
+	if ca == nil || r == nil {
+		return
+	}
+	for k := range ca.byKind {
+		kn := wq.Kind(k).String()
+		cell := &ca.byKind[k]
+		r.Gauge("coverage.kind." + kn + ".fast_accesses").Set(float64(cell.cov.FastAccesses))
+		r.Gauge("coverage.kind." + kn + ".slow_accesses").Set(float64(cell.cov.SlowAccesses))
+		r.Gauge("bw.kind." + kn + ".dram_bytes").Set(float64(cell.bw.Bytes[sim.LevelMem]))
+		r.Gauge("bw.kind." + kn + ".dram_cycles").Set(float64(cell.bw.Cycles[sim.LevelMem]))
+		r.Gauge("bw.kind." + kn + ".l1_bytes").Set(float64(cell.bw.Bytes[sim.LevelL1]))
+		r.Gauge("bw.kind." + kn + ".l2_bytes").Set(float64(cell.bw.Bytes[sim.LevelL2]))
+	}
+	for _, p := range ca.phases {
+		cell := ca.byPhase[p]
+		pre := fmt.Sprintf("coverage.phase.%d.", p)
+		r.Gauge(pre + "fast_accesses").Set(float64(cell.cov.FastAccesses))
+		r.Gauge(pre + "slow_accesses").Set(float64(cell.cov.SlowAccesses))
+		r.Gauge(fmt.Sprintf("bw.phase.%d.dram_bytes", p)).Set(float64(cell.bw.Bytes[sim.LevelMem]))
+	}
+}

@@ -257,6 +257,7 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 	}
 	wkBase := m.WakeupTimeouts()
 	ts := newTLSampler(m)
+	ca := newCovAttr(m)
 	sr := newStripRetrier(m, cfg, &rec, ts)
 
 	// rerr is the first abort. Setting it also flips finished, so both
@@ -325,14 +326,17 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 		}
 		before := c.Now()
 		ts.taskStart(t.Kind, before)
+		ca.taskStart(c.ID())
 		runStart, e := sr.run(c, &t)
 		if e != nil {
+			ca.taskEnd(c.ID(), t.Kind, t.Phase)
 			ts.taskEnd(t.Kind, c.Now(), q)
 			abort(e)
 			c.Signal(work)
 			return false
 		}
 		kindCycles[t.Kind] += c.Now() - before
+		ca.taskEnd(c.ID(), t.Kind, t.Phase)
 		if cfg.Trace != nil {
 			ev := TraceEvent{Name: t.Name, Kind: t.Kind, Ctx: c.ID(),
 				Phase: t.Phase, Strip: t.Strip, Start: before, End: c.Now(),
@@ -479,6 +483,7 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 			Err: fmt.Errorf("%w: %d of %d tasks completed", ErrIncomplete, q.Completed(), total)}
 	}
 	publishRun(m, "stream2", st, kindCycles)
+	ca.publish(m.Observer())
 	return Result{Cycles: st.Cycles, Run: st, Queue: q, KindCycles: kindCycles, Recovery: rec}, rerr
 }
 
@@ -518,6 +523,7 @@ func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, err
 		injBase = inj.Total()
 	}
 	ts := newTLSampler(m)
+	ca := newCovAttr(m)
 	sr := newStripRetrier(m, cfg, &rec, ts)
 	var rerr *RunError
 	if cfg.Trace != nil {
@@ -528,13 +534,16 @@ func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, err
 			t := &p.Tasks[i]
 			before := c.Now()
 			ts.taskStart(t.Kind, before)
+			ca.taskStart(c.ID())
 			runStart, e := sr.run(c, t)
 			if e != nil {
+				ca.taskEnd(c.ID(), t.Kind, t.Phase)
 				ts.taskEnd(t.Kind, c.Now(), nil)
 				rerr = e
 				return
 			}
 			kindCycles[t.Kind] += c.Now() - before
+			ca.taskEnd(c.ID(), t.Kind, t.Phase)
 			ts.taskEnd(t.Kind, c.Now(), nil)
 			if cfg.Trace != nil {
 				// Sequential schedule: admission and start coincide, and
@@ -552,6 +561,7 @@ func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, err
 		inj.Publish(m.Observer())
 	}
 	publishRun(m, "stream1", st, kindCycles)
+	ca.publish(m.Observer())
 	res := Result{Cycles: st.Cycles, Run: st, KindCycles: kindCycles, Recovery: rec}
 	if rerr != nil {
 		return res, rerr

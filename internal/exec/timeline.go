@@ -85,11 +85,19 @@ func (o *overlapTracker) efficiency() float64 {
 // tlSampler bundles one stream run's resolved timeline handles.
 type tlSampler struct {
 	tl       *obs.Timeline
+	m        *sim.Machine
 	wqMem    *obs.Series
 	wqComp   *obs.Series
 	overlap  *obs.Series
 	recovery *obs.Series
-	ov       overlapTracker
+	// Cumulative per-level bandwidth series, sampled at task ends
+	// (points both fast-path modes reach at identical times with
+	// identical counter values — see coverage.go — so an attached
+	// timeline keeps its fast-on/off byte-identity).
+	bwL1   *obs.Series
+	bwL2   *obs.Series
+	bwDRAM *obs.Series
+	ov     overlapTracker
 }
 
 // newTLSampler resolves the run's series handles, returning nil when
@@ -101,10 +109,14 @@ func newTLSampler(m *sim.Machine) *tlSampler {
 	}
 	return &tlSampler{
 		tl:       tl,
+		m:        m,
 		wqMem:    tl.Series("wq mem pending"),
 		wqComp:   tl.Series("wq compute pending"),
 		overlap:  tl.Series("overlap efficiency"),
 		recovery: tl.Series("recovery events"),
+		bwL1:     tl.Series("bw L1 bytes"),
+		bwL2:     tl.Series("bw L2 bytes"),
+		bwDRAM:   tl.Series("bw DRAM bytes"),
 	}
 }
 
@@ -129,6 +141,10 @@ func (ts *tlSampler) taskEnd(k wq.Kind, t uint64, q *wq.DWQ) {
 		ts.wqMem.Sample(t, float64(q.PendingIn(wq.MemQueue)))
 		ts.wqComp.Sample(t, float64(q.PendingIn(wq.ComputeQueue)))
 	}
+	bw := ts.m.Mem.BW
+	ts.bwL1.Sample(t, float64(bw[0].Bytes[sim.LevelL1]+bw[1].Bytes[sim.LevelL1]))
+	ts.bwL2.Sample(t, float64(bw[0].Bytes[sim.LevelL2]+bw[1].Bytes[sim.LevelL2]))
+	ts.bwDRAM.Sample(t, float64(bw[0].Bytes[sim.LevelMem]+bw[1].Bytes[sim.LevelMem]))
 	ts.tl.Poll(t)
 }
 

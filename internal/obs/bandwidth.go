@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file derives the per-memory-level bandwidth report from the
+// flattened bw.* gauges the simulator publishes (sim/stats.go): bytes
+// moved and occupied cycles per level, achieved DRAM bytes/cycle
+// against the configured bus peak, and a compute-per-byte intensity
+// figure. The report is pure arithmetic over a metrics map — no
+// simulator types — so the trace and bench tools can build it from a
+// live registry snapshot or from a ledger entry's Metrics alike.
+
+// BandwidthLevels is the fixed row order of a report: the memory levels
+// the simulator attributes traffic to, nearest first.
+var BandwidthLevels = []string{"l1", "l2", "pf", "dram", "wc"}
+
+// bandwidthLevelLabels maps the key to the table's human label.
+var bandwidthLevelLabels = map[string]string{
+	"l1":   "L1 hit",
+	"l2":   "L2 hit",
+	"pf":   "prefetch fill",
+	"dram": "DRAM",
+	"wc":   "WC buffer",
+}
+
+// BandwidthRow is one memory level's attributed traffic.
+type BandwidthRow struct {
+	Level     string  `json:"level"`
+	Bytes     float64 `json:"bytes"`
+	OccCycles float64 `json:"occ_cycles"` // cycles the level was occupied serving it
+}
+
+// BandwidthReport is the derived bandwidth/roofline summary of one run.
+type BandwidthReport struct {
+	Levels        []BandwidthRow `json:"levels"`
+	TLBWalkCycles float64        `json:"tlb_walk_cycles"`
+	TotalCycles   uint64         `json:"total_cycles"`
+	// PeakBytesPerCycle is the configured DRAM-bus peak (bytes/cycle ×
+	// efficiency) the roofline compares against.
+	PeakBytesPerCycle float64 `json:"peak_bytes_per_cycle"`
+	// KernelCycles is the run's kernel-side busy time, for the
+	// intensity figure (0 when the run had no kernel attribution).
+	KernelCycles float64 `json:"kernel_cycles,omitempty"`
+}
+
+// NewBandwidthReport builds the report from a flattened metrics map
+// (FlattenSnapshot output or a ledger entry's Metrics). Missing keys
+// read as zero, so partial maps (regular-program runs, old ledger
+// entries) yield a report with empty rows rather than an error.
+func NewBandwidthReport(metrics map[string]float64, totalCycles uint64, peakBytesPerCycle float64) BandwidthReport {
+	rep := BandwidthReport{
+		TotalCycles:       totalCycles,
+		PeakBytesPerCycle: peakBytesPerCycle,
+		TLBWalkCycles:     metrics["bw.tlb.walk_cycles"],
+	}
+	for _, lvl := range BandwidthLevels {
+		rep.Levels = append(rep.Levels, BandwidthRow{
+			Level:     lvl,
+			Bytes:     metrics["bw."+lvl+".bytes"],
+			OccCycles: metrics["bw."+lvl+".cycles"],
+		})
+	}
+	for _, label := range []string{"stream2", "stream1", "regular"} {
+		if v, ok := metrics["exec."+label+".kind_cycles.kernel"]; ok && v > 0 {
+			rep.KernelCycles = v
+			break
+		}
+	}
+	return rep
+}
+
+// Row returns the named level's row (zero row when absent).
+func (r BandwidthReport) Row(level string) BandwidthRow {
+	for _, row := range r.Levels {
+		if row.Level == level {
+			return row
+		}
+	}
+	return BandwidthRow{}
+}
+
+// DRAMBytes is the run's attributed DRAM traffic (demand fills,
+// writebacks, WC flushes and prefetches).
+func (r BandwidthReport) DRAMBytes() float64 { return r.Row("dram").Bytes }
+
+// TotalBytes sums every level's attributed bytes.
+func (r BandwidthReport) TotalBytes() float64 {
+	var sum float64
+	for _, row := range r.Levels {
+		sum += row.Bytes
+	}
+	return sum
+}
+
+// AchievedBytesPerCycle is DRAM traffic over the run's total cycles —
+// the achieved point on the bandwidth roofline.
+func (r BandwidthReport) AchievedBytesPerCycle() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return r.DRAMBytes() / float64(r.TotalCycles)
+}
+
+// Utilization is achieved over peak DRAM bandwidth, in [0, ~1].
+func (r BandwidthReport) Utilization() float64 {
+	if r.PeakBytesPerCycle == 0 {
+		return 0
+	}
+	return r.AchievedBytesPerCycle() / r.PeakBytesPerCycle
+}
+
+// ArithmeticIntensity is kernel-side busy cycles per DRAM byte — the
+// simulator's proxy for ops/byte (issue width is fixed, so busy cycles
+// are proportional to retired operations). High values mean the run is
+// compute-bound; values near the machine balance point mean DRAM
+// bandwidth bounds it. Zero when the run moved no DRAM bytes or had no
+// kernel attribution.
+func (r BandwidthReport) ArithmeticIntensity() float64 {
+	db := r.DRAMBytes()
+	if db == 0 {
+		return 0
+	}
+	return r.KernelCycles / db
+}
+
+// Render writes the human-readable bandwidth table and roofline
+// summary.
+func (r BandwidthReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "  %-14s %14s %14s %12s\n", "level", "bytes", "occ cycles", "bytes/cycle")
+	for _, row := range r.Levels {
+		bpc := 0.0
+		if r.TotalCycles > 0 {
+			bpc = row.Bytes / float64(r.TotalCycles)
+		}
+		fmt.Fprintf(w, "  %-14s %14.0f %14.0f %12.4f\n",
+			bandwidthLevelLabels[row.Level], row.Bytes, row.OccCycles, bpc)
+	}
+	if r.TLBWalkCycles > 0 {
+		fmt.Fprintf(w, "  %-14s %14s %14.0f\n", "TLB walks", "-", r.TLBWalkCycles)
+	}
+	fmt.Fprintf(w, "  DRAM roofline: %.4f of peak %.4f bytes/cycle (%.1f%% utilized)\n",
+		r.AchievedBytesPerCycle(), r.PeakBytesPerCycle, 100*r.Utilization())
+	if ai := r.ArithmeticIntensity(); ai > 0 {
+		fmt.Fprintf(w, "  intensity: %.2f kernel cycles per DRAM byte\n", ai)
+	}
+}

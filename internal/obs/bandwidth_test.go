@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBandwidthReportDerivations(t *testing.T) {
+	metrics := map[string]float64{
+		"bw.l1.bytes":                     8000,
+		"bw.l1.cycles":                    4000,
+		"bw.l2.bytes":                     2560,
+		"bw.l2.cycles":                    500,
+		"bw.pf.bytes":                     1280,
+		"bw.pf.cycles":                    250,
+		"bw.dram.bytes":                   5000,
+		"bw.dram.cycles":                  3400,
+		"bw.wc.bytes":                     640,
+		"bw.wc.cycles":                    80,
+		"bw.tlb.walk_cycles":              220,
+		"exec.stream2.kind_cycles.kernel": 10000,
+	}
+	r := NewBandwidthReport(metrics, 10000, 1.5)
+	if got := r.DRAMBytes(); got != 5000 {
+		t.Errorf("DRAMBytes = %v, want 5000", got)
+	}
+	if got := r.TotalBytes(); got != 8000+2560+1280+5000+640 {
+		t.Errorf("TotalBytes = %v", got)
+	}
+	if got := r.AchievedBytesPerCycle(); got != 0.5 {
+		t.Errorf("AchievedBytesPerCycle = %v, want 0.5", got)
+	}
+	if got := r.Utilization(); got != 0.5/1.5 {
+		t.Errorf("Utilization = %v, want %v", got, 0.5/1.5)
+	}
+	if got := r.ArithmeticIntensity(); got != 2 {
+		t.Errorf("ArithmeticIntensity = %v, want 2", got)
+	}
+	if got := r.Row("l2"); got.Bytes != 2560 || got.OccCycles != 500 {
+		t.Errorf("Row(l2) = %+v", got)
+	}
+	if got := r.TLBWalkCycles; got != 220 {
+		t.Errorf("TLBWalkCycles = %v, want 220", got)
+	}
+
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{"DRAM", "L1 hit", "WC buffer", "TLB walks",
+		"roofline", "33.3% utilized", "kernel cycles per DRAM byte"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBandwidthReportEmptyAndPartial(t *testing.T) {
+	// Missing keys (regular-program runs, v1 ledger entries) degrade to
+	// zero rows and zero derived figures, never a panic or NaN.
+	r := NewBandwidthReport(nil, 0, 0)
+	if len(r.Levels) != len(BandwidthLevels) {
+		t.Fatalf("expected %d rows, got %d", len(BandwidthLevels), len(r.Levels))
+	}
+	if r.DRAMBytes() != 0 || r.AchievedBytesPerCycle() != 0 ||
+		r.Utilization() != 0 || r.ArithmeticIntensity() != 0 {
+		t.Fatalf("empty report not zero: %+v", r)
+	}
+	var b strings.Builder
+	r.Render(&b) // must not divide by zero
+	if !strings.Contains(b.String(), "roofline") {
+		t.Fatalf("render broke on empty report:\n%s", b.String())
+	}
+
+	// stream1 kernel cycles are found when stream2's are absent.
+	r = NewBandwidthReport(map[string]float64{
+		"bw.dram.bytes":                   100,
+		"exec.stream1.kind_cycles.kernel": 400,
+	}, 1000, 1.5)
+	if got := r.ArithmeticIntensity(); got != 4 {
+		t.Errorf("stream1 fallback intensity = %v, want 4", got)
+	}
+}

@@ -17,9 +17,23 @@ import (
 // history accumulates across sessions in a greppable, diffable file
 // that the regression gate (regress.go) can compare against.
 
-// LedgerSchema is the current entry schema version. Readers accept only
-// entries whose Schema matches; bump it when a field changes meaning.
-const LedgerSchema = 1
+// LedgerSchema is the current entry schema version. Readers accept any
+// version in [LedgerMinSchema, LedgerSchema] — older baselines stay
+// comparable — and writers always stamp the current version. Bump it
+// when a field changes meaning.
+//
+// History:
+//
+//	v1: initial schema.
+//	v2: Metrics may carry the coverage profiler's flattened keys
+//	    (coverage.*, bw.*) alongside the existing exec.*/sim.* ones.
+//	    Purely additive — v1 entries remain valid v2 inputs, and the
+//	    regression gate's metric checks skip entries (either side)
+//	    that lack a gated key.
+const LedgerSchema = 2
+
+// LedgerMinSchema is the oldest entry version readers still accept.
+const LedgerMinSchema = 1
 
 // LedgerEntry is one run's durable record. All maps use deterministic
 // (sorted-key) JSON encoding, so identical runs produce identical lines
@@ -51,8 +65,8 @@ type LedgerEntry struct {
 // Validate checks the entry satisfies the schema invariants the gate
 // and history tooling rely on.
 func (e *LedgerEntry) Validate() error {
-	if e.Schema != LedgerSchema {
-		return fmt.Errorf("obs: ledger entry schema %d, want %d", e.Schema, LedgerSchema)
+	if e.Schema < LedgerMinSchema || e.Schema > LedgerSchema {
+		return fmt.Errorf("obs: ledger entry schema %d, want %d..%d", e.Schema, LedgerMinSchema, LedgerSchema)
 	}
 	if e.Experiment == "" {
 		return fmt.Errorf("obs: ledger entry without an experiment name")

@@ -68,6 +68,45 @@ func TestLedgerValidate(t *testing.T) {
 	}
 }
 
+func TestLedgerCrossVersion(t *testing.T) {
+	// v1 baselines written before the coverage metrics existed must stay
+	// readable under the v2 reader; out-of-range versions must not.
+	v1 := sampleEntry("fig5", 100)
+	v1.Schema = 1
+	if err := v1.Validate(); err != nil {
+		t.Fatalf("v1 entry rejected: %v", err)
+	}
+	v2 := sampleEntry("fig5", 100)
+	v2.Metrics["coverage.fastpath_pct"] = 97.5
+	v2.Metrics["bw.dram.bytes"] = 1 << 20
+	if v2.Schema != 2 {
+		t.Fatalf("current schema = %d, want 2", v2.Schema)
+	}
+	path := filepath.Join(t.TempDir(), "mixed.jsonl")
+	for _, e := range []LedgerEntry{v1, v2} {
+		if err := AppendLedger(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadLedger(path)
+	if err != nil {
+		t.Fatalf("mixed-version ledger rejected: %v", err)
+	}
+	if len(got) != 2 || got[0].Schema != 1 || got[1].Schema != 2 {
+		t.Fatalf("round trip lost versions: %+v", got)
+	}
+	if got[1].Metrics["coverage.fastpath_pct"] != 97.5 {
+		t.Fatalf("v2 coverage metrics lost: %+v", got[1].Metrics)
+	}
+	for _, bad := range []int{0, LedgerSchema + 1} {
+		e := sampleEntry("fig5", 100)
+		e.Schema = bad
+		if err := e.Validate(); err == nil {
+			t.Errorf("schema %d accepted", bad)
+		}
+	}
+}
+
 func TestLedgerRejectsMalformedLine(t *testing.T) {
 	entries, err := ParseLedger(strings.NewReader(
 		`{"schema":1,"experiment":"fig5","wall_ns":1}` + "\n" + `{"schema":1` + "\n"))

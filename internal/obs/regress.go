@@ -32,12 +32,39 @@ type GateOptions struct {
 	// before a verdict is rendered; thinner evidence yields a skipped
 	// verdict, never a failure.
 	MinSamples int
+	// Metrics gates deterministic ledger metrics alongside the noisy
+	// wall-clock gate. A metric verdict is skipped — never failed —
+	// when either side lacks the key, so pre-coverage (schema v1)
+	// baselines remain comparable.
+	Metrics []MetricGate
+}
+
+// MetricGate bounds the current/baseline ratio of one flattened ledger
+// metric (LedgerEntry.Metrics[Key]) per experiment. Metrics from the
+// simulator are deterministic, so unlike the wall-clock gate these
+// thresholds need no noise model: a clean re-run compares at exactly
+// ratio 1. A zero bound disables that side.
+type MetricGate struct {
+	Key      string  // flattened metric key, e.g. "coverage.fastpath_pct"
+	MaxRatio float64 // fire when current/baseline > MaxRatio (0: unbounded)
+	MinRatio float64 // fire when current/baseline < MinRatio (0: unbounded)
 }
 
 // DefaultGateOptions returns the tuning used by streambench -compare:
-// flag ≥ ~18% median slowdowns always, tolerate ≤ 10% always.
+// flag ≥ ~18% median slowdowns always, tolerate ≤ 10% always. Two
+// metric gates ride along: fast-path coverage may not halve (a strip
+// that stops batching silently runs 10–20× more simulated work per
+// access), and DRAM traffic may not grow past 1.5× (the simulator is
+// bandwidth-bound, so a traffic blow-up is a latent slowdown even if
+// wall-clock noise hides it).
 func DefaultGateOptions() GateOptions {
-	return GateOptions{MinRelative: 0.10, MADFactor: 4, MaxRelative: 0.18, MinSamples: 1}
+	return GateOptions{
+		MinRelative: 0.10, MADFactor: 4, MaxRelative: 0.18, MinSamples: 1,
+		Metrics: []MetricGate{
+			{Key: "coverage.fastpath_pct", MinRatio: 0.5},
+			{Key: "bw.dram.bytes", MaxRatio: 1.5},
+		},
+	}
 }
 
 // Verdict is the gate's per-experiment conclusion.
@@ -98,10 +125,63 @@ func wallByExperiment(entries []LedgerEntry) map[string][]float64 {
 	return out
 }
 
+// metricByExperiment groups one metric's samples by experiment,
+// including only entries that carry the key.
+func metricByExperiment(entries []LedgerEntry, key string) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, e := range entries {
+		if v, ok := e.Metrics[key]; ok {
+			out[e.Experiment] = append(out[e.Experiment], v)
+		}
+	}
+	return out
+}
+
+// gateMetric renders one experiment's verdict for one metric gate.
+// Experiments where either side lacks the key are silently absent from
+// the report (no verdict at all, not even a skip): v1 baselines would
+// otherwise drown the table in skip rows.
+func gateMetric(name string, g MetricGate, base, cur []float64) (Verdict, bool) {
+	if len(base) == 0 || len(cur) == 0 {
+		return Verdict{}, false
+	}
+	v := Verdict{
+		Experiment:   name + " [" + g.Key + "]",
+		BaselineRuns: len(base), CurrentRuns: len(cur),
+		BaselineMedian: median(base), CurrentMedian: median(cur),
+	}
+	if v.BaselineMedian == 0 {
+		// Ratio is undefined; a deterministic metric moving off zero is
+		// worth a visible skip (unlike a missing key).
+		v.Skipped = true
+		v.Note = fmt.Sprintf("baseline %s is zero", g.Key)
+		return v, true
+	}
+	v.Ratio = v.CurrentMedian / v.BaselineMedian
+	switch {
+	case g.MaxRatio > 0 && v.Ratio > g.MaxRatio:
+		v.Threshold = g.MaxRatio
+		v.Regressed = true
+		v.Note = fmt.Sprintf("%s grew %.2fx (allowed %.2fx)", g.Key, v.Ratio, g.MaxRatio)
+	case g.MinRatio > 0 && v.Ratio < g.MinRatio:
+		v.Threshold = g.MinRatio
+		v.Regressed = true
+		v.Note = fmt.Sprintf("%s fell to %.2fx of baseline (floor %.2fx)", g.Key, v.Ratio, g.MinRatio)
+	default:
+		v.Threshold = g.MaxRatio
+		if v.Threshold == 0 {
+			v.Threshold = g.MinRatio
+		}
+		v.Note = fmt.Sprintf("%s steady (%.2fx)", g.Key, v.Ratio)
+	}
+	return v, true
+}
+
 // CompareLedgers gates current against baseline, one verdict per
 // experiment present in the baseline (experiments new in current have
-// nothing to regress against and are ignored). Verdicts come out in
-// experiment-name order.
+// nothing to regress against and are ignored), followed by one verdict
+// per (experiment, metric gate) pair where both sides recorded the
+// metric. Verdicts come out in experiment-name order.
 func CompareLedgers(baseline, current []LedgerEntry, opt GateOptions) GateReport {
 	if opt.MinSamples < 1 {
 		opt.MinSamples = 1
@@ -156,6 +236,18 @@ func CompareLedgers(baseline, current []LedgerEntry, opt GateOptions) GateReport
 				100*(v.Ratio-1), 100*(v.Threshold-1))
 		}
 		rep.Verdicts = append(rep.Verdicts, v)
+	}
+	for _, g := range opt.Metrics {
+		mbase := metricByExperiment(baseline, g.Key)
+		mcur := metricByExperiment(current, g.Key)
+		for _, name := range names {
+			if v, ok := gateMetric(name, g, mbase[name], mcur[name]); ok {
+				rep.Verdicts = append(rep.Verdicts, v)
+				if v.Regressed {
+					rep.Regressed = true
+				}
+			}
+		}
 	}
 	return rep
 }

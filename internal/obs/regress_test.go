@@ -102,6 +102,102 @@ func TestGateRenderTable(t *testing.T) {
 	}
 }
 
+func runsWithMetrics(exp string, m map[string]float64, wallNs ...int64) []LedgerEntry {
+	out := runs(exp, wallNs...)
+	for i := range out {
+		out[i].Metrics = m
+	}
+	return out
+}
+
+func TestMetricGateFlagsCoverageCollapse(t *testing.T) {
+	base := runsWithMetrics("fig5", map[string]float64{"coverage.fastpath_pct": 96}, 100, 101)
+	cur := runsWithMetrics("fig5", map[string]float64{"coverage.fastpath_pct": 30}, 100, 101)
+	rep := CompareLedgers(base, cur, DefaultGateOptions())
+	if !rep.Regressed {
+		t.Fatalf("coverage collapse (96%% -> 30%%) not flagged: %+v", rep.Verdicts)
+	}
+	found := false
+	for _, v := range rep.Verdicts {
+		if strings.Contains(v.Experiment, "coverage.fastpath_pct") && v.Regressed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no coverage verdict names the key: %+v", rep.Verdicts)
+	}
+}
+
+func TestMetricGateFlagsDRAMGrowth(t *testing.T) {
+	base := runsWithMetrics("fig5", map[string]float64{"bw.dram.bytes": 1e6}, 100)
+	cur := runsWithMetrics("fig5", map[string]float64{"bw.dram.bytes": 2e6}, 100)
+	rep := CompareLedgers(base, cur, DefaultGateOptions())
+	if !rep.Regressed {
+		t.Fatalf("2x DRAM traffic not flagged: %+v", rep.Verdicts)
+	}
+}
+
+func TestMetricGatePassesCleanRerun(t *testing.T) {
+	// Deterministic metrics compare at exactly ratio 1 on a clean
+	// re-run — the gate must not false-positive.
+	m := map[string]float64{"coverage.fastpath_pct": 96, "bw.dram.bytes": 1e6}
+	rep := CompareLedgers(runsWithMetrics("fig5", m, 100, 99),
+		runsWithMetrics("fig5", m, 101, 100), DefaultGateOptions())
+	if rep.Regressed {
+		t.Fatalf("clean re-run flagged by metric gate: %+v", rep.Verdicts)
+	}
+	n := 0
+	for _, v := range rep.Verdicts {
+		if strings.Contains(v.Experiment, "[") {
+			n++
+			if v.Ratio != 1 {
+				t.Errorf("deterministic metric ratio %v, want exactly 1: %+v", v.Ratio, v)
+			}
+		}
+	}
+	if n != 2 {
+		t.Fatalf("expected 2 metric verdicts, got %d: %+v", n, rep.Verdicts)
+	}
+}
+
+func TestMetricGateSkipsV1Baseline(t *testing.T) {
+	// A baseline recorded before the coverage metrics existed produces
+	// no metric verdicts at all — not skips, not failures.
+	base := runs("fig5", 100, 101)
+	cur := runsWithMetrics("fig5",
+		map[string]float64{"coverage.fastpath_pct": 96, "bw.dram.bytes": 1e6}, 100, 101)
+	rep := CompareLedgers(base, cur, DefaultGateOptions())
+	if rep.Regressed {
+		t.Fatalf("v1 baseline flagged: %+v", rep.Verdicts)
+	}
+	for _, v := range rep.Verdicts {
+		if strings.Contains(v.Experiment, "[") {
+			t.Fatalf("metric verdict rendered against metric-less baseline: %+v", v)
+		}
+	}
+}
+
+func TestMetricGateSkipsZeroBaseline(t *testing.T) {
+	base := runsWithMetrics("fig5", map[string]float64{"bw.dram.bytes": 0}, 100)
+	cur := runsWithMetrics("fig5", map[string]float64{"bw.dram.bytes": 1e6}, 100)
+	rep := CompareLedgers(base, cur, DefaultGateOptions())
+	if rep.Regressed {
+		t.Fatalf("zero baseline flagged: %+v", rep.Verdicts)
+	}
+	found := false
+	for _, v := range rep.Verdicts {
+		if strings.Contains(v.Experiment, "bw.dram.bytes") {
+			found = true
+			if !v.Skipped {
+				t.Fatalf("zero baseline not skipped: %+v", v)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("zero-baseline metric verdict missing")
+	}
+}
+
 func TestMedianAndMAD(t *testing.T) {
 	if m := median([]float64{3, 1, 2}); m != 2 {
 		t.Errorf("median odd = %v", m)

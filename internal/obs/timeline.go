@@ -51,7 +51,13 @@ func (s *Series) Sample(t uint64, v float64) {
 	if s == nil {
 		return
 	}
-	w := t/s.interval + 1
+	iv := s.interval
+	if iv == 0 {
+		// A zero-value Series (constructed outside Timeline.Series)
+		// samples every distinct cycle instead of dividing by zero.
+		iv = 1
+	}
+	w := t/iv + 1
 	if w == s.lastWin {
 		return
 	}
@@ -69,7 +75,11 @@ func (s *Series) Due(t uint64) bool {
 	if s == nil {
 		return false
 	}
-	if t/s.interval+1 == s.lastWin {
+	iv := s.interval
+	if iv == 0 {
+		iv = 1
+	}
+	if t/iv+1 == s.lastWin {
 		return false
 	}
 	return len(s.pts) == 0 || t > s.lastT

@@ -63,6 +63,48 @@ func TestNilTimelineIsInert(t *testing.T) {
 	tl.Render(&bytes.Buffer{})
 }
 
+func TestZeroValueSeries(t *testing.T) {
+	// A zero-value Series (interval 0, built outside Timeline.Series)
+	// must not divide by zero: it degrades to sampling every cycle.
+	var s Series
+	if !s.Due(0) {
+		t.Fatal("fresh zero-value series not due")
+	}
+	s.Sample(0, 1)
+	s.Sample(0, 2) // same cycle: dropped
+	s.Sample(1, 3)
+	if s.Len() != 2 {
+		t.Fatalf("got %d points, want 2: %v", s.Len(), s.Points())
+	}
+	if s.Due(1) {
+		t.Fatal("due at already-sampled cycle")
+	}
+	if !s.Due(2) {
+		t.Fatal("not due at next cycle")
+	}
+}
+
+func TestWriteToEmptySeries(t *testing.T) {
+	// A created-but-never-sampled series still gets its header line, so
+	// the dump's shape is deterministic across runs that sample nothing.
+	tl := NewTimeline(100)
+	tl.Series("empty")
+	tl.Series("full").Sample(0, 1)
+	var b strings.Builder
+	if _, err := tl.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `series "empty" interval=100 points=0`) {
+		t.Fatalf("empty series missing from dump:\n%s", out)
+	}
+	var r strings.Builder
+	tl.Render(&r)
+	if !strings.Contains(r.String(), "(no samples)") {
+		t.Fatalf("render does not mark empty series:\n%s", r.String())
+	}
+}
+
 func TestProbePollAndReplace(t *testing.T) {
 	tl := NewTimeline(100)
 	v := 1.0

@@ -88,12 +88,18 @@ type BulkRef struct {
 // reference loop.
 func (p *Pipe) AccessBulk(n int, refs ...BulkRef) {
 	fast := p.c.m.fastPath
+	cov := &p.c.m.Cov[p.c.p.id]
+	if !fast {
+		cov.Bails[BailDisabled]++
+	}
 	for k := 0; k < n; {
 		if fast {
-			if adv := p.bulkBatch(k, n-k, refs); adv > 0 {
+			adv, bail := p.bulkBatch(k, n-k, refs)
+			if adv > 0 {
 				k += adv
 				continue
 			}
+			cov.Bails[bail]++
 		}
 		for i := range refs {
 			r := &refs[i]
@@ -109,7 +115,8 @@ const maxBatchRefs = 8
 // bulkBatch tries to execute iterations k0, k0+1, ... of the reference
 // pattern as one aggregate state update, returning how many iterations
 // it consumed (0 = not batchable right now; the caller runs one
-// reference iteration and retries).
+// reference iteration and retries) and, when it consumed none, the
+// typed reason it declined (feeding the coverage profiler).
 //
 // A run of iterations is batchable when, for its whole length, every
 // access is a guaranteed L1 hit or WC post (proven by a pin, like
@@ -120,10 +127,13 @@ const maxBatchRefs = 8
 // counters, final-position values for the LRU stamps. Refs sharing a
 // TLB entry or cache line are stamped in reference order so the last
 // writer matches. The result is bit-identical to the per-access loop.
-func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
+func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) (int, BailReason) {
 	nrefs := len(refs)
-	if nrefs == 0 || nrefs > maxBatchRefs || p.wlen >= p.mlp {
-		return 0
+	if nrefs == 0 || nrefs > maxBatchRefs {
+		return 0, BailRefShape
+	}
+	if p.wlen >= p.mlp {
+		return 0, BailWindowFull
 	}
 	c := p.c
 	ms := c.m.Mem
@@ -138,12 +148,12 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 			bound := sib.now
 			if c.p.id > sib.id {
 				if bound == 0 {
-					return 0
+					return 0, BailSiblingClock
 				}
 				bound--
 			}
 			if c.p.now > bound {
-				return 0
+				return 0, BailSiblingClock
 			}
 			budget = bound - c.p.now
 		}
@@ -155,7 +165,7 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 		}
 	}
 	if k < 2 {
-		return 0
+		return 0, BailSiblingClock
 	}
 
 	// Resolve a pin for every ref and bound k by each pin's window.
@@ -169,14 +179,14 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 	for r := 0; r < nrefs; r++ {
 		ref := &refs[r]
 		if ref.Size <= 0 || ref.Stride <= 0 {
-			return 0
+			return 0, BailRefShape
 		}
 		addr := ref.Base + Addr(k0*ref.Stride)
 		end := addr + Addr(ref.Size)
 		wc := ref.Write && ref.Hint == HintNonTemporal
 		if wc {
 			if sawWC {
-				return 0 // two NT-store streams share one WC buffer: not batchable
+				return 0, BailWCState // two NT-store streams share one WC buffer: not batchable
 			}
 			sawWC = true
 		}
@@ -189,13 +199,13 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 			}
 		}
 		if pn == nil {
-			return 0
+			return 0, BailNoPin
 		}
 		if pn.tlbGen != ms.TLB.gen {
 			te := ms.TLB.probe(pn.lo >> ms.TLB.pageBits)
 			if te == nil {
 				pn.valid = false
-				return 0
+				return 0, BailTLBGenMiss
 			}
 			pn.te = te
 			pn.tlbGen = ms.TLB.gen
@@ -203,13 +213,13 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 		if wc {
 			wcb := &ms.wc[c.p.id]
 			if !wcb.open || wcb.line != addr&^(l2Line-1) {
-				return 0
+				return 0, BailWCState
 			}
 			// Stores must stay in the open buffer's line without
 			// filling it, and each must fit in one L1 chunk.
 			lineEnd := wcb.line + l2Line
 			if end > lineEnd {
-				return 0
+				return 0, BailWCState
 			}
 			if kl := (lineEnd - addr - Addr(ref.Size)) / Addr(ref.Stride); kl+1 < k {
 				k = kl + 1
@@ -218,7 +228,7 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 				k = kc
 			}
 			if k < 2 {
-				return 0
+				return 0, BailShortBatch
 			}
 			for j := uint64(0); j < k; j++ {
 				a := addr + Addr(j*uint64(ref.Stride))
@@ -228,7 +238,7 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 				}
 			}
 			if k < 2 {
-				return 0
+				return 0, BailShortBatch
 			}
 		} else {
 			if pn.l1Gen != ms.L1.gen || pn.l1SetGen != ms.L1.setGen[pn.set] {
@@ -236,7 +246,7 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 				ln := ms.L1.findLine(set, tag)
 				if ln == nil {
 					pn.valid = false
-					return 0
+					return 0, BailL1GenMiss
 				}
 				pn.ln = ln
 				pn.l1Gen = ms.L1.gen
@@ -247,7 +257,7 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 				k = kp + 1
 			}
 			if k < 2 {
-				return 0
+				return 0, BailShortBatch
 			}
 			cpos[r] = ncache
 			ncache++
@@ -259,6 +269,9 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 	// Commit: replay k iterations' worth of mutations in closed form.
 	c.p.state = p.state
 	accesses := k * uint64(nrefs)
+	cov := &c.m.Cov[c.p.id]
+	cov.FastAccesses += accesses
+	cov.BatchedIters += k
 	ms.Stats.Accesses += accesses
 	ms.TLB.Stats.Hits += accesses
 	tlb0 := ms.TLB.tick
@@ -276,6 +289,7 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 		c.p.now += adv
 		c.p.memCycles += adv
 	}
+	bw := &ms.BW[c.p.id]
 	for r := 0; r < nrefs; r++ {
 		pn := pinOf[r]
 		// The ref's last access is iteration k-1, position r (or its
@@ -287,12 +301,16 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 			wcb := &ms.wc[c.p.id]
 			wcb.bytes += int(k) * refs[r].Size
 			ms.Stats.ByLevel[LevelWC] += k
+			bw.Bytes[LevelWC] += k * uint64(refs[r].Size)
+			bw.Cycles[LevelWC] += k
 			done = now0 + ((k-1)*uint64(nrefs)+uint64(r))*p.issue + 1
 		} else {
 			pn.ln.lru = l10 + (k-1)*uint64(ncache) + uint64(cpos[r]) + 1
 			if refs[r].Write {
 				pn.ln.dirty = true
 			}
+			bw.Bytes[LevelL1] += k * uint64(refs[r].Size)
+			bw.Cycles[LevelL1] += k * ms.cfg.L1HitLat
 			done = now0 + ((k-1)*uint64(nrefs)+uint64(r))*p.issue + ms.cfg.L1HitLat
 		}
 		if done > p.slowest {
@@ -300,7 +318,7 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) int {
 		}
 	}
 	p.pending = (p.pending + int(accesses)) % pipeParkBatch
-	return int(k)
+	return int(k), 0
 }
 
 // pinColdLimit is the miss streak after which Pipe.Access stops
@@ -322,8 +340,10 @@ func (p *Pipe) fastAccess(addr Addr, size int, write bool, hint Hint) (AccessRes
 	}
 	c := p.c
 	ms := c.m.Mem
+	cov := &c.m.Cov[c.p.id]
 	wc := write && hint == HintNonTemporal
 	end := addr + Addr(size)
+	bail := BailNoPin
 	for i := range p.pins {
 		pn := &p.pins[i]
 		if !pn.valid || pn.wc != wc || addr < pn.lo || end > pn.hi {
@@ -333,6 +353,7 @@ func (p *Pipe) fastAccess(addr Addr, size int, write bool, hint Hint) (AccessRes
 			te := ms.TLB.probe(pn.lo >> ms.TLB.pageBits)
 			if te == nil {
 				pn.valid = false
+				bail = BailTLBGenMiss
 				continue
 			}
 			pn.te = te
@@ -346,10 +367,12 @@ func (p *Pipe) fastAccess(addr Addr, size int, write bool, hint Hint) (AccessRes
 			// split into chunks).
 			l1Line := Addr(ms.cfg.L1Line)
 			if end > (addr&^(l1Line-1))+l1Line {
+				cov.Bails[BailWCState]++
 				return AccessResult{}, false
 			}
 			wcb = &ms.wc[c.p.id]
 			if !wcb.open || wcb.line != addr&^Addr(ms.cfg.L2Line-1) || wcb.bytes+size >= ms.cfg.L2Line {
+				cov.Bails[BailWCState]++
 				return AccessResult{}, false
 			}
 		} else if pn.l1Gen != ms.L1.gen || pn.l1SetGen != ms.L1.setGen[pn.set] {
@@ -359,6 +382,7 @@ func (p *Pipe) fastAccess(addr Addr, size int, write bool, hint Hint) (AccessRes
 			ln := ms.L1.findLine(set, tag)
 			if ln == nil {
 				pn.valid = false
+				bail = BailL1GenMiss
 				continue
 			}
 			pn.ln = ln
@@ -386,11 +410,15 @@ func (p *Pipe) fastAccess(addr Addr, size int, write bool, hint Hint) (AccessRes
 		ms.TLB.tick++
 		pn.te.lru = ms.TLB.tick
 		ms.TLB.Stats.Hits++
+		cov.FastAccesses++
+		bw := &ms.BW[c.p.id]
 
 		r := AccessResult{}
 		if wc {
 			wcb.bytes += size
 			ms.Stats.ByLevel[LevelWC]++
+			bw.Bytes[LevelWC] += uint64(size)
+			bw.Cycles[LevelWC]++
 			r = AccessResult{Done: start + 1, Level: LevelWC}
 		} else {
 			l1 := ms.L1
@@ -401,6 +429,8 @@ func (p *Pipe) fastAccess(addr Addr, size int, write bool, hint Hint) (AccessRes
 			}
 			l1.Stats.Hits++
 			ms.Stats.ByLevel[LevelL1]++
+			bw.Bytes[LevelL1] += uint64(size)
+			bw.Cycles[LevelL1] += ms.cfg.L1HitLat
 			r = AccessResult{Done: start + ms.cfg.L1HitLat, Level: LevelL1}
 		}
 
@@ -422,6 +452,7 @@ func (p *Pipe) fastAccess(addr Addr, size int, write bool, hint Hint) (AccessRes
 		return r, true
 	}
 	p.pinCold++
+	cov.Bails[bail]++
 	return AccessResult{}, false
 }
 

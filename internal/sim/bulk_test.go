@@ -239,8 +239,20 @@ func TestAccessBulkMatchesReference(t *testing.T) {
 				if got, want := fmt.Sprintf("%+v", fastStats), fmt.Sprintf("%+v", refStats); got != want {
 					t.Errorf("RunStats diverge:\nfast: %s\nref:  %s", got, want)
 				}
-				if got, want := fastM.StatsSnapshot(), refM.StatsSnapshot(); got != want {
-					t.Errorf("MachineStats diverge:\nfast: %+v\nref:  %+v", got, want)
+				fastSnap, refSnap := fastM.StatsSnapshot(), refM.StatsSnapshot()
+				// Coverage counters record which path served each access,
+				// so the fast/slow split legitimately differs between the
+				// modes; the mode-invariant part — total accesses per
+				// context — must agree, and every other block (including
+				// the per-level bandwidth attribution) must be identical.
+				for i := range fastSnap.Cov {
+					if got, want := fastSnap.Cov[i].Accesses(), refSnap.Cov[i].Accesses(); got != want {
+						t.Errorf("ctx%d coverage access totals diverge: fast %d, ref %d", i, got, want)
+					}
+				}
+				fastSnap.Cov, refSnap.Cov = [2]CoverageStats{}, [2]CoverageStats{}
+				if fastSnap != refSnap {
+					t.Errorf("MachineStats diverge:\nfast: %+v\nref:  %+v", fastSnap, refSnap)
 				}
 				fastDump, refDump := dumpMachine(fastM), dumpMachine(refM)
 				if fastDump != refDump {

@@ -24,6 +24,12 @@ type Bus struct {
 	lastUse [2]uint64
 
 	Stats BusStats
+
+	// bw, when non-nil, points at the owning MemSystem's per-context
+	// bandwidth attribution; Acquire charges each transfer's bytes and
+	// occupancy to the requesting context's LevelMem row, covering
+	// demand fills, writebacks, WC flushes and prefetches alike.
+	bw *[2]BWStats
 }
 
 // BusStats counts bus traffic.
@@ -96,6 +102,10 @@ func (b *Bus) Acquire(ctx int, start uint64, addr Addr, size int, kind xferKind)
 	b.Stats.Transfers++
 	b.Stats.Bytes += uint64(size)
 	b.Stats.BusyCycles += occ
+	if b.bw != nil && ctx >= 0 && ctx < 2 {
+		b.bw[ctx].Bytes[LevelMem] += uint64(size)
+		b.bw[ctx].Cycles[LevelMem] += occ
+	}
 	return b.busyUntil
 }
 

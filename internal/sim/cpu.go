@@ -212,11 +212,16 @@ func (c *CPU) NewPipe(mlp int, issueCycles uint64, state ProcState) *Pipe {
 // issue slot but never block the window.
 func (p *Pipe) Access(addr Addr, size int, write bool, hint Hint) AccessResult {
 	c := p.c
-	if c.m.fastPath && p.pinCold < pinColdLimit {
-		if r, ok := p.fastAccess(addr, size, write, hint); ok {
-			return r
+	if c.m.fastPath {
+		if p.pinCold < pinColdLimit {
+			if r, ok := p.fastAccess(addr, size, write, hint); ok {
+				return r
+			}
+		} else {
+			c.m.Cov[c.p.id].Bails[BailPinCold]++
 		}
 	}
+	c.m.Cov[c.p.id].SlowAccesses++
 	c.p.state = p.state
 
 	start := c.p.now

@@ -58,6 +58,11 @@ type Machine struct {
 	// wakeupTimeouts counts engine-level deadline wakes (see
 	// WakeupTimeouts).
 	wakeupTimeouts uint64
+
+	// Cov accumulates per-context fast-path coverage counters (see
+	// coverage.go). Indexed by context id; each context writes only
+	// its own slot.
+	Cov [2]CoverageStats
 }
 
 type proc struct {

@@ -56,6 +56,10 @@ type MemSystem struct {
 	walkerBusy uint64
 
 	Stats MemStats
+
+	// BW attributes bytes moved and cycles occupied per level to the
+	// requesting context (see coverage.go). Indexed by context id.
+	BW [2]BWStats
 }
 
 // wcBuffer is a one-line write-combining buffer (movntq path).
@@ -88,6 +92,7 @@ func NewMemSystem(cfg Config) *MemSystem {
 	}
 	ms.PF[0] = NewPrefetcher(cfg)
 	ms.PF[1] = NewPrefetcher(cfg)
+	ms.Bus.bw = &ms.BW
 	return ms
 }
 
@@ -136,21 +141,30 @@ func (ms *MemSystem) Access(ctx int, start uint64, addr Addr, size int, write bo
 	return res
 }
 
-// accessChunk handles an access confined to one L1 line.
+// accessChunk handles an access confined to one L1 line. Besides the
+// machine-global MemStats it attributes bytes and occupied cycles to
+// the requesting context per service level (BW); DRAM occupancy is
+// attributed inside Bus.Acquire, so the LevelMem row here records
+// nothing directly.
 func (ms *MemSystem) accessChunk(ctx int, start uint64, addr Addr, size int, write bool, hint Hint) AccessResult {
 	ms.Stats.Accesses++
+	bw := &ms.BW[ctx]
 
 	// Non-temporal stores bypass the cache hierarchy entirely.
 	if write && hint == HintNonTemporal {
 		done := ms.ntStore(ctx, start, addr, size)
 		ms.Stats.ByLevel[LevelWC]++
+		bw.Bytes[LevelWC] += uint64(size)
+		bw.Cycles[LevelWC]++ // posted: one cycle to lodge in the buffer
 		return AccessResult{Done: done, Level: LevelWC}
 	}
 
-	t := ms.translate(start, addr)
+	t := ms.translate(ctx, start, addr)
 
 	if ms.L1.Lookup(addr, write) {
 		ms.Stats.ByLevel[LevelL1]++
+		bw.Bytes[LevelL1] += uint64(size)
+		bw.Cycles[LevelL1] += ms.cfg.L1HitLat
 		return AccessResult{Done: t + ms.cfg.L1HitLat, Level: LevelL1}
 	}
 
@@ -158,6 +172,8 @@ func (ms *MemSystem) accessChunk(ctx int, start uint64, addr Addr, size int, wri
 	if ms.L2.Lookup(addr, write) {
 		ms.fillL1(ctx, addr, write)
 		ms.Stats.ByLevel[LevelL2]++
+		bw.Bytes[LevelL2] += uint64(ms.cfg.L1Line)
+		bw.Cycles[LevelL2] += ms.cfg.L2HitLat
 		return AccessResult{Done: t + ms.cfg.L2HitLat, Level: LevelL2}
 	}
 
@@ -169,6 +185,8 @@ func (ms *MemSystem) accessChunk(ctx int, start uint64, addr Addr, size int, wri
 		ms.fillL2(ctx, l2line, write, HintNone)
 		ms.fillL1(ctx, addr, write)
 		ms.Stats.ByLevel[LevelPF]++
+		bw.Bytes[LevelPF] += uint64(ms.cfg.L2Line)
+		bw.Cycles[LevelPF] += ms.cfg.L2HitLat
 		return AccessResult{Done: max64(t, arrival) + ms.cfg.L2HitLat, Level: LevelPF}
 	}
 
@@ -192,12 +210,16 @@ func (ms *MemSystem) accessChunk(ctx int, start uint64, addr Addr, size int, wri
 }
 
 // translate charges TLB behaviour and returns the time after
-// translation. Page walks serialise on the single hardware walker.
-func (ms *MemSystem) translate(start uint64, addr Addr) uint64 {
+// translation. Page walks serialise on the single hardware walker;
+// each walk's latency is attributed to the requesting context.
+func (ms *MemSystem) translate(ctx int, start uint64, addr Addr) uint64 {
 	if ms.TLB.Translate(addr) {
 		return start
 	}
 	ms.Stats.TLBWalks++
+	bw := &ms.BW[ctx]
+	bw.TLBWalks++
+	bw.TLBWalkCycles += ms.cfg.TLBWalkLat
 	walkStart := max64(start, ms.walkerBusy)
 	done := walkStart + ms.cfg.TLBWalkLat
 	ms.walkerBusy = done
@@ -224,7 +246,7 @@ func (ms *MemSystem) fillL1(ctx int, addr Addr, write bool) {
 // buffer. Stores complete immediately (posted); flushes reserve bus
 // occupancy asynchronously.
 func (ms *MemSystem) ntStore(ctx int, start uint64, addr Addr, size int) uint64 {
-	t := ms.translate(start, addr)
+	t := ms.translate(ctx, start, addr)
 	line := ms.L2.LineAddr(addr)
 	wc := &ms.wc[ctx]
 	if wc.open && wc.line == line {

@@ -82,6 +82,8 @@ type MachineStats struct {
 	Bus    BusStats
 	Mem    MemStats
 	PF     [2]PFStats
+	Cov    [2]CoverageStats
+	BW     [2]BWStats
 }
 
 // StatsSnapshot freezes all machine counters.
@@ -93,6 +95,8 @@ func (m *Machine) StatsSnapshot() MachineStats {
 		Bus: m.Mem.Bus.Stats,
 		Mem: m.Mem.Stats,
 		PF:  [2]PFStats{m.Mem.PF[0].Stats, m.Mem.PF[1].Stats},
+		Cov: m.Cov,
+		BW:  m.Mem.BW,
 	}
 }
 
@@ -105,7 +109,23 @@ func (s MachineStats) Delta(prev MachineStats) MachineStats {
 		Bus: s.Bus.Delta(prev.Bus),
 		Mem: s.Mem.Delta(prev.Mem),
 		PF:  [2]PFStats{s.PF[0].Delta(prev.PF[0]), s.PF[1].Delta(prev.PF[1])},
+		Cov: [2]CoverageStats{s.Cov[0].Delta(prev.Cov[0]), s.Cov[1].Delta(prev.Cov[1])},
+		BW:  [2]BWStats{s.BW[0].Delta(prev.BW[0]), s.BW[1].Delta(prev.BW[1])},
 	}
+}
+
+// CovTotal sums both contexts' coverage counters.
+func (s MachineStats) CovTotal() CoverageStats {
+	t := s.Cov[0]
+	t.Add(s.Cov[1])
+	return t
+}
+
+// BWTotal sums both contexts' bandwidth attribution.
+func (s MachineStats) BWTotal() BWStats {
+	t := s.BW[0]
+	t.Add(s.BW[1])
+	return t
 }
 
 // ResetStats zeroes every machine counter without touching timing state
@@ -119,6 +139,10 @@ func (m *Machine) ResetStats() {
 	m.Mem.Stats.Reset()
 	for i := range m.Mem.PF {
 		m.Mem.PF[i].Stats.Reset()
+	}
+	for i := range m.Cov {
+		m.Cov[i].Reset()
+		m.Mem.BW[i].Reset()
 	}
 }
 
@@ -154,6 +178,36 @@ func (s MachineStats) Publish(r *obs.Registry) {
 		r.Gauge(prefix + ".useful_hits").Set(float64(pf.UsefulHit))
 		r.Gauge(prefix + ".evicted").Set(float64(pf.Evicted))
 	}
+
+	// Fast-path coverage and per-level bandwidth attribution
+	// (coverage.go). Every key is always published, even at zero, so
+	// ledger rows carry a deterministic key set.
+	cov := s.CovTotal()
+	r.Gauge("coverage.fast_accesses").Set(float64(cov.FastAccesses))
+	r.Gauge("coverage.slow_accesses").Set(float64(cov.SlowAccesses))
+	r.Gauge("coverage.batched_iters").Set(float64(cov.BatchedIters))
+	r.Gauge("coverage.fastpath_pct").Set(cov.FastPct())
+	for _, b := range BailReasons() {
+		r.Gauge("coverage.bail." + b.String()).Set(float64(cov.Bails[b]))
+	}
+	for i := range s.BW {
+		prefix := []string{"bw.ctx0.", "bw.ctx1."}[i]
+		for lvl := range s.BW[i].Bytes {
+			key := prefix + LevelKey(Level(lvl))
+			r.Gauge(key + ".bytes").Set(float64(s.BW[i].Bytes[lvl]))
+			r.Gauge(key + ".cycles").Set(float64(s.BW[i].Cycles[lvl]))
+		}
+		r.Gauge(prefix + "tlb.walk_cycles").Set(float64(s.BW[i].TLBWalkCycles))
+	}
+	bw := s.BWTotal()
+	var total uint64
+	for lvl := range bw.Bytes {
+		r.Gauge("bw." + LevelKey(Level(lvl)) + ".bytes").Set(float64(bw.Bytes[lvl]))
+		r.Gauge("bw." + LevelKey(Level(lvl)) + ".cycles").Set(float64(bw.Cycles[lvl]))
+		total += bw.Bytes[lvl]
+	}
+	r.Gauge("bw.total.bytes").Set(float64(total))
+	r.Gauge("bw.tlb.walk_cycles").Set(float64(bw.TLBWalkCycles))
 }
 
 // defaultObserver, when set, is attached to every subsequently created

@@ -3,6 +3,7 @@ package svm
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"streamgpp/internal/obs"
@@ -83,8 +84,29 @@ func TestBulkOpsFastPathMatchesReference(t *testing.T) {
 			if fc != rc {
 				t.Errorf("cycles diverge: fast=%d ref=%d", fc, rc)
 			}
+			// Coverage counters record which path served each access and
+			// legitimately differ between the modes; their mode-invariant
+			// total must agree, and everything else — including every
+			// bw.* bandwidth gauge — must be identical.
+			for i := range fs.Cov {
+				if got, want := fs.Cov[i].Accesses(), rs.Cov[i].Accesses(); got != want {
+					t.Errorf("ctx%d coverage access totals diverge: fast %d, ref %d", i, got, want)
+				}
+			}
+			fs.Cov, rs.Cov = [2]sim.CoverageStats{}, [2]sim.CoverageStats{}
 			if fs != rs {
 				t.Errorf("MachineStats diverge:\nfast: %+v\nref:  %+v", fs, rs)
+			}
+			ftot := fr["coverage.fast_accesses"].Value + fr["coverage.slow_accesses"].Value
+			rtot := rr["coverage.fast_accesses"].Value + rr["coverage.slow_accesses"].Value
+			if ftot != rtot {
+				t.Errorf("coverage access totals diverge in registry: fast %v, ref %v", ftot, rtot)
+			}
+			for k := range fr {
+				if strings.HasPrefix(k, "coverage.") {
+					delete(fr, k)
+					delete(rr, k)
+				}
 			}
 			if !reflect.DeepEqual(fr, rr) {
 				t.Errorf("obs snapshots diverge:\nfast: %v\nref:  %v", fr, rr)

@@ -10,13 +10,47 @@ import (
 // operation kind.
 type opCounters struct {
 	strips, elems, arrayBytes *obs.Counter
+	// seqElems/idxElems split elems by access pattern: sequential
+	// (constant-stride, fast-path eligible) versus indexed
+	// (data-dependent, issued per element — see observeOp).
+	seqElems, idxElems *obs.Counter
+}
+
+// arrayCounters holds the per-array traffic handles, keyed by the
+// array's name: total elements touched and how many of them arrived
+// through an index (the per-array view of the coverage profiler's
+// BailIndexed events).
+type arrayCounters struct {
+	elems, idxElems *obs.Counter
 }
 
 // regCounters caches the handles per registry, so the per-strip
-// observeOp avoids three registry map lookups and three string
-// concatenations on every call.
+// observeOp avoids registry map lookups and string concatenations on
+// every call.
 type regCounters struct {
 	gather, scatter opCounters
+
+	// arrays caches per-array handles. Guarded by mu: strips from the
+	// two SMT contexts run on one goroutine each under the engine, but
+	// independent machines may share a registry under the parallel
+	// experiment runner.
+	mu     sync.Mutex
+	arrays map[string]*arrayCounters
+}
+
+// arrayCounters resolves (and caches) the handles for one array name.
+func (rc *regCounters) arrayCounters(r *obs.Registry, name string) *arrayCounters {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if ac, ok := rc.arrays[name]; ok {
+		return ac
+	}
+	ac := &arrayCounters{
+		elems:    r.Counter("coverage.array." + name + ".elems"),
+		idxElems: r.Counter("coverage.array." + name + ".indexed_elems"),
+	}
+	rc.arrays[name] = ac
+	return ac
 }
 
 // counterCache maps *obs.Registry → *regCounters. Registries are
@@ -34,12 +68,17 @@ func countersFor(r *obs.Registry) *regCounters {
 			strips:     r.Counter("svm.gather.strips"),
 			elems:      r.Counter("svm.gather.elems"),
 			arrayBytes: r.Counter("svm.gather.array_bytes"),
+			seqElems:   r.Counter("svm.gather.seq_elems"),
+			idxElems:   r.Counter("svm.gather.indexed_elems"),
 		},
 		scatter: opCounters{
 			strips:     r.Counter("svm.scatter.strips"),
 			elems:      r.Counter("svm.scatter.elems"),
 			arrayBytes: r.Counter("svm.scatter.array_bytes"),
+			seqElems:   r.Counter("svm.scatter.seq_elems"),
+			idxElems:   r.Counter("svm.scatter.indexed_elems"),
 		},
+		arrays: make(map[string]*arrayCounters),
 	}
 	v, _ := counterCache.LoadOrStore(r, rc)
 	return v.(*regCounters)

@@ -15,12 +15,19 @@ func groupBytes(groups []Group) int {
 	return total
 }
 
-// observeOp records one bulk operation's traffic: the strip count and
-// the array-side bytes moved, split by operation. The instrument
-// handles are resolved once per registry (see metrics.go).
-func observeOp(c *sim.CPU, op string, n, bytesPerRec int) {
+// observeOp records one bulk operation's traffic: the strip count, the
+// array-side bytes moved, and the sequential/indexed element split,
+// per operation and per array. Indexed traffic is also reported to the
+// coverage profiler as a BailIndexed event per element — it is issued
+// one Access at a time and never reaches AccessBulk, which is why the
+// irregular apps (SPAS, streamFEM) see low fast-path coverage. The
+// instrument handles are resolved once per registry (see metrics.go).
+func observeOp(c *sim.CPU, op string, n, bytesPerRec int, indexed bool, arrayName string) {
 	if c == nil {
 		return
+	}
+	if indexed {
+		c.CountBail(sim.BailIndexed, uint64(n))
 	}
 	r := c.Machine().Observer()
 	if r == nil {
@@ -34,6 +41,14 @@ func observeOp(c *sim.CPU, op string, n, bytesPerRec int) {
 	oc.strips.Inc()
 	oc.elems.Add(uint64(n))
 	oc.arrayBytes.Add(uint64(n * bytesPerRec))
+	ac := cs.arrayCounters(r, arrayName)
+	ac.elems.Add(uint64(n))
+	if indexed {
+		oc.idxElems.Add(uint64(n))
+		ac.idxElems.Add(uint64(n))
+	} else {
+		oc.seqElems.Add(uint64(n))
+	}
 }
 
 // ScatterMode selects how scattered values combine with the array.
@@ -86,7 +101,7 @@ func Gather(c *sim.CPU, cfg OpConfig, dst *Stream, dstStart int, src *Array, fie
 	checkRange("Gather dst", dstStart, n, dst.N)
 	groups := src.Layout.Groups(fields)
 	elemBytes := dst.ElemBytes()
-	observeOp(c, "gather", n, groupBytes(groups))
+	observeOp(c, "gather", n, groupBytes(groups), idx != nil, src.Name)
 
 	var pipe *sim.Pipe
 	if c != nil {
@@ -162,7 +177,7 @@ func Scatter(c *sim.CPU, cfg OpConfig, src *Stream, srcStart int, dst *Array, fi
 	checkRange("Scatter src", srcStart, n, src.N)
 	groups := dst.Layout.Groups(fields)
 	elemBytes := src.ElemBytes()
-	observeOp(c, "scatter", n, groupBytes(groups))
+	observeOp(c, "scatter", n, groupBytes(groups), idx != nil, dst.Name)
 
 	var pipe *sim.Pipe
 	if c != nil {
@@ -263,7 +278,7 @@ func GatherMulti(c *sim.CPU, cfg OpConfig, dst *Stream, dstStart int, src *Array
 	checkRange("GatherMulti dst", dstStart, n, dst.N)
 	groups := src.Layout.Groups(fields)
 	elemBytes := dst.ElemBytes()
-	observeOp(c, "gather", n, groupBytes(groups)*len(idxs))
+	observeOp(c, "gather", n*len(idxs), groupBytes(groups), true, src.Name)
 
 	var pipe *sim.Pipe
 	if c != nil {

@@ -64,29 +64,31 @@ while [ "$i" -lt "$COUNT" ]; do
 done
 
 awk -v onfile="$ON" -v offfile="$OFF" -v basefile="$BASE" '
-function ingest(file, best, cyc,    n, i, name, ns, c, line, f) {
+function ingest(file, best, cyc, cov,    n, i, name, ns, c, cv, line, f) {
 	while ((getline line <file) > 0) {
 		n = split(line, f, /[ \t]+/)
 		if (f[1] !~ /^Benchmark/) continue
 		name = f[1]
 		sub(/-[0-9]+$/, "", name)
-		ns = -1; c = -1
+		ns = -1; c = -1; cv = -1
 		for (i = 3; i <= n; i++) {
 			if (f[i] == "ns/op") ns = f[i-1]
 			if (f[i] == "sim-cycles") c = f[i-1]
+			if (f[i] == "fastpath-cov-pct") cv = f[i-1]
 		}
 		if (ns < 0) continue
 		if (!(name in best) || ns < best[name]) best[name] = ns
 		if (c >= 0) cyc[name] = c
+		if (cv >= 0) cov[name] = cv
 		order[++norder] = name
 	}
 	close(file)
 }
 BEGIN {
 	norder = 0
-	ingest(onfile, on, cycles)
-	ingest(offfile, off, cycles)
-	ingest(basefile, base, basecycles)
+	ingest(onfile, on, cycles, covpct)
+	ingest(offfile, off, cycles, covoff)
+	ingest(basefile, base, basecycles, covbase)
 	printf "[\n"
 	first = 1
 	for (i = 1; i <= norder; i++) {
@@ -105,6 +107,8 @@ BEGIN {
 			if (on[name] > 0)
 				printf ", \"sim_cycles_per_sec\": %.0f", cycles[name] * 1e9 / on[name]
 		}
+		if (name in covpct)
+			printf ", \"fastpath_coverage_pct\": %.2f", covpct[name]
 		if (name in base) {
 			printf ", \"baseline_ns_per_op\": %.0f", base[name]
 			if (on[name] > 0)
@@ -124,15 +128,17 @@ if [ "$MODE" != "smoke" ] && [ "$MODE" != "--smoke" ]; then
 	NOW="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	awk -v commit="$COMMIT" -v now="$NOW" '
 	/"benchmark"/ {
-		name = ""; ns = ""; cyc = ""; cps = ""
+		name = ""; ns = ""; cyc = ""; cps = ""; cov = ""
 		if (match($0, /"benchmark": "[^"]+"/)) name = substr($0, RSTART + 14, RLENGTH - 15)
 		if (match($0, /"fast_ns_per_op": [0-9]+/)) ns = substr($0, RSTART + 18, RLENGTH - 18)
 		if (match($0, /"sim_cycles": [0-9]+/)) cyc = substr($0, RSTART + 14, RLENGTH - 14)
 		if (match($0, /"sim_cycles_per_sec": [0-9]+/)) cps = substr($0, RSTART + 22, RLENGTH - 22)
+		if (match($0, /"fastpath_coverage_pct": [0-9.]+/)) cov = substr($0, RSTART + 25, RLENGTH - 25)
 		if (name == "" || ns == "") next
-		printf "{\"schema\":1,\"time\":\"%s\",\"experiment\":\"%s\",\"commit\":\"%s\",\"fast_path\":true,\"wall_ns\":%s", now, name, commit, ns
+		printf "{\"schema\":2,\"time\":\"%s\",\"experiment\":\"%s\",\"commit\":\"%s\",\"fast_path\":true,\"wall_ns\":%s", now, name, commit, ns
 		if (cyc != "") printf ",\"sim_cycles\":%s", cyc
 		if (cps != "") printf ",\"sim_cycles_per_sec\":%s", cps
+		if (cov != "") printf ",\"metrics\":{\"coverage.fastpath_pct\":%s}", cov
 		printf ",\"source\":\"bench.sh\"}\n"
 	}' "$OUT" >>"$HIST"
 	echo "appended $(grep -c "\"time\":\"$NOW\"" "$HIST") entries to $HIST (commit $COMMIT)"

@@ -5,7 +5,9 @@
 # and the regression gate (a clean re-run must pass, a synthetically
 # slowed run must fail), a smoke of the critical-path profiler and the
 # what-if cross-check (identity exact, kernel speedup within the gate
-# tolerance), and a smoke run of the wall-clock benchmark harness.
+# tolerance), a smoke of the fast-path coverage profiler (known bail
+# reason named, nonzero DRAM attribution), and a smoke run of the
+# wall-clock benchmark harness.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -93,8 +95,25 @@ grep "kernel=1.25" /tmp/whatif.txt | grep -q "PASS" \
     || { echo "kernel=1.25 scenario did not pass the gate"; cat /tmp/whatif.txt; exit 1; }
 /tmp/streambench.check -validate "$GATE_BASE"
 
+echo "== fast-path coverage smoke =="
+# The coverage profiler must explain the SPAS run: report a fast-path
+# coverage percentage, name a dominant bail reason from the taxonomy
+# (SPAS's indexed accesses make one inevitable), and attribute nonzero
+# DRAM traffic with a roofline summary.
+/tmp/streamtrace.check -app spas -coverage >/tmp/coverage.txt
+grep -q "fast path served" /tmp/coverage.txt \
+    || { echo "streamtrace -coverage printed no coverage line"; cat /tmp/coverage.txt; exit 1; }
+grep -q "dominant bail: " /tmp/coverage.txt \
+    || { echo "streamtrace -coverage named no dominant bail reason"; cat /tmp/coverage.txt; exit 1; }
+grep -Eq "indexed|no_pin" /tmp/coverage.txt \
+    || { echo "streamtrace -coverage missing known bail-reason keys"; cat /tmp/coverage.txt; exit 1; }
+grep -E "DRAM" /tmp/coverage.txt | grep -Eq "[1-9][0-9]*" \
+    || { echo "streamtrace -coverage attributed no DRAM bytes"; cat /tmp/coverage.txt; exit 1; }
+grep -q "roofline" /tmp/coverage.txt \
+    || { echo "streamtrace -coverage printed no roofline summary"; cat /tmp/coverage.txt; exit 1; }
+
 rm -f "$GATE_BASE" /tmp/streambench.check
-rm -f /tmp/streamtrace.check /tmp/fault_a.txt /tmp/fault_b.txt /tmp/critpath.txt /tmp/whatif.txt
+rm -f /tmp/streamtrace.check /tmp/fault_a.txt /tmp/fault_b.txt /tmp/critpath.txt /tmp/whatif.txt /tmp/coverage.txt
 
 echo "== scripts/bench.sh smoke =="
 sh scripts/bench.sh smoke
