@@ -31,9 +31,17 @@ type coverageReport struct {
 	// DominantBail names the largest bail counter, "" when no bails.
 	DominantBail string `json:"dominant_bail,omitempty"`
 	// SeqElems/IndexedElems split the svm layer's gather+scatter
-	// elements by access pattern; indexed elements can never batch.
+	// elements by access pattern; RunElems counts the indexed elements
+	// the run coalescer lowered to AccessBulk (constant-delta index
+	// runs), a subset of IndexedElems.
 	SeqElems     float64 `json:"seq_elems"`
 	IndexedElems float64 `json:"indexed_elems"`
+	RunElems     float64 `json:"run_elems"`
+	// TopBails ranks the nonzero bail reasons by estimated lost cycles
+	// (count × mean per-access occupied cycles), so the next
+	// optimization target reads directly off the report. The -topbails
+	// flag selects how many the text view prints.
+	TopBails []bailCost `json:"top_bails"`
 	// Arrays lists per-array traffic, heaviest first.
 	Arrays []coverageArray `json:"arrays,omitempty"`
 	// Bandwidth is the per-level traffic and roofline summary.
@@ -45,6 +53,40 @@ type coverageArray struct {
 	Name         string  `json:"name"`
 	Elems        float64 `json:"elems"`
 	IndexedElems float64 `json:"indexed_elems"`
+}
+
+// bailCost is one bail reason's estimated optimization value: how many
+// simulated cycles the accesses behind its events cost on the slow
+// path. The estimate charges every event the run's mean per-access
+// occupied cycles — coarse (a window_full event stands for a whole
+// declined batch, an indexed event for one access), but it correctly
+// separates millions of cheap L1-hit bails from thousands of
+// DRAM-bound ones, which a raw count cannot.
+type bailCost struct {
+	Reason     string  `json:"reason"`
+	Count      float64 `json:"count"`
+	LostCycles float64 `json:"est_lost_cycles"`
+}
+
+// rankBails builds the lost-cycles ranking from the bail counters and
+// the run's mean per-access occupied cycles.
+func rankBails(bails map[string]float64, bw obs.BandwidthReport, accesses float64) []bailCost {
+	perAccess := 0.0
+	if accesses > 0 {
+		occ := bw.TLBWalkCycles
+		for _, row := range bw.Levels {
+			occ += row.OccCycles
+		}
+		perAccess = occ / accesses
+	}
+	var out []bailCost
+	for _, r := range sim.BailReasons() {
+		if v := bails[r.String()]; v > 0 {
+			out = append(out, bailCost{Reason: r.String(), Count: v, LostCycles: v * perAccess})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].LostCycles > out[j].LostCycles })
+	return out
 }
 
 // dominantBail returns the largest bail counter's reason name, with
@@ -72,6 +114,7 @@ func newCoverageReport(metrics map[string]float64, streamCycles uint64, cfg sim.
 		Bails:        map[string]float64{},
 		SeqElems:     metrics["svm.gather.seq_elems"] + metrics["svm.scatter.seq_elems"],
 		IndexedElems: metrics["svm.gather.indexed_elems"] + metrics["svm.scatter.indexed_elems"],
+		RunElems:     metrics["svm.gather.run_elems"] + metrics["svm.scatter.run_elems"],
 		Bandwidth: obs.NewBandwidthReport(metrics, streamCycles,
 			cfg.BusBytesPerCycle*cfg.BusEff),
 	}
@@ -79,6 +122,7 @@ func newCoverageReport(metrics map[string]float64, streamCycles uint64, cfg sim.
 		rep.Bails[r.String()] = metrics["coverage.bail."+r.String()]
 	}
 	rep.DominantBail = dominantBail(rep.Bails)
+	rep.TopBails = rankBails(rep.Bails, rep.Bandwidth, rep.FastAccesses+rep.SlowAccesses)
 	for key, v := range metrics {
 		name, ok := strings.CutPrefix(key, "coverage.array.")
 		if !ok {
@@ -109,8 +153,12 @@ func (r coverageReport) Render(w io.Writer) {
 	fmt.Fprintf(w, "  fast path served %.0f of %.0f accesses (%.1f%%), %.0f batched iterations\n",
 		r.FastAccesses, total, r.FastPct, r.BatchedIters)
 	if r.SeqElems+r.IndexedElems > 0 {
-		fmt.Fprintf(w, "  bulk elements: %.0f sequential, %.0f indexed (indexed can never batch)\n",
-			r.SeqElems, r.IndexedElems)
+		frac := 0.0
+		if r.IndexedElems > 0 {
+			frac = 100 * r.RunElems / r.IndexedElems
+		}
+		fmt.Fprintf(w, "  bulk elements: %.0f sequential, %.0f indexed (%.1f%% coalesced into runs)\n",
+			r.SeqElems, r.IndexedElems, frac)
 	}
 	fmt.Fprintln(w, "  bail reasons (why accesses fell off the fast path):")
 	for _, reason := range sim.BailReasons() {
@@ -141,4 +189,20 @@ func (r coverageReport) Render(w io.Writer) {
 	}
 	fmt.Fprintln(w, "  bandwidth by level:")
 	r.Bandwidth.Render(w)
+}
+
+// RenderTopBails writes the -topbails view: the top n bail reasons
+// ranked by estimated lost cycles rather than raw counts.
+func (r coverageReport) RenderTopBails(w io.Writer, n int) {
+	fmt.Fprintln(w, "  top bails by estimated lost cycles (events × mean per-access occupied cycles):")
+	if len(r.TopBails) == 0 {
+		fmt.Fprintln(w, "    (none)")
+		return
+	}
+	for i, b := range r.TopBails {
+		if i >= n {
+			break
+		}
+		fmt.Fprintf(w, "    %-14s %14.0f events  ~%14.0f cycles\n", b.Reason, b.Count, b.LostCycles)
+	}
 }

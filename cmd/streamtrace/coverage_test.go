@@ -115,15 +115,31 @@ func TestCoverageJSONSchemaGolden(t *testing.T) {
 // byte-identical.
 func TestCoverageDifferentialFastOnOff(t *testing.T) {
 	// LD-ST-COMP streams sequentially (exercising AccessBulk and its
-	// disabled-mode bail); GAT-SCAT-COMP is indexed (exercising the
-	// per-access pin path and the indexed bail).
+	// disabled-mode bail); GAT-SCAT-COMP is indexed through a random
+	// permutation, which defeats run coalescing entirely — the adaptive
+	// fast path must then stay out of the way (zero probes, zero fast
+	// accesses) and attribute every element to the indexed bail.
 	for _, app := range []string{"LD-ST-COMP", "GAT-SCAT-COMP"} {
 		t.Run(app, func(t *testing.T) {
 			on, onFlat := runCoverage(t, app, true)
 			off, offFlat := runCoverage(t, app, false)
 
-			if on.FastAccesses == 0 || on.FastPct == 0 {
-				t.Errorf("fast-on run reports no fast-path coverage: %+v", on)
+			if app == "LD-ST-COMP" {
+				if on.FastAccesses == 0 || on.FastPct == 0 {
+					t.Errorf("fast-on run reports no fast-path coverage: %+v", on)
+				}
+			} else {
+				// A pure permutation has no constant-delta runs: the
+				// profiler must show all indexed elements bailing, and —
+				// because probing un-coalescible traffic is pure tax —
+				// no fast accesses at all.
+				if on.FastAccesses != 0 {
+					t.Errorf("fast-on run probed un-coalescible indexed traffic: %+v", on)
+				}
+				if on.IndexedElems == 0 || on.Bails["indexed"] != float64(on.IndexedElems) {
+					t.Errorf("indexed elements not fully attributed: elems=%v bails=%v",
+						on.IndexedElems, on.Bails["indexed"])
+				}
 			}
 			if off.FastAccesses != 0 || off.FastPct != 0 {
 				t.Errorf("fast-off run reports fast-path coverage: fast=%v pct=%v", off.FastAccesses, off.FastPct)

@@ -119,6 +119,8 @@ func main() {
 		"emit one machine-readable JSON object (stall report + critical-path summary, ledger flatten conventions) instead of the text report")
 	covflag := flag.Bool("coverage", false,
 		"report fast-path coverage (which accesses the bulk fast path served, and why the rest bailed) and per-level bandwidth attribution")
+	topbails := flag.Int("topbails", 0,
+		"with -coverage, also rank the top N bail reasons by estimated lost cycles (bails × mean per-access cost)")
 	flag.Parse()
 
 	if *list {
@@ -270,7 +272,7 @@ func main() {
 
 	flat := obs.FlattenSnapshot(reg.Snapshot())
 	var cov *coverageReport
-	if *covflag || *jsonOut {
+	if *covflag || *jsonOut || *topbails > 0 {
 		c := newCoverageReport(flat, stream.Cycles, sim.PentiumD8300())
 		cov = &c
 		if cpath != nil && cov.DominantBail != "" {
@@ -345,6 +347,9 @@ func main() {
 		if cov != nil {
 			fmt.Println("Fast-path coverage and bandwidth (stream run):")
 			cov.Render(os.Stdout)
+			if *topbails > 0 {
+				cov.RenderTopBails(os.Stdout, *topbails)
+			}
 			fmt.Println()
 		}
 

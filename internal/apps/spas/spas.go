@@ -95,9 +95,10 @@ func NewInstance(p Params) (*Instance, error) {
 	k := 0
 	for r := 0; r < p.Rows; r++ {
 		inst.RowPtr[r] = int32(k)
-		seen := map[int32]bool{}
+		rowStart := k
 		for j := 0; j < p.NNZPerRow; j++ {
 			var c int32
+		draw:
 			for {
 				if rng.Float64() < 0.98 {
 					c = int32(r + rng.Intn(2*band+1) - band)
@@ -110,11 +111,17 @@ func NewInstance(p Params) (*Instance, error) {
 				if int(c) >= p.Rows {
 					c = int32(2*p.Rows-2) - c
 				}
-				if !seen[c] {
-					break
+				// Row-local duplicate check: the row's chosen columns so
+				// far are ColIdx[rowStart:k]; a scan over ≤NNZPerRow
+				// entries beats a per-row map (and draws the same random
+				// sequence, so the matrix is unchanged).
+				for _, prev := range inst.ColIdx.Idx[rowStart:k] {
+					if prev == c {
+						continue draw
+					}
 				}
+				break
 			}
-			seen[c] = true
 			inst.ColIdx.Idx[k] = c
 			inst.RowOf.Idx[k] = int32(r)
 			inst.Vals.Set(k, 0, rng.Float64()*2-1)

@@ -137,10 +137,31 @@ func TestMetricGateFlagsDRAMGrowth(t *testing.T) {
 	}
 }
 
+func TestMetricGateFlagsDRAMOccupancyGrowth(t *testing.T) {
+	// Occupancy can regress without byte growth — e.g. row-buffer
+	// locality lost, so the same bytes hold DRAM longer. The
+	// occupied-cycles axis must flag independently.
+	base := runsWithMetrics("fig5",
+		map[string]float64{"bw.dram.bytes": 1e6, "bw.dram.cycles": 1e5}, 100)
+	cur := runsWithMetrics("fig5",
+		map[string]float64{"bw.dram.bytes": 1e6, "bw.dram.cycles": 2e5}, 100)
+	rep := CompareLedgers(base, cur, DefaultGateOptions())
+	if !rep.Regressed {
+		t.Fatalf("2x DRAM occupancy at flat bytes not flagged: %+v", rep.Verdicts)
+	}
+	for _, v := range rep.Verdicts {
+		if strings.Contains(v.Experiment, "bw.dram.bytes") && v.Regressed {
+			t.Fatalf("byte gate fired on flat bytes: %+v", v)
+		}
+	}
+}
+
 func TestMetricGatePassesCleanRerun(t *testing.T) {
 	// Deterministic metrics compare at exactly ratio 1 on a clean
 	// re-run — the gate must not false-positive.
-	m := map[string]float64{"coverage.fastpath_pct": 96, "bw.dram.bytes": 1e6}
+	m := map[string]float64{
+		"coverage.fastpath_pct": 96, "bw.dram.bytes": 1e6, "bw.dram.cycles": 1e5,
+	}
 	rep := CompareLedgers(runsWithMetrics("fig5", m, 100, 99),
 		runsWithMetrics("fig5", m, 101, 100), DefaultGateOptions())
 	if rep.Regressed {
@@ -155,8 +176,8 @@ func TestMetricGatePassesCleanRerun(t *testing.T) {
 			}
 		}
 	}
-	if n != 2 {
-		t.Fatalf("expected 2 metric verdicts, got %d: %+v", n, rep.Verdicts)
+	if n != 3 {
+		t.Fatalf("expected 3 metric verdicts, got %d: %+v", n, rep.Verdicts)
 	}
 }
 

@@ -5,16 +5,27 @@ package sim
 // regular baseline's interleaved loops) touch the same cache line, TLB
 // page or write-combining buffer many times in a row, so almost every
 // access repeats the hierarchy walk the previous access just did. Each
-// Pipe keeps a small set of "pins": windows of memory proven resident
-// (an L1 line plus its TLB entry, or a WC-buffer page). An access that
-// lands inside a pin replays *exactly* the state mutations the
-// per-access reference path would perform — same tick increments, same
-// LRU updates, same statistics, same clock arithmetic, same park
+// hardware context keeps a set of "pins": windows of memory proven
+// resident (an L1 line plus its TLB entry, or a WC-buffer page). An
+// access that lands inside a pin replays *exactly* the state mutations
+// the per-access reference path would perform — same tick increments,
+// same LRU updates, same statistics, same clock arithmetic, same park
 // cadence — skipping only the redundant searches. Anything a pin
 // cannot prove resident (line/page crossings, evictions by the sibling
 // context, WC flushes) takes the ordinary path, whose result re-arms a
 // pin. Generation counters on the caches and TLB detect foreign
 // mutations that could silently unpin a window.
+//
+// Three adaptive layers keep the fast path profitable (DESIGN.md §14):
+// pins are captured eagerly after every slow access (an L1 hit, a WC
+// post, or a fill — the filled lines are resident too), so one
+// reference iteration re-arms the batch path; the pin set is a
+// per-context hashed 2-way set-associative table that survives Pipe
+// lifetimes (svm creates a fresh Pipe per strip); and a per-ref-shape
+// backoff counter suppresses bulkBatch probing after repeated
+// identical bails, so miss-bound workloads stop paying the probe tax.
+// All three decide only *which* path executes an access, never what the
+// access does, so they cannot affect simulated timing.
 //
 // Because the fast step performs literally the same mutations as the
 // reference path, the two are bit-identical by construction; the
@@ -41,14 +52,12 @@ func (m *Machine) SetFastPath(on bool) { m.fastPath = on }
 // FastPath reports whether the bulk fast path is enabled.
 func (m *Machine) FastPath() bool { return m.fastPath }
 
-// pipePins is the pin-set size: enough for every concurrent reference
-// stream of the widest loop (array sides, SRF side, index arrays).
-const pipePins = 8
-
 // pin is one proven-resident window.
 type pin struct {
 	valid bool
 	wc    bool // pins a WC-buffer page rather than an L1 line
+	fill  bool // captured speculatively from a miss fill, not proven reuse
+	hit   bool // served at least one fast access since capture
 
 	lo, hi Addr       // the window: one L1 line (cacheable) or one page (wc)
 	ln     *cacheLine // L1-resident line, cacheable pins only
@@ -58,6 +67,244 @@ type pin struct {
 	l1Gen    uint64
 	l1SetGen uint64
 	tlbGen   uint64
+}
+
+// Pin-set geometry: a hashed 2-way set-associative table per hardware
+// context. Sets are chosen by a multiplicative hash of the line
+// address (arrays are page-aligned, so co-advancing streams would
+// thrash a simple modulo index at every line), and the two ways give a
+// colliding pair of streams a home each; the victim is the
+// least-recently-used way. 128 line pins comfortably cover the widest
+// loop's concurrent streams plus the regular baseline's interleaved
+// arrays.
+const (
+	pinSetBits = 6
+	pinSets    = 1 << pinSetBits
+	pinWays    = 2
+)
+
+// pinColdLimit is the per-set miss streak after which Pipe.Access
+// stops probing that pin set and eager capture stops pinning filled
+// lines into it: on random (indexed) traffic pins essentially never
+// match, so the per-access probe and the speculative capture are pure
+// overhead. The streak is kept per set, not per context, because real
+// workloads interleave patterned and patternless traffic on the same
+// pipe (a gather's sequential index stream between its random data
+// accesses): a context-global streak is perpetually reset by the
+// stream hits and never shuts off the hopeless probes. Per set, the
+// handful of sets holding live stream pins stay warm while the rest —
+// probed only by traffic that never re-touches a line — go cold
+// independently. The counter moves up and down rather than resetting
+// on a hit (see chill and warm): a miss costs twice what a hit pays
+// back, so mixed traffic must hit well over ⅔ of its probes to stay
+// warm. An L1-hit capture into a cold set grants exactly one probed
+// access (probation) — a stream that settles back into line reuse hits
+// that probe and warms up over its next few hits, while random traffic
+// wastes at most one probe per capture. Like all pin policy this
+// changes only which path runs, never any simulated state.
+const pinColdLimit = 32
+
+// pinWasteLimit gates speculative fill captures by their observed
+// utility: install tracks how many consecutive fill-captured pins were
+// evicted without ever serving a fast access. Partially-random traffic
+// (a gather whose index and SRF streams hit pins while the data array
+// is random) keeps the cold streak low, so pinColdLimit never engages —
+// but its fill pins are pure waste *and* they evict the useful stream
+// pins they collide with. Once the waste streak saturates, fills stop
+// pinning; evicting a pin that did serve a hit resets the streak, so a
+// workload that returns to line reuse re-opens fill capture.
+const pinWasteLimit = 16
+
+// Backoff tuning: after backoffStreak consecutive identical bails on
+// one ref shape, AccessBulk skips bulkBatch probing for backoffBase
+// iterations, doubling (up to << backoffMaxLevel) each time the probe
+// fails again with the same reason right after a skip window — failed
+// probes are pure overhead on top of the reference iteration, so a
+// shape that never batches (miss-bound, oversized records) must stop
+// paying per iteration. Any pin capture ends the suppression
+// immediately (pin-dependent bails can now succeed); BailRefShape is
+// permanent for the shape and keeps its backoff across captures.
+const (
+	backoffSlotBits = 4
+	backoffSlots    = 1 << backoffSlotBits
+	backoffStreak   = 4
+	backoffBase     = 16
+	backoffMaxLevel = 6
+)
+
+// backoffEntry is one ref shape's saturating bail counter.
+type backoffEntry struct {
+	key    uint64 // shape hash (collisions reclaim the slot)
+	reason BailReason
+	streak uint8  // consecutive identical bails
+	level  uint8  // escalation: skip = backoffBase << level
+	skip   uint16 // iterations left to skip probing
+	gen    uint32 // pinSet.captureGen at the last observation
+}
+
+// note records one failed probe's reason and engages (or escalates)
+// the skip window after backoffStreak identical bails in a row.
+func (e *backoffEntry) note(bail BailReason, gen uint32) {
+	if bail != e.reason {
+		e.reason, e.streak, e.level, e.skip, e.gen = bail, 1, 0, 0, gen
+		return
+	}
+	e.gen = gen
+	if e.streak < backoffStreak {
+		e.streak++
+		if e.streak < backoffStreak {
+			return
+		}
+	}
+	e.skip = backoffBase << e.level
+	if e.level < backoffMaxLevel {
+		e.level++
+	}
+}
+
+// pinSet is one hardware context's persistent fast-path state. It
+// lives on the Machine (indexed by context id) rather than the Pipe,
+// because svm creates a fresh Pipe per strip: pins warmed by one strip
+// must serve the next. All of it is policy/bookkeeping — the simulated
+// state lives in the caches, TLB and clocks.
+type pinSet struct {
+	sets [pinSets][pinWays]pin
+	mru  [pinSets]uint8 // most-recently-used way per set
+	wc   pin            // the single WC-buffer page pin (one buffer per context)
+
+	cold      [pinSets]uint8 // per-set up/down probe counters, see chill/warm
+	probeLine [pinSets]Addr  // per-set probation target, see thaw
+	waste     int            // consecutive fill pins evicted unused, see pinWasteLimit
+
+	// captureGen counts pin captures; backoff entries for pin-dependent
+	// bail reasons expire when it moves, making recovery immediate.
+	captureGen uint32
+	backoff    [backoffSlots]backoffEntry
+}
+
+// pinSlot hashes a line address into a set index. The multiplicative
+// hash decorrelates co-advancing streams whose bases share alignment.
+func pinSlot(line Addr) int {
+	return int((uint64(line) * 0x9E3779B97F4A7C15) >> (64 - pinSetBits))
+}
+
+// lookup returns the pin covering the given line, or nil.
+func (ps *pinSet) lookup(line Addr) *pin {
+	s := pinSlot(line)
+	ws := &ps.sets[s]
+	if ws[0].valid && ws[0].lo == line {
+		ps.mru[s] = 0
+		return &ws[0]
+	}
+	if ws[1].valid && ws[1].lo == line {
+		ps.mru[s] = 1
+		return &ws[1]
+	}
+	return nil
+}
+
+// install stores pn in its set, refreshing an existing pin for the
+// same line or evicting the LRU way. Evictions feed the fill-capture
+// utility streak: displacing a fill pin that never served a hit is
+// evidence the traffic is too random to be worth pinning on fills.
+func (ps *pinSet) install(pn pin) {
+	s := pinSlot(pn.lo)
+	ws := &ps.sets[s]
+	var w int
+	switch {
+	case ws[0].valid && ws[0].lo == pn.lo:
+		w = 0
+	case ws[1].valid && ws[1].lo == pn.lo:
+		w = 1
+	case !ws[0].valid:
+		w = 0
+	case !ws[1].valid:
+		w = 1
+	default:
+		w = 1 - int(ps.mru[s])
+	}
+	if old := &ws[w]; old.valid && old.lo != pn.lo {
+		if old.hit {
+			ps.waste = 0
+		} else if old.fill && ps.waste < pinWasteLimit {
+			ps.waste++
+		}
+	}
+	ws[w] = pn
+	ps.mru[s] = uint8(w)
+}
+
+// chill notes a probed access in line's set that no pin served; the
+// counter saturates at pinColdLimit, where probing stops.
+func (ps *pinSet) chill(line Addr) {
+	s := pinSlot(line)
+	if c := ps.cold[s] + 2; c < pinColdLimit {
+		ps.cold[s] = c
+	} else {
+		ps.cold[s] = pinColdLimit
+	}
+}
+
+// warm notes a pin hit in line's set. A hit pays back half a miss, not
+// the whole streak: a served probe is only break-even against the
+// reference walk (the walk's own memoization makes L1 hits cheap), so
+// traffic must hit well over ⅔ of its probes before probing is a net
+// win. Under this ratio mixed traffic — a mesh gather whose sporadic
+// locality serves 40% of probes — drifts cold and stops paying the 60%
+// probe tax, while streams and dense reuse (hit rates near 1) pay down
+// their occasional new-line misses and stay warm.
+func (ps *pinSet) warm(line Addr) {
+	if s := pinSlot(line); ps.cold[s] > 0 {
+		ps.cold[s]--
+	}
+}
+
+// thaw applies the capture-time cold policy to line's set: a capture
+// with proven reuse (L1 hit, WC post) pays the counter down one step —
+// the same credit a pin hit earns, so capture evidence cannot outvote
+// probe evidence (an L1-heavy workload whose probes still miss, e.g. a
+// multi-array interleave whose lines re-hit L1 but rarely re-hit their
+// pins, must still drift cold) — or grants one probation probe when
+// the set was fully cold. Probation is line-targeted (probeLine): in a
+// cold set the only pin worth probing for is the one this capture just
+// installed, so the probe fires only when the next same-set access
+// touches that very line — a sequential stream re-touching its line
+// qualifies and re-warms, while an unrelated array colliding into the
+// set is spared a guaranteed-miss probe.
+func (ps *pinSet) thaw(line Addr) {
+	s := pinSlot(line)
+	if ps.cold[s] >= pinColdLimit {
+		ps.cold[s] = pinColdLimit - 1
+		ps.probeLine[s] = line
+	} else if ps.cold[s] > 0 {
+		ps.cold[s]--
+	}
+}
+
+// backoffFor resolves the backoff entry for one ref shape (sizes,
+// strides, write/hint flags — not bases: the same loop shape recurs
+// across strips at shifting bases).
+func (ps *pinSet) backoffFor(refs []BulkRef) *backoffEntry {
+	const prime = 0x100000001b3
+	h := (uint64(len(refs)) + 1) * prime
+	for i := range refs {
+		r := &refs[i]
+		h ^= uint64(uint32(r.Size))
+		h *= prime
+		h ^= uint64(uint32(r.Stride))
+		h *= prime
+		v := uint64(r.Hint) << 1
+		if r.Write {
+			v |= 1
+		}
+		h ^= v
+		h *= prime
+	}
+	e := &ps.backoff[h>>(64-backoffSlotBits)]
+	if e.key != h {
+		*e = backoffEntry{key: h}
+	}
+	return e
 }
 
 // BulkRef describes one reference pattern of a bulk operation:
@@ -85,21 +332,54 @@ type BulkRef struct {
 // switch contexts, a whole run of iterations collapses into one
 // closed-form state update (see bulkBatch) — the simulator walks cache
 // lines, not records. With the fast path disabled this is the literal
-// reference loop.
+// reference loop. A Stride of 0 is a valid pattern (every iteration
+// re-touches the same window — an indexed run with constant index, or
+// a scatter-add's read-modify-write pair).
 func (p *Pipe) AccessBulk(n int, refs ...BulkRef) {
-	fast := p.c.m.fastPath
-	cov := &p.c.m.Cov[p.c.p.id]
-	if !fast {
+	p.declared = true
+	c := p.c
+	cov := &c.m.Cov[c.p.id]
+	if !c.m.fastPath {
 		cov.Bails[BailDisabled]++
+		for k := 0; k < n; k++ {
+			for i := range refs {
+				r := &refs[i]
+				p.Access(r.Base+Addr(k*r.Stride), r.Size, r.Write, r.Hint)
+			}
+		}
+		return
 	}
+	if n == 1 {
+		// A single iteration can never batch; skip the probe and the
+		// backoff bookkeeping entirely (indexed gathers degenerate to
+		// per-element calls on random indices — this is their hot path).
+		cov.Bails[BailShortBatch]++
+		for i := range refs {
+			r := &refs[i]
+			p.Access(r.Base, r.Size, r.Write, r.Hint)
+		}
+		return
+	}
+	ps := p.ps
+	bo := ps.backoffFor(refs)
 	for k := 0; k < n; {
-		if fast {
+		// A live skip window suppresses the probe; it dies instantly on
+		// any pin capture (except for shape bails, which no capture can
+		// cure) so a re-armed stream resumes batching without waiting
+		// out the window.
+		if bo.skip > 0 && (bo.reason == BailRefShape || bo.gen == ps.captureGen) {
+			bo.skip--
+			cov.Bails[BailBackoff]++
+		} else {
+			bo.skip = 0
 			adv, bail := p.bulkBatch(k, n-k, refs)
 			if adv > 0 {
 				k += adv
+				bo.streak, bo.level = 0, 0
 				continue
 			}
 			cov.Bails[bail]++
+			bo.note(bail, ps.captureGen)
 		}
 		for i := range refs {
 			r := &refs[i]
@@ -109,8 +389,284 @@ func (p *Pipe) AccessBulk(n int, refs ...BulkRef) {
 	}
 }
 
-// maxBatchRefs bounds the per-batch stack state of bulkBatch.
-const maxBatchRefs = 8
+// AccessLoop issues n iterations of a regular (conventional-code)
+// affine loop, bit-identically to the equivalent per-iteration loop
+//
+//	for i := 0; i < n; i++ {
+//		readsDone := 0
+//		for _, r := range refs {
+//			res := p.Access(r.Base+Addr(i*r.Stride), r.Size, r.Write, r.Hint)
+//			if !r.Write && res.Done > readsDone { readsDone = res.Done }
+//		}
+//		body(i)
+//		if ops > 0 {
+//			if readsDone > overlap { c.StallUntil(readsDone - overlap) }
+//			c.Compute(ops)
+//		}
+//	}
+//
+// — exec.RunRegular's iteration scheme. Declaring the refs, the
+// (constant) per-iteration compute cost and the overlap window in one
+// call lets the fast path collapse whole runs of all-hit iterations
+// into a closed-form update (loopBatch): because every access is a
+// pinned L1 hit, the stall and compute deltas are identical from one
+// iteration to the next, so k iterations of refs+stall+compute apply
+// as one multiplication. body must be purely functional (host-side
+// arithmetic, no simulated accesses); it is still called once per
+// iteration in order.
+func (p *Pipe) AccessLoop(n int, refs []BulkRef, ops int64, overlap uint64, body func(int)) {
+	p.declared = true
+	c := p.c
+	cov := &c.m.Cov[c.p.id]
+	if !c.m.fastPath {
+		cov.Bails[BailDisabled]++
+		for i := 0; i < n; i++ {
+			p.loopIter(i, refs, ops, overlap, body)
+		}
+		return
+	}
+	ps := p.ps
+	bo := ps.backoffFor(refs)
+	for i := 0; i < n; {
+		if bo.skip > 0 && (bo.reason == BailRefShape || bo.gen == ps.captureGen) {
+			bo.skip--
+			cov.Bails[BailBackoff]++
+		} else {
+			bo.skip = 0
+			adv, bail := p.loopBatch(i, n-i, refs, ops, overlap, body)
+			if adv > 0 {
+				i += adv
+				bo.streak, bo.level = 0, 0
+				continue
+			}
+			cov.Bails[bail]++
+			bo.note(bail, ps.captureGen)
+		}
+		p.loopIter(i, refs, ops, overlap, body)
+		i++
+	}
+}
+
+// loopIter is AccessLoop's reference path: one iteration exactly as
+// exec.RunRegular performs it.
+func (p *Pipe) loopIter(i int, refs []BulkRef, ops int64, overlap uint64, body func(int)) {
+	var readsDone uint64
+	for r := range refs {
+		ref := &refs[r]
+		res := p.Access(ref.Base+Addr(i*ref.Stride), ref.Size, ref.Write, ref.Hint)
+		if !ref.Write && res.Done > readsDone {
+			readsDone = res.Done
+		}
+	}
+	if body != nil {
+		body(i)
+	}
+	if ops > 0 {
+		c := p.c
+		if readsDone > overlap {
+			c.StallUntil(readsDone - overlap)
+		}
+		c.Compute(ops)
+	}
+}
+
+// loopBatch tries to execute iterations i0, i0+1, ... of an affine
+// regular loop as one aggregate update, returning how many it consumed
+// (0 = run one reference iteration and retry) and the typed reason
+// when it consumed none.
+//
+// On top of bulkBatch's conditions (every ref pinned for the run, all
+// single-line cacheable hits) it requires a single live context: the
+// stall and compute phases sample the sibling's state through
+// computeRate and park, so only the regular baseline's solo context
+// can replay them in closed form. Under those conditions each
+// iteration advances the clock by the same three constants —
+//
+//	refCycles = nrefs·issue                   (the access issue slots)
+//	stallD    = max(0, lastRead·issue + L1HitLat − overlap − refCycles)
+//	computeD  = Compute(ops)'s quantum-chunked advance at the solo rate
+//
+// — where lastRead is the last read ref's position (its Done is the
+// iteration's readsDone). stallD is translation-invariant: both the
+// stall target and the post-refs clock shift with the iteration start,
+// so their difference is constant, and whenever RunRegular's
+// readsDone > overlap guard would decline the stall the difference is
+// ≤ 0. The commit replays k iterations' statistics exactly like
+// bulkBatch and adds k·(refCycles+stallD) memory cycles and
+// k·computeD compute cycles.
+func (p *Pipe) loopBatch(i0, maxIter int, refs []BulkRef, ops int64, overlap uint64, body func(int)) (int, BailReason) {
+	nrefs := len(refs)
+	if nrefs == 0 || nrefs > maxBatchRefs {
+		return 0, BailRefShape
+	}
+	if p.wlen >= p.mlp {
+		return 0, BailWindowFull
+	}
+	c := p.c
+	if c.m.nlive >= 2 {
+		return 0, BailSiblingClock
+	}
+	ms := c.m.Mem
+	l1Line := Addr(ms.cfg.L1Line)
+
+	// Resolve a pin for every ref, bound k by each pin's window, and
+	// find the last read (whose Done is each iteration's readsDone).
+	k := uint64(maxIter)
+	var pinOf [maxBatchRefs]*pin
+	lastRead := -1
+	for r := 0; r < nrefs; r++ {
+		ref := &refs[r]
+		if ref.Size <= 0 || ref.Stride < 0 || ref.Size > int(l1Line) ||
+			(ref.Stride > 0 && ref.Stride+ref.Size > int(l1Line)) ||
+			(ref.Write && ref.Hint == HintNonTemporal) {
+			return 0, BailRefShape
+		}
+		addr := ref.Base + Addr(i0*ref.Stride)
+		end := addr + Addr(ref.Size)
+		line := addr &^ (l1Line - 1)
+		if end > line+l1Line {
+			return 0, BailNoPin // straddles two lines at this position
+		}
+		pn, bail := p.pinFor(line)
+		if pn == nil {
+			return 0, bail
+		}
+		if ref.Stride > 0 {
+			if kp := (pn.hi - addr - Addr(ref.Size)) / Addr(ref.Stride); kp+1 < k {
+				k = kp + 1
+			}
+		}
+		if k < 2 {
+			return 0, BailShortBatch
+		}
+		pinOf[r] = pn
+		if !ref.Write {
+			lastRead = r
+		}
+	}
+
+	// The three per-iteration clock deltas (see the function comment).
+	issue := p.issue
+	refCycles := uint64(nrefs) * issue
+	var stallD uint64
+	if ops > 0 && lastRead >= 0 {
+		if s := int64(lastRead)*int64(issue) + int64(ms.cfg.L1HitLat) -
+			int64(overlap) - int64(refCycles); s > 0 {
+			stallD = uint64(s)
+		}
+	}
+	var computeD uint64
+	if ops > 0 {
+		// Replay Compute's quantum-chunked advance once; with one live
+		// context the rate cannot change mid-batch.
+		rate := c.computeRate()
+		work := float64(ops) * c.m.cfg.CPI
+		q := float64(c.m.cfg.Quantum)
+		for work > 0 {
+			chunk := work
+			if chunk > q {
+				chunk = q
+			}
+			dt := uint64(chunk/rate + 0.5)
+			if dt == 0 {
+				dt = 1
+			}
+			computeD += dt
+			work -= chunk
+		}
+	}
+
+	// Commit: replay k iterations' worth of mutations in closed form.
+	accesses := k * uint64(nrefs)
+	cov := &c.m.Cov[c.p.id]
+	cov.FastAccesses += accesses
+	cov.BatchedIters += k
+	ms.Stats.Accesses += accesses
+	ms.TLB.Stats.Hits += accesses
+	tlb0 := ms.TLB.tick
+	ms.TLB.tick += accesses
+	l10 := ms.L1.tick
+	ms.L1.tick += accesses
+	ms.L1.Stats.Hits += accesses
+	ms.Stats.ByLevel[LevelL1] += accesses
+	now0 := c.p.now
+	bw := &ms.BW[c.p.id]
+	for r := 0; r < nrefs; r++ {
+		pn := pinOf[r]
+		pn.hit = true
+		// Last touch is iteration k-1, position r; ref-order stamping
+		// makes the last writer win for refs sharing an entry or line.
+		pn.te.lru = tlb0 + (k-1)*uint64(nrefs) + uint64(r) + 1
+		pn.ln.lru = l10 + (k-1)*uint64(nrefs) + uint64(r) + 1
+		if refs[r].Write {
+			pn.ln.dirty = true
+		}
+		bw.Bytes[LevelL1] += k * uint64(refs[r].Size)
+		bw.Cycles[LevelL1] += k * ms.cfg.L1HitLat
+	}
+	iterD := refCycles + stallD + computeD
+	c.p.now += k * iterD
+	c.p.memCycles += k * (refCycles + stallD)
+	c.p.computeCycles += k * computeD
+	if done := now0 + (k-1)*iterD + uint64(nrefs-1)*issue + ms.cfg.L1HitLat; done > p.slowest {
+		p.slowest = done
+	}
+	p.pending = (p.pending + int(accesses)) % pipeParkBatch
+	if ops > 0 {
+		c.p.state = StateCompute
+	} else {
+		c.p.state = p.state
+	}
+	if body != nil {
+		for j := uint64(0); j < k; j++ {
+			body(i0 + int(j))
+		}
+	}
+	return int(k), 0
+}
+
+// pinFor returns the validated pin covering the one-L1-line window at
+// line, or nil with the typed reason. Validation re-resolves stale
+// cache/TLB pointers in place (generation mismatches) and invalidates
+// the pin when the line or page is no longer resident.
+func (p *Pipe) pinFor(line Addr) (*pin, BailReason) {
+	ms := p.c.m.Mem
+	pn := p.ps.lookup(line)
+	if pn == nil {
+		return nil, BailNoPin
+	}
+	if pn.tlbGen != ms.TLB.gen {
+		te := ms.TLB.probe(line >> ms.TLB.pageBits)
+		if te == nil {
+			pn.valid = false
+			return nil, BailTLBGenMiss
+		}
+		pn.te = te
+		pn.tlbGen = ms.TLB.gen
+	}
+	if pn.l1Gen != ms.L1.gen || pn.l1SetGen != ms.L1.setGen[pn.set] {
+		set, tag := ms.L1.index(line)
+		ln := ms.L1.findLine(set, tag)
+		if ln == nil {
+			pn.valid = false
+			return nil, BailL1GenMiss
+		}
+		pn.ln = ln
+		pn.l1Gen = ms.L1.gen
+		pn.l1SetGen = ms.L1.setGen[set]
+	}
+	return pn, 0
+}
+
+// maxBatchRefs bounds the per-batch stack state of bulkBatch. 16
+// admits the widest lowered patterns (a multi-index gather's index
+// streams plus per-group array and SRF sides).
+const maxBatchRefs = 16
+
+// MaxBulkRefs is the widest reference pattern one AccessBulk call can
+// batch; wider calls always run on the reference path. Exposed so the
+// svm run coalescer can gate its lowering.
+const MaxBulkRefs = maxBatchRefs
 
 // bulkBatch tries to execute iterations k0, k0+1, ... of the reference
 // pattern as one aggregate state update, returning how many iterations
@@ -176,32 +732,43 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) (int, BailReason) {
 		ncache int
 		sawWC  bool
 	)
+	ps := p.ps
 	for r := 0; r < nrefs; r++ {
 		ref := &refs[r]
-		if ref.Size <= 0 || ref.Stride <= 0 {
+		if ref.Size <= 0 || ref.Stride < 0 || ref.Size > int(l1Line) ||
+			(ref.Stride > 0 && ref.Stride+ref.Size > int(l1Line)) {
+			// Oversized refs span lines every iteration, and a stride
+			// too wide for two consecutive iterations to share a line
+			// can never yield a run of 2. Either way a single-line pin
+			// cannot prove a batch — permanently unbatchable, which the
+			// backoff exploits (fastAccess still serves them singly).
 			return 0, BailRefShape
 		}
 		addr := ref.Base + Addr(k0*ref.Stride)
 		end := addr + Addr(ref.Size)
 		wc := ref.Write && ref.Hint == HintNonTemporal
+		var pn *pin
 		if wc {
 			if sawWC {
 				return 0, BailWCState // two NT-store streams share one WC buffer: not batchable
 			}
 			sawWC = true
-		}
-		var pn *pin
-		for i := range p.pins {
-			q := &p.pins[i]
-			if q.valid && q.wc == wc && addr >= q.lo && end <= q.hi {
-				pn = q
-				break
+			pn = &ps.wc
+			if !pn.valid || addr < pn.lo || end > pn.hi {
+				return 0, BailNoPin
+			}
+		} else {
+			line := addr &^ (l1Line - 1)
+			if end > line+l1Line {
+				return 0, BailNoPin // straddles two lines at this position
+			}
+			var bail BailReason
+			pn, bail = p.pinFor(line)
+			if pn == nil {
+				return 0, bail
 			}
 		}
-		if pn == nil {
-			return 0, BailNoPin
-		}
-		if pn.tlbGen != ms.TLB.gen {
+		if wc && pn.tlbGen != ms.TLB.gen {
 			te := ms.TLB.probe(pn.lo >> ms.TLB.pageBits)
 			if te == nil {
 				pn.valid = false
@@ -221,8 +788,10 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) (int, BailReason) {
 			if end > lineEnd {
 				return 0, BailWCState
 			}
-			if kl := (lineEnd - addr - Addr(ref.Size)) / Addr(ref.Stride); kl+1 < k {
-				k = kl + 1
+			if ref.Stride > 0 {
+				if kl := (lineEnd - addr - Addr(ref.Size)) / Addr(ref.Stride); kl+1 < k {
+					k = kl + 1
+				}
 			}
 			if kc := uint64(ms.cfg.L2Line-1-wcb.bytes) / uint64(ref.Size); kc < k {
 				k = kc
@@ -230,31 +799,27 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) (int, BailReason) {
 			if k < 2 {
 				return 0, BailShortBatch
 			}
-			for j := uint64(0); j < k; j++ {
-				a := addr + Addr(j*uint64(ref.Stride))
-				if (a&(l1Line-1))+Addr(ref.Size) > l1Line {
-					k = j
-					break
+			if ref.Stride > 0 {
+				for j := uint64(0); j < k; j++ {
+					a := addr + Addr(j*uint64(ref.Stride))
+					if (a&(l1Line-1))+Addr(ref.Size) > l1Line {
+						k = j
+						break
+					}
 				}
+			} else if (addr&(l1Line-1))+Addr(ref.Size) > l1Line {
+				return 0, BailWCState
 			}
 			if k < 2 {
 				return 0, BailShortBatch
 			}
 		} else {
-			if pn.l1Gen != ms.L1.gen || pn.l1SetGen != ms.L1.setGen[pn.set] {
-				set, tag := ms.L1.index(pn.lo)
-				ln := ms.L1.findLine(set, tag)
-				if ln == nil {
-					pn.valid = false
-					return 0, BailL1GenMiss
+			// Iterations whose access stays inside the pinned line
+			// (a zero stride never leaves it).
+			if ref.Stride > 0 {
+				if kp := (pn.hi - addr - Addr(ref.Size)) / Addr(ref.Stride); kp+1 < k {
+					k = kp + 1
 				}
-				pn.ln = ln
-				pn.l1Gen = ms.L1.gen
-				pn.l1SetGen = ms.L1.setGen[set]
-			}
-			// Iterations whose access stays inside the pinned line.
-			if kp := (pn.hi - addr - Addr(ref.Size)) / Addr(ref.Stride); kp+1 < k {
-				k = kp + 1
 			}
 			if k < 2 {
 				return 0, BailShortBatch
@@ -292,6 +857,7 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) (int, BailReason) {
 	bw := &ms.BW[c.p.id]
 	for r := 0; r < nrefs; r++ {
 		pn := pinOf[r]
+		pn.hit = true
 		// The ref's last access is iteration k-1, position r (or its
 		// cacheable position) within it; stamping in ref order makes
 		// the last writer win for refs sharing an entry or line.
@@ -321,19 +887,15 @@ func (p *Pipe) bulkBatch(k0, maxIter int, refs []BulkRef) (int, BailReason) {
 	return int(k), 0
 }
 
-// pinColdLimit is the miss streak after which Pipe.Access stops
-// probing the pin set: on random (indexed) traffic pins essentially
-// never match, so the per-access scan is pure overhead. Any pin hit
-// resets the streak; a capture while cold grants exactly one probed
-// access (probation) — a stream that settles back into line reuse
-// hits that probe and is fully warm again after one slow access,
-// while random traffic wastes at most one probe per capture. Like all
-// pin policy this changes only which path runs, never any simulated
-// state.
-const pinColdLimit = 32
+// maxAccessChunks bounds the L1 lines one pinned access may span (an
+// access larger than a line splits into per-line chunks on the
+// reference path; fastAccess replays the same per-chunk mutations).
+const maxAccessChunks = 8
 
 // fastAccess tries to satisfy the access from the pin set, returning
-// ok=false when no pin proves it resident.
+// ok=false when no pin proves it resident. Accesses spanning several
+// L1 lines are served when every line is pinned, replaying the
+// reference path's per-chunk mutations in chunk order.
 func (p *Pipe) fastAccess(addr Addr, size int, write bool, hint Hint) (AccessResult, bool) {
 	if size <= 0 {
 		return AccessResult{}, false // let the reference path panic
@@ -341,57 +903,44 @@ func (p *Pipe) fastAccess(addr Addr, size int, write bool, hint Hint) (AccessRes
 	c := p.c
 	ms := c.m.Mem
 	cov := &c.m.Cov[c.p.id]
-	wc := write && hint == HintNonTemporal
+	ps := p.ps
 	end := addr + Addr(size)
-	bail := BailNoPin
-	for i := range p.pins {
-		pn := &p.pins[i]
-		if !pn.valid || pn.wc != wc || addr < pn.lo || end > pn.hi {
-			continue
+	l1Line := Addr(ms.cfg.L1Line)
+
+	if write && hint == HintNonTemporal {
+		pn := &ps.wc
+		if !pn.valid || addr < pn.lo || end > pn.hi {
+			ps.chill(addr &^ (l1Line - 1))
+			cov.Bails[BailNoPin]++
+			return AccessResult{}, false
 		}
 		if pn.tlbGen != ms.TLB.gen {
 			te := ms.TLB.probe(pn.lo >> ms.TLB.pageBits)
 			if te == nil {
 				pn.valid = false
-				bail = BailTLBGenMiss
-				continue
+				ps.chill(addr &^ (l1Line - 1))
+				cov.Bails[BailTLBGenMiss]++
+				return AccessResult{}, false
 			}
 			pn.te = te
 			pn.tlbGen = ms.TLB.gen
 		}
-		var wcb *wcBuffer
-		if wc {
-			// The non-temporal store must append to the open WC buffer
-			// without filling it (a fill flushes to the bus — slow
-			// path), and must stay within one L1 line (larger accesses
-			// split into chunks).
-			l1Line := Addr(ms.cfg.L1Line)
-			if end > (addr&^(l1Line-1))+l1Line {
-				cov.Bails[BailWCState]++
-				return AccessResult{}, false
-			}
-			wcb = &ms.wc[c.p.id]
-			if !wcb.open || wcb.line != addr&^Addr(ms.cfg.L2Line-1) || wcb.bytes+size >= ms.cfg.L2Line {
-				cov.Bails[BailWCState]++
-				return AccessResult{}, false
-			}
-		} else if pn.l1Gen != ms.L1.gen || pn.l1SetGen != ms.L1.setGen[pn.set] {
-			// Something was installed into the pinned set (or the
-			// cache was flushed) since the pin; re-probe the line.
-			set, tag := ms.L1.index(pn.lo)
-			ln := ms.L1.findLine(set, tag)
-			if ln == nil {
-				pn.valid = false
-				bail = BailL1GenMiss
-				continue
-			}
-			pn.ln = ln
-			pn.l1Gen = ms.L1.gen
-			pn.l1SetGen = ms.L1.setGen[set]
+		// The non-temporal store must append to the open WC buffer
+		// without filling it (a fill flushes to the bus — slow path),
+		// and must stay within one L1 line (larger accesses split into
+		// chunks).
+		if end > (addr&^(l1Line-1))+l1Line {
+			cov.Bails[BailWCState]++
+			return AccessResult{}, false
+		}
+		wcb := &ms.wc[c.p.id]
+		if !wcb.open || wcb.line != addr&^Addr(ms.cfg.L2Line-1) || wcb.bytes+size >= ms.cfg.L2Line {
+			cov.Bails[BailWCState]++
+			return AccessResult{}, false
 		}
 
-		// The access is a guaranteed hit; replay the exact mutations
-		// of Pipe.Access → MemSystem.Access for this case.
+		// The store is a guaranteed post; replay the exact mutations of
+		// Pipe.Access → MemSystem.Access for this case.
 		c.p.state = p.state
 		start := c.p.now
 		if p.wlen == p.mlp {
@@ -405,78 +954,175 @@ func (p *Pipe) fastAccess(addr Addr, size int, write bool, hint Hint) (AccessRes
 				start = oldest
 			}
 		}
-
 		ms.Stats.Accesses++
 		ms.TLB.tick++
 		pn.te.lru = ms.TLB.tick
 		ms.TLB.Stats.Hits++
 		cov.FastAccesses++
 		bw := &ms.BW[c.p.id]
-
-		r := AccessResult{}
-		if wc {
-			wcb.bytes += size
-			ms.Stats.ByLevel[LevelWC]++
-			bw.Bytes[LevelWC] += uint64(size)
-			bw.Cycles[LevelWC]++
-			r = AccessResult{Done: start + 1, Level: LevelWC}
-		} else {
-			l1 := ms.L1
-			l1.tick++
-			pn.ln.lru = l1.tick
-			if write {
-				pn.ln.dirty = true
-			}
-			l1.Stats.Hits++
-			ms.Stats.ByLevel[LevelL1]++
-			bw.Bytes[LevelL1] += uint64(size)
-			bw.Cycles[LevelL1] += ms.cfg.L1HitLat
-			r = AccessResult{Done: start + ms.cfg.L1HitLat, Level: LevelL1}
-		}
-
-		// L1 hits and posted WC stores never occupy a window slot.
-		if r.Done > p.slowest {
-			p.slowest = r.Done
-		}
-		t := start + p.issue
-		if t > c.p.now {
-			c.p.memCycles += t - c.p.now
-			c.p.now = t
-		}
-		p.pending++
-		if p.pending >= pipeParkBatch {
-			p.pending = 0
-			c.park()
-		}
-		p.pinCold = 0
+		wcb.bytes += size
+		ms.Stats.ByLevel[LevelWC]++
+		bw.Bytes[LevelWC] += uint64(size)
+		bw.Cycles[LevelWC]++
+		r := AccessResult{Done: start + 1, Level: LevelWC}
+		p.finishFast(start, r)
+		ps.warm(addr &^ (l1Line - 1))
 		return r, true
 	}
-	p.pinCold++
-	cov.Bails[bail]++
-	return AccessResult{}, false
+
+	// Cacheable, single L1 line — the common case: one pin, no chunk
+	// bookkeeping.
+	if line := addr &^ (l1Line - 1); end <= line+l1Line {
+		pn, bail := p.pinFor(line)
+		if pn == nil {
+			ps.chill(line)
+			cov.Bails[bail]++
+			return AccessResult{}, false
+		}
+		c.p.state = p.state
+		start := c.p.now
+		if p.wlen == p.mlp {
+			oldest := p.window[p.whead]
+			p.whead++
+			if p.whead == p.mlp {
+				p.whead = 0
+			}
+			p.wlen--
+			if oldest > start {
+				start = oldest
+			}
+		}
+		pn.hit = true
+		ms.Stats.Accesses++
+		ms.TLB.tick++
+		pn.te.lru = ms.TLB.tick
+		ms.TLB.Stats.Hits++
+		l1 := ms.L1
+		l1.tick++
+		pn.ln.lru = l1.tick
+		if write {
+			pn.ln.dirty = true
+		}
+		l1.Stats.Hits++
+		ms.Stats.ByLevel[LevelL1]++
+		bw := &ms.BW[c.p.id]
+		bw.Bytes[LevelL1] += uint64(size)
+		bw.Cycles[LevelL1] += ms.cfg.L1HitLat
+		cov.FastAccesses++
+		r := AccessResult{Done: start + ms.cfg.L1HitLat, Level: LevelL1}
+		p.finishFast(start, r)
+		ps.warm(line)
+		return r, true
+	}
+
+	// Cacheable, spanning lines: every chunk's line must be pinned (and
+	// fresh).
+	var (
+		pins   [maxAccessChunks]*pin
+		sizes  [maxAccessChunks]int
+		nchunk int
+	)
+	for cur := addr; cur < end; {
+		line := cur &^ (l1Line - 1)
+		chunkEnd := line + l1Line
+		if chunkEnd > end {
+			chunkEnd = end
+		}
+		if nchunk == maxAccessChunks {
+			ps.chill(line)
+			cov.Bails[BailNoPin]++
+			return AccessResult{}, false
+		}
+		pn, bail := p.pinFor(line)
+		if pn == nil {
+			ps.chill(line)
+			cov.Bails[bail]++
+			return AccessResult{}, false
+		}
+		pins[nchunk] = pn
+		sizes[nchunk] = int(chunkEnd - cur)
+		nchunk++
+		cur = chunkEnd
+	}
+
+	// Every chunk is a guaranteed hit; replay the exact mutations of
+	// Pipe.Access → MemSystem.Access in chunk order.
+	c.p.state = p.state
+	start := c.p.now
+	if p.wlen == p.mlp {
+		oldest := p.window[p.whead]
+		p.whead++
+		if p.whead == p.mlp {
+			p.whead = 0
+		}
+		p.wlen--
+		if oldest > start {
+			start = oldest
+		}
+	}
+	bw := &ms.BW[c.p.id]
+	l1 := ms.L1
+	for i := 0; i < nchunk; i++ {
+		pn := pins[i]
+		pn.hit = true
+		ps.warm(pn.lo)
+		ms.Stats.Accesses++
+		ms.TLB.tick++
+		pn.te.lru = ms.TLB.tick
+		ms.TLB.Stats.Hits++
+		l1.tick++
+		pn.ln.lru = l1.tick
+		if write {
+			pn.ln.dirty = true
+		}
+		l1.Stats.Hits++
+		ms.Stats.ByLevel[LevelL1]++
+		bw.Bytes[LevelL1] += uint64(sizes[i])
+		bw.Cycles[LevelL1] += ms.cfg.L1HitLat
+	}
+	cov.FastAccesses++
+	r := AccessResult{Done: start + ms.cfg.L1HitLat, Level: LevelL1}
+	p.finishFast(start, r)
+	return r, true
 }
 
-// capturePin re-arms a pin after a reference-path access: the line (or
-// WC page) that access touched is now resident, so subsequent accesses
-// inside it qualify for fastAccess.
+// finishFast applies the tail of Pipe.Access for a fast-served access:
+// slowest tracking, clock advance to the issue point, and the park
+// cadence. (L1 hits and posted WC stores never occupy a window slot.)
+func (p *Pipe) finishFast(start uint64, r AccessResult) {
+	c := p.c
+	if r.Done > p.slowest {
+		p.slowest = r.Done
+	}
+	t := start + p.issue
+	if t > c.p.now {
+		c.p.memCycles += t - c.p.now
+		c.p.now = t
+	}
+	p.pending++
+	if p.pending >= pipeParkBatch {
+		p.pending = 0
+		c.park()
+	}
+}
+
+// capturePin re-arms pins after a reference-path access: every line
+// (or the WC page) that access touched is now resident, so subsequent
+// accesses inside them qualify for fastAccess.
 //
-// Only accesses with proven reuse arm a pin: an L1 hit (somebody
-// touched the line before and will again — the signature of a stream
-// that just crossed into a new line) or a posted write-combining store.
-// A fill from L2 or DRAM is just as resident, but capturing there would
-// tax every miss of a *random* stream for pins that never hit again;
-// a true stream's second access to the line is an L1 hit and arms the
-// pin then, giving up 1 fast access per line in exchange for making
-// random misses free. Pin policy only decides which accesses take the
-// fast path, never what any access does, so this heuristic cannot
-// affect simulated timing. level tells the capture which kind of
-// window to pin: LevelWC pins the open WC buffer's page, anything else
-// pins the L1 line just accessed.
+// Capture is eager: an L1 hit, a WC post, *and* any fill (L2, an
+// in-flight prefetch, DRAM) all leave their lines L1-resident, so all
+// of them pin — a stream that crosses into a new line pays exactly one
+// reference iteration before the batch path re-arms. The exception is
+// a cold pin set (the signature of random traffic): there, fills stop
+// pinning into it — they would tax every random miss for pins that
+// never hit — and only proven reuse (an L1 hit or WC post) re-arms,
+// with the probation semantics of pinColdLimit. Pin policy only
+// decides which accesses take the fast path, never what any access
+// does, so these heuristics cannot affect simulated timing.
 func (p *Pipe) capturePin(addr Addr, size int, level Level) {
-	// No duplicate-pin check is needed: a live pin covering this access
-	// would have served it in fastAccess, so a capture here implies no
-	// such pin exists and round-robin replacement suffices.
 	ms := p.c.m.Mem
+	ps := p.ps
 	if level == LevelWC {
 		page := addr >> ms.TLB.pageBits
 		te := ms.TLB.probe(page)
@@ -484,43 +1130,48 @@ func (p *Pipe) capturePin(addr Addr, size int, level Level) {
 			return
 		}
 		lo := page << ms.TLB.pageBits
-		p.pins[p.pinNext] = pin{valid: true, wc: true, te: te, tlbGen: ms.TLB.gen,
+		ps.wc = pin{valid: true, wc: true, te: te, tlbGen: ms.TLB.gen,
 			lo: lo, hi: lo + (1 << ms.TLB.pageBits)}
-		p.pinNext = (p.pinNext + 1) % pipePins
-		if p.pinCold >= pinColdLimit {
-			p.pinCold = pinColdLimit - 1
-		} else {
-			p.pinCold = 0
-		}
+		ps.captureGen++
+		ps.thaw(addr &^ (Addr(ms.cfg.L1Line) - 1))
 		return
 	}
-	// Pin the line holding the access's last byte: a forward-moving
-	// stream's next accesses land there (or beyond, re-pinning). The
-	// lookup that produced this hit usually just stashed the line, so
-	// the set scan is normally skipped.
+	fill := level != LevelL1
+	if fill && ps.waste >= pinWasteLimit {
+		return // fill pins measurably useless here: stop speculating
+	}
+	// Pin every line the access touched. Both an L1 scan hit and a miss
+	// fill stash their line, so the set scan is almost always skipped.
 	l1 := ms.L1
-	line := l1.LineAddr(addr + Addr(size) - 1)
-	ln, set := l1.lastHit, l1.lastHitSet
-	if ln == nil || l1.lastHitLine != line ||
-		l1.lastHitGen != l1.gen || l1.lastHitSetGen != l1.setGen[set] {
-		var tag uint64
-		set, tag = l1.index(line)
-		ln = l1.findLine(set, tag)
-		if ln == nil {
-			return
+	l1Line := Addr(ms.cfg.L1Line)
+	last := l1.LineAddr(addr + Addr(size) - 1)
+	for line := l1.LineAddr(addr); line <= last; line += l1Line {
+		if fill && ps.cold[pinSlot(line)] >= pinColdLimit {
+			continue // random traffic here: don't pin on misses
 		}
-	}
-	te := ms.TLB.probe(line >> ms.TLB.pageBits)
-	if te == nil {
-		return
-	}
-	p.pins[p.pinNext] = pin{valid: true, lo: line, hi: line + Addr(ms.cfg.L1Line),
-		ln: ln, te: te, set: set,
-		l1Gen: l1.gen, l1SetGen: l1.setGen[set], tlbGen: ms.TLB.gen}
-	p.pinNext = (p.pinNext + 1) % pipePins
-	if p.pinCold >= pinColdLimit {
-		p.pinCold = pinColdLimit - 1
-	} else {
-		p.pinCold = 0
+		var ln *cacheLine
+		var set int
+		if l1.lastHit != nil && l1.lastHitLine == line &&
+			l1.lastHitGen == l1.gen && l1.lastHitSetGen == l1.setGen[l1.lastHitSet] {
+			ln, set = l1.lastHit, l1.lastHitSet
+		} else {
+			var tag uint64
+			set, tag = l1.index(line)
+			ln = l1.findLine(set, tag)
+			if ln == nil {
+				continue
+			}
+		}
+		te := ms.TLB.probe(line >> ms.TLB.pageBits)
+		if te == nil {
+			continue
+		}
+		ps.install(pin{valid: true, fill: fill, lo: line, hi: line + l1Line,
+			ln: ln, te: te, set: set,
+			l1Gen: l1.gen, l1SetGen: l1.setGen[set], tlbGen: ms.TLB.gen})
+		ps.captureGen++
+		if !fill {
+			ps.thaw(line)
+		}
 	}
 }

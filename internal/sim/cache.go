@@ -50,10 +50,12 @@ type Cache struct {
 	memoNext int
 	useMemo  bool
 
-	// lastHit stashes the line of the most recent scan hit so the bulk
-	// fast path can re-arm a pin without re-scanning the set. Like any
-	// cached *cacheLine it is only trustworthy while gen and
-	// setGen[lastHitSet] are unchanged (checked by the consumer).
+	// lastHit stashes the line of the most recent scan hit *or* miss
+	// fill so the bulk fast path can re-arm a pin without re-scanning
+	// the set (after a fill, the just-installed line is the one the pin
+	// wants). Like any cached *cacheLine it is only trustworthy while
+	// gen and setGen[lastHitSet] are unchanged (checked by the
+	// consumer).
 	lastHit       *cacheLine
 	lastHitLine   Addr
 	lastHitSet    int
@@ -275,6 +277,11 @@ func (c *Cache) fillMiss(line Addr, write bool, hint Hint) Evicted {
 	c.tick++
 	ways[victim] = cacheLine{tag: tag, valid: true, dirty: write, nt: hint == HintNonTemporal, lru: c.tick}
 	c.setGen[set]++
+	c.lastHit = &ways[victim]
+	c.lastHitLine = line
+	c.lastHitSet = set
+	c.lastHitGen = c.gen
+	c.lastHitSetGen = c.setGen[set]
 	if c.useMemo {
 		for i := range c.memo {
 			if c.memo[i].ln == &ways[victim] {

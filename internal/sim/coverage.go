@@ -60,6 +60,15 @@ const (
 	// BailPinCold: the cold-streak heuristic (pinColdLimit) skipped
 	// the pin probe entirely — the signature of random traffic.
 	BailPinCold
+	// BailIndexedRun: indexed traffic that the svm layer *did* coalesce
+	// — a constant-delta run in the index vector lowered to AccessBulk
+	// strided refs. One event per element, splitting BailIndexed so the
+	// profiler attributes what fraction of indexed traffic batches.
+	BailIndexedRun
+	// BailBackoff: the per-ref-shape backoff suppressed the bulkBatch
+	// probe after repeated identical bails. One event per skipped
+	// iteration — the probe tax those iterations did not pay.
+	BailBackoff
 
 	// NumBailReasons sizes Bails arrays.
 	NumBailReasons
@@ -68,7 +77,7 @@ const (
 var bailNames = [NumBailReasons]string{
 	"disabled", "indexed", "ref_shape", "window_full", "sibling_clock",
 	"short_batch", "no_pin", "tlb_gen_miss", "l1_gen_miss", "wc_state",
-	"pin_cold",
+	"pin_cold", "indexed_run", "backoff",
 }
 
 // String returns the metric-key name of the reason.

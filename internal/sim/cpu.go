@@ -169,9 +169,16 @@ type Pipe struct {
 	state   ProcState
 	slowest uint64
 
-	pins    [pipePins]pin // proven-resident windows, see bulk.go
-	pinNext int
-	pinCold int // consecutive accesses no pin served, see fastAccess
+	ps *pinSet // the context's persistent fast-path pins, see bulk.go
+
+	// declared is set by the pattern-declaring entry points (AccessBulk,
+	// AccessLoop): only their traffic probes and captures pins. Opaque
+	// per-access traffic can hit pins at best as often as the reference
+	// hierarchy walk hits its own memos, so probing it is a net tax —
+	// measured on the indexed benchmarks, the probe + capture overhead
+	// exceeds the walk savings. Like every fast-path policy this only
+	// selects which path executes, never what an access does.
+	declared bool
 
 	// tlMLP, when non-nil, receives windowed samples of the window
 	// occupancy (outstanding misses — achieved MLP). It is resolved at
@@ -195,7 +202,8 @@ func (c *CPU) NewPipe(mlp int, issueCycles uint64, state ProcState) *Pipe {
 	if mlp < 1 {
 		panic(fmt.Sprintf("sim: pipe MLP %d", mlp))
 	}
-	p := &Pipe{c: c, mlp: mlp, window: make([]uint64, mlp), issue: issueCycles, state: state}
+	p := &Pipe{c: c, mlp: mlp, window: make([]uint64, mlp), issue: issueCycles, state: state,
+		ps: &c.m.pinsets[c.p.id]}
 	if state == StateMemory && c.m.tl != nil {
 		// Only bulk memory traffic feeds the outstanding-miss series:
 		// the regular baseline's interleaved pipes (StateCompute) run on
@@ -205,6 +213,19 @@ func (c *CPU) NewPipe(mlp int, issueCycles uint64, state ProcState) *Pipe {
 	return p
 }
 
+// Declare opts the pipe's per-access traffic into fast-path probing
+// before any batch declaration (AccessBulk and AccessLoop set it
+// implicitly on first use). Only callers who know their per-element
+// traffic reuses lines should consider it: measured on this machine, a
+// pin-served single access is merely break-even against the reference
+// walk (whose TLB memo and L1 last-hit stash already make hits cheap),
+// so universal early declaration taxes patternless traffic for no
+// downstream gain — svm's indexed ops deliberately leave declaration
+// to their first coalesced run instead. Like the flag itself, this is
+// pure policy: it selects which path executes, never what an access
+// does.
+func (p *Pipe) Declare() { p.declared = true }
+
 // Access issues one access through the window. The context clock tracks
 // the issue front; call Drain to synchronise with completions. Only
 // accesses that miss to DRAM occupy window slots (the window models
@@ -212,8 +233,14 @@ func (c *CPU) NewPipe(mlp int, issueCycles uint64, state ProcState) *Pipe {
 // issue slot but never block the window.
 func (p *Pipe) Access(addr Addr, size int, write bool, hint Hint) AccessResult {
 	c := p.c
-	if c.m.fastPath {
-		if p.pinCold < pinColdLimit {
+	if c.m.fastPath && p.declared {
+		line := addr &^ (Addr(c.m.Mem.cfg.L1Line) - 1)
+		s := pinSlot(line)
+		// A set at pinColdLimit-1 is (or was recently) on probation:
+		// only the line whose capture granted it gets the probe — any
+		// other line in a near-cold set is a near-guaranteed miss.
+		if cold := p.ps.cold[s]; cold < pinColdLimit-1 ||
+			(cold == pinColdLimit-1 && p.ps.probeLine[s] == line) {
 			if r, ok := p.fastAccess(addr, size, write, hint); ok {
 				return r
 			}
@@ -263,7 +290,7 @@ func (p *Pipe) Access(addr Addr, size int, write bool, hint Hint) AccessResult {
 		p.pending = 0
 		c.park()
 	}
-	if c.m.fastPath && (r.Level == LevelL1 || r.Level == LevelWC) {
+	if c.m.fastPath && p.declared {
 		p.capturePin(addr, size, r.Level)
 	}
 	return r

@@ -63,6 +63,13 @@ type Machine struct {
 	// coverage.go). Indexed by context id; each context writes only
 	// its own slot.
 	Cov [2]CoverageStats
+
+	// pinsets holds each context's persistent fast-path pin state (see
+	// bulk.go). It lives on the machine, not the Pipe, so pins warmed
+	// by one strip's Pipe serve the next strip's: the cache lines and
+	// TLB entries they point into are machine-lifetime allocations,
+	// validated by generation counters on every use.
+	pinsets [2]pinSet
 }
 
 type proc struct {

@@ -17,17 +17,14 @@ func groupBytes(groups []Group) int {
 
 // observeOp records one bulk operation's traffic: the strip count, the
 // array-side bytes moved, and the sequential/indexed element split,
-// per operation and per array. Indexed traffic is also reported to the
-// coverage profiler as a BailIndexed event per element — it is issued
-// one Access at a time and never reaches AccessBulk, which is why the
-// irregular apps (SPAS, streamFEM) see low fast-path coverage. The
-// instrument handles are resolved once per registry (see metrics.go).
+// per operation and per array. How the *indexed* elements themselves
+// split — coalesced into AccessBulk runs versus issued one Access at a
+// time — is reported after the loop by observeRuns, once the run
+// detector has seen the index vector. The instrument handles are
+// resolved once per registry (see metrics.go).
 func observeOp(c *sim.CPU, op string, n, bytesPerRec int, indexed bool, arrayName string) {
 	if c == nil {
 		return
-	}
-	if indexed {
-		c.CountBail(sim.BailIndexed, uint64(n))
 	}
 	r := c.Machine().Observer()
 	if r == nil {
@@ -49,6 +46,78 @@ func observeOp(c *sim.CPU, op string, n, bytesPerRec int, indexed bool, arrayNam
 	} else {
 		oc.seqElems.Add(uint64(n))
 	}
+}
+
+// observeRuns reports how one indexed operation's elements split
+// between coalesced runs (lowered to AccessBulk — BailIndexedRun) and
+// the per-element path (BailIndexed), feeding the coverage profiler's
+// indexed attribution and the svm.*.run_elems counters.
+func observeRuns(c *sim.CPU, op string, runElems, total uint64) {
+	if c == nil {
+		return
+	}
+	c.CountBail(sim.BailIndexedRun, runElems)
+	c.CountBail(sim.BailIndexed, total-runElems)
+	r := c.Machine().Observer()
+	if r == nil {
+		return
+	}
+	cs := countersFor(r)
+	if op == "scatter" {
+		cs.scatter.runElems.Add(runElems)
+	} else {
+		cs.gather.runElems.Add(runElems)
+	}
+}
+
+// idxRunMin is the shortest index run worth lowering to AccessBulk:
+// below it the batch cannot amortise its probe (bulkBatch wants ≥2
+// iterations after window bounds).
+const idxRunMin = 4
+
+// idxRun returns the length (≥1) and constant non-negative delta of
+// the maximal run ix[pos], ix[pos]+d, ix[pos]+2d, ... within
+// ix[pos:pos+max]. Descending runs are not coalesced (negative strides
+// never batch), so they report length 1.
+func idxRun(ix []int32, pos, max int) (int, int32) {
+	if max <= 1 {
+		return max, 0
+	}
+	d := ix[pos+1] - ix[pos]
+	if d < 0 {
+		return 1, 0
+	}
+	l := 2
+	for l < max && ix[pos+l]-ix[pos+l-1] == d {
+		l++
+	}
+	return l, d
+}
+
+// runLowerable reports whether indexed runs over an array with the
+// given layout can be lowered to AccessBulk refs at all: every field
+// group must fit in one L1 line (bulkBatch pins single lines) and the
+// pattern must not be wider than one call can batch. The per-run
+// stride gate (runStrideOK) is checked against each run's delta.
+func runLowerable(c *sim.CPU, groups []Group, nrefs int) bool {
+	if c == nil || nrefs > sim.MaxBulkRefs {
+		return false
+	}
+	l1 := c.Machine().Config().L1Line
+	for _, g := range groups {
+		if g.Size > l1 {
+			return false
+		}
+	}
+	return true
+}
+
+// runStrideOK gates one run's byte stride: at most half an L1 line, so
+// a pinned line covers at least two iterations and the batch is never
+// degenerate. Delta-0 runs (a repeated index — scatter-adds into one
+// row, streamFEM's per-cell face triples) always pass.
+func runStrideOK(c *sim.CPU, d int32, recStride int) bool {
+	return int(d)*recStride <= c.Machine().Config().L1Line/2
 }
 
 // ScatterMode selects how scattered values combine with the array.
@@ -129,9 +198,62 @@ func Gather(c *sim.CPU, cfg OpConfig, dst *Stream, dstStart int, src *Array, fie
 		}
 		pipe.AccessBulk(n, refs...)
 	}
-	for k := 0; k < n; k++ {
+	// An indexed gather coalesces constant-delta runs in the index
+	// vector: a run of records rec0, rec0+d, rec0+2d, ... is the same
+	// fixed set of constant-stride streams as the sequential case, just
+	// with stride d×record (plus the index stream itself), so it lowers
+	// to one AccessBulk per run. The emitted access sequence is
+	// element-for-element identical to the per-element loop — AccessBulk
+	// is bit-identical to that loop by contract — so coalescing cannot
+	// change timing, only how fast the simulator gets there.
+	nrefsPerElem := 1 + len(groups)
+	if buf.Size > 0 {
+		nrefsPerElem += len(groups)
+	}
+	lower := idx != nil && runLowerable(c, groups, nrefsPerElem)
+	var refs []sim.BulkRef
+	if lower {
+		refs = make([]sim.BulkRef, 0, nrefsPerElem)
+	}
+	runElems := 0
+	for k := 0; k < n; {
 		rec := srcStart + k
 		if idx != nil {
+			if lower {
+				if l, d := idxRun(idx.Idx, idxStart+k, n-k); l >= idxRunMin && runStrideOK(c, d, src.Layout.Stride) {
+					rec0 := int(idx.Idx[idxStart+k])
+					if rec0 >= 0 && rec0+(l-1)*int(d) < src.N {
+						refs = refs[:0]
+						refs = append(refs, sim.BulkRef{Base: idx.ElemAddr(idxStart + k),
+							Size: IndexElemBytes, Stride: IndexElemBytes, Hint: cfg.Hint})
+						for _, g := range groups {
+							refs = append(refs, sim.BulkRef{Base: src.RecordAddr(rec0) + uint64(g.Offset),
+								Size: g.Size, Stride: int(d) * src.Layout.Stride, Hint: cfg.Hint})
+							if buf.Size > 0 {
+								refs = append(refs, sim.BulkRef{Base: buf.ElemAddr(k, elemBytes),
+									Size: g.Size, Stride: elemBytes, Write: true, Hint: sim.HintNone})
+							}
+						}
+						pipe.AccessBulk(l, refs...)
+						for e := 0; e < l; e++ {
+							r := int(idx.Idx[idxStart+k+e])
+							df := 0
+							for _, g := range groups {
+								for _, fi := range g.Fields {
+									dst.Data[(dstStart+k+e)*snf+df] = src.Data[r*nf+fi]
+									df++
+								}
+							}
+						}
+						runElems += l
+						k += l
+						continue
+					}
+					// An endpoint is out of bounds: the per-element path
+					// below panics at exactly the offending element, with
+					// the same accesses issued before it.
+				}
+			}
 			if c != nil {
 				// The index entries themselves stream sequentially.
 				pipe.Access(idx.ElemAddr(idxStart+k), IndexElemBytes, false, cfg.Hint)
@@ -154,6 +276,10 @@ func Gather(c *sim.CPU, cfg OpConfig, dst *Stream, dstStart int, src *Array, fie
 				df++
 			}
 		}
+		k++
+	}
+	if idx != nil {
+		observeRuns(c, "gather", uint64(runElems), uint64(n))
 	}
 	if c != nil {
 		pipe.Drain()
@@ -211,9 +337,72 @@ func Scatter(c *sim.CPU, cfg OpConfig, src *Stream, srcStart int, dst *Array, fi
 		}
 		pipe.AccessBulk(n, refs...)
 	}
-	for k := 0; k < n; k++ {
+	// Indexed scatter run coalescing, mirroring Gather: a constant-delta
+	// run lowers to [index stream, per group: SRF read, array RMW pair
+	// or store] — the exact per-element access order. The scatter-add
+	// into one record (delta-0 runs, e.g. accumulating a sparse row)
+	// lowers to stride-0 refs, which bulkBatch handles.
+	nrefsPerElem := 1 + len(groups)
+	if buf.Size > 0 {
+		nrefsPerElem += len(groups)
+	}
+	if mode == ModeAdd {
+		nrefsPerElem += len(groups)
+	}
+	lower := idx != nil && runLowerable(c, groups, nrefsPerElem)
+	var refs []sim.BulkRef
+	if lower {
+		refs = make([]sim.BulkRef, 0, nrefsPerElem)
+	}
+	runElems := 0
+	for k := 0; k < n; {
 		rec := dstStart + k
 		if idx != nil {
+			if lower {
+				if l, d := idxRun(idx.Idx, idxStart+k, n-k); l >= idxRunMin && runStrideOK(c, d, dst.Layout.Stride) {
+					rec0 := int(idx.Idx[idxStart+k])
+					if rec0 >= 0 && rec0+(l-1)*int(d) < dst.N {
+						refs = refs[:0]
+						refs = append(refs, sim.BulkRef{Base: idx.ElemAddr(idxStart + k),
+							Size: IndexElemBytes, Stride: IndexElemBytes, Hint: cfg.Hint})
+						stride := int(d) * dst.Layout.Stride
+						for _, g := range groups {
+							if buf.Size > 0 {
+								refs = append(refs, sim.BulkRef{Base: buf.ElemAddr(k, elemBytes),
+									Size: g.Size, Stride: elemBytes, Hint: sim.HintNone})
+							}
+							base := dst.RecordAddr(rec0) + uint64(g.Offset)
+							if mode == ModeAdd {
+								refs = append(refs,
+									sim.BulkRef{Base: base, Size: g.Size, Stride: stride, Hint: sim.HintNone},
+									sim.BulkRef{Base: base, Size: g.Size, Stride: stride, Write: true, Hint: sim.HintNone})
+							} else {
+								refs = append(refs, sim.BulkRef{Base: base, Size: g.Size,
+									Stride: stride, Write: true, Hint: cfg.Hint})
+							}
+						}
+						pipe.AccessBulk(l, refs...)
+						for e := 0; e < l; e++ {
+							r := int(idx.Idx[idxStart+k+e])
+							sf := 0
+							for _, g := range groups {
+								for _, fi := range g.Fields {
+									v := src.Data[(srcStart+k+e)*snf+sf]
+									if mode == ModeAdd {
+										dst.Data[r*nf+fi] += v
+									} else {
+										dst.Data[r*nf+fi] = v
+									}
+									sf++
+								}
+							}
+						}
+						runElems += l
+						k += l
+						continue
+					}
+				}
+			}
 			if c != nil {
 				pipe.Access(idx.ElemAddr(idxStart+k), IndexElemBytes, false, cfg.Hint)
 			}
@@ -247,6 +436,10 @@ func Scatter(c *sim.CPU, cfg OpConfig, src *Stream, srcStart int, dst *Array, fi
 				sf++
 			}
 		}
+		k++
+	}
+	if idx != nil {
+		observeRuns(c, "scatter", uint64(runElems), uint64(n))
 	}
 	if c != nil {
 		pipe.Drain()
@@ -288,7 +481,80 @@ func GatherMulti(c *sim.CPU, cfg OpConfig, dst *Stream, dstStart int, src *Array
 	nf := len(src.Layout.Fields)
 	snf := dst.NumFields()
 	per := len(fields)
-	for k := 0; k < n; k++ {
+
+	// Run coalescing needs every index array to run simultaneously: the
+	// batch length is the shortest run among them, each contributing its
+	// own delta (streamFEM's face triples often advance in lockstep).
+	nrefsPerElem := len(idxs) * (1 + len(groups))
+	if buf.Size > 0 {
+		nrefsPerElem += len(idxs) * len(groups)
+	}
+	lower := runLowerable(c, groups, nrefsPerElem)
+	var refs []sim.BulkRef
+	var ds []int32
+	if lower {
+		refs = make([]sim.BulkRef, 0, nrefsPerElem)
+		ds = make([]int32, len(idxs))
+	}
+	runElems := 0
+	for k := 0; k < n; {
+		if lower {
+			l := n - k
+			ok := true
+			for j, ix := range idxs {
+				lj, dj := idxRun(ix.Idx, idxStart+k, n-k)
+				if lj < l {
+					l = lj
+				}
+				if !runStrideOK(c, dj, src.Layout.Stride) {
+					ok = false
+					break
+				}
+				ds[j] = dj
+			}
+			ok = ok && l >= idxRunMin
+			if ok {
+				for j, ix := range idxs {
+					rec0 := int(ix.Idx[idxStart+k])
+					if rec0 < 0 || rec0+(l-1)*int(ds[j]) >= src.N {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				refs = refs[:0]
+				for j, ix := range idxs {
+					refs = append(refs, sim.BulkRef{Base: ix.ElemAddr(idxStart + k),
+						Size: IndexElemBytes, Stride: IndexElemBytes, Hint: cfg.Hint})
+					rec0 := int(ix.Idx[idxStart+k])
+					for _, g := range groups {
+						refs = append(refs, sim.BulkRef{Base: src.RecordAddr(rec0) + uint64(g.Offset),
+							Size: g.Size, Stride: int(ds[j]) * src.Layout.Stride, Hint: cfg.Hint})
+						if buf.Size > 0 {
+							refs = append(refs, sim.BulkRef{Base: buf.ElemAddr(k, elemBytes),
+								Size: g.Size, Stride: elemBytes, Write: true, Hint: sim.HintNone})
+						}
+					}
+				}
+				pipe.AccessBulk(l, refs...)
+				for e := 0; e < l; e++ {
+					for j, ix := range idxs {
+						rec := int(ix.Idx[idxStart+k+e])
+						df := j * per
+						for _, g := range groups {
+							for _, fi := range g.Fields {
+								dst.Data[(dstStart+k+e)*snf+df] = src.Data[rec*nf+fi]
+								df++
+							}
+						}
+					}
+				}
+				runElems += l * len(idxs)
+				k += l
+				continue
+			}
+		}
 		for j, ix := range idxs {
 			if c != nil {
 				pipe.Access(ix.ElemAddr(idxStart+k), IndexElemBytes, false, cfg.Hint)
@@ -311,7 +577,9 @@ func GatherMulti(c *sim.CPU, cfg OpConfig, dst *Stream, dstStart int, src *Array
 				}
 			}
 		}
+		k++
 	}
+	observeRuns(c, "gather", uint64(runElems), uint64(n*len(idxs)))
 	if c != nil {
 		pipe.Drain()
 	}

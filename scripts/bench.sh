@@ -15,8 +15,11 @@
 # A full run also appends one run-ledger line per benchmark (the JSONL
 # schema of internal/obs/ledger.go, keyed by `git describe`) to
 # BENCH_history.jsonl, so wall-clock history accumulates across commits
-# and `streambench -compare`/`-validate` can consume it. Smoke runs
-# leave the history untouched.
+# and `streambench -compare`/`-validate` can consume it. Each history
+# line carries coverage.fastpath_pct and fastpath_speedup metrics, and
+# a full run exits 3 if any benchmark's fast path measures >5% slower
+# than the reference path in the same binary. Smoke runs leave the
+# history untouched and skip the gate.
 #
 # Usage:
 #   scripts/bench.sh          # the measured set (a few minutes)
@@ -128,18 +131,40 @@ if [ "$MODE" != "smoke" ] && [ "$MODE" != "--smoke" ]; then
 	NOW="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	awk -v commit="$COMMIT" -v now="$NOW" '
 	/"benchmark"/ {
-		name = ""; ns = ""; cyc = ""; cps = ""; cov = ""
+		name = ""; ns = ""; cyc = ""; cps = ""; cov = ""; spd = ""
 		if (match($0, /"benchmark": "[^"]+"/)) name = substr($0, RSTART + 14, RLENGTH - 15)
 		if (match($0, /"fast_ns_per_op": [0-9]+/)) ns = substr($0, RSTART + 18, RLENGTH - 18)
 		if (match($0, /"sim_cycles": [0-9]+/)) cyc = substr($0, RSTART + 14, RLENGTH - 14)
 		if (match($0, /"sim_cycles_per_sec": [0-9]+/)) cps = substr($0, RSTART + 22, RLENGTH - 22)
 		if (match($0, /"fastpath_coverage_pct": [0-9.]+/)) cov = substr($0, RSTART + 25, RLENGTH - 25)
+		if (match($0, /"fastpath_speedup": [0-9.]+/)) spd = substr($0, RSTART + 20, RLENGTH - 20)
 		if (name == "" || ns == "") next
 		printf "{\"schema\":2,\"time\":\"%s\",\"experiment\":\"%s\",\"commit\":\"%s\",\"fast_path\":true,\"wall_ns\":%s", now, name, commit, ns
 		if (cyc != "") printf ",\"sim_cycles\":%s", cyc
 		if (cps != "") printf ",\"sim_cycles_per_sec\":%s", cps
-		if (cov != "") printf ",\"metrics\":{\"coverage.fastpath_pct\":%s}", cov
+		metrics = ""
+		if (cov != "") metrics = "\"coverage.fastpath_pct\":" cov
+		if (spd != "") metrics = metrics (metrics == "" ? "" : ",") "\"fastpath_speedup\":" spd
+		if (metrics != "") printf ",\"metrics\":{%s}", metrics
 		printf ",\"source\":\"bench.sh\"}\n"
 	}' "$OUT" >>"$HIST"
 	echo "appended $(grep -c "\"time\":\"$NOW\"" "$HIST") entries to $HIST (commit $COMMIT)"
+
+	# Gate: the fast path must not lose to the reference path in its own
+	# binary. Both modes ran interleaved on this machine moments apart,
+	# so a >5% deficit is signal, not noise — fail loudly (exit 3, the
+	# regression-gate exit code) naming the offenders.
+	LOSERS="$(awk '
+	/"benchmark"/ {
+		name = ""; spd = ""
+		if (match($0, /"benchmark": "[^"]+"/)) name = substr($0, RSTART + 14, RLENGTH - 15)
+		if (match($0, /"fastpath_speedup": [0-9.]+/)) spd = substr($0, RSTART + 20, RLENGTH - 20)
+		if (name != "" && spd != "" && spd + 0 < 0.95)
+			printf "%s (%.2fx)\n", name, spd
+	}' "$OUT")"
+	if [ -n "$LOSERS" ]; then
+		echo "FAIL: fast path >5% slower than reference on:" >&2
+		echo "$LOSERS" >&2
+		exit 3
+	fi
 fi

@@ -26,9 +26,10 @@ go test -race ./internal/wq/ ./internal/exec/ ./internal/obs/ ./internal/svm/
 echo "== go test -race (parallel experiment runner) =="
 go test -race -run 'TestFastPathAndParallelRunsAreByteIdentical' ./internal/bench/
 
-echo "== fuzz smoke (bitvec, wq) =="
+echo "== fuzz smoke (bitvec, wq, sim fast path) =="
 go test -run='^$' -fuzz=FuzzVec -fuzztime=5s ./internal/bitvec/
 go test -run='^$' -fuzz=FuzzDependencyOrder -fuzztime=5s ./internal/wq/
+go test -run='^$' -fuzz=FuzzAccessBulk -fuzztime=5s ./internal/sim/
 
 echo "== fault-matrix smoke =="
 # Each fault kind against one experiment at a fixed seed; every run
