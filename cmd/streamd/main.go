@@ -1,0 +1,228 @@
+// Command streamd serves the simulator as a fault-tolerant job
+// service: an HTTP/JSON API with admission control (bounded job queue,
+// 429 + Retry-After under saturation), per-job deadlines and fault
+// injection, a content-addressed result cache, and graceful SIGTERM
+// drain (accepted jobs finish, new ones are rejected, the run ledger
+// stays valid).
+//
+// Usage:
+//
+//	streamd -addr :8372 -workers 4 -queue 64 -ledger streamd.jsonl
+//	streamd -selftest -ledger /tmp/streamd.jsonl
+//
+// Endpoints (see internal/streamd and the README's "Running streamd"):
+//
+//	POST /jobs                GET /jobs/{id}         GET /jobs/{id}/result
+//	GET  /jobs/{id}/trace     GET /jobs/{id}/coverage
+//	GET  /healthz             GET /readyz            GET /statz
+//
+// -selftest starts a server on a loopback port and drives the
+// check.sh smoke against it over real HTTP: submit the quickstart job
+// twice, assert the second response is a cache hit with byte-identical
+// output, send the process a real SIGTERM mid-flight, and assert the
+// drain finished the in-flight job, rejected new work and left a valid
+// ledger. Exit 0 means every assertion held.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamgpp/internal/obs"
+	"streamgpp/internal/streamd"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	workers := flag.Int("workers", 4, "job worker pool size")
+	queue := flag.Int("queue", 64, "job queue depth (admission bound; full queue → 429)")
+	cacheN := flag.Int("cache", 1024, "result cache capacity, entries")
+	maxN := flag.Int("maxn", 2_000_000, "largest per-job problem size admitted")
+	ledger := flag.String("ledger", "", "append one run-ledger JSONL entry per fresh run; repaired at startup if torn")
+	faultSeed := flag.Uint64("faultseed", 1, "base seed for per-job fault-schedule derivation")
+	selftest := flag.Bool("selftest", false, "run the lifecycle self-test against a loopback server and exit")
+	flag.Parse()
+
+	opts := streamd.Options{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheEntries:  *cacheN,
+		MaxN:          *maxN,
+		LedgerPath:    *ledger,
+		BaseFaultSeed: *faultSeed,
+	}
+
+	if *selftest {
+		if err := runSelftest(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "streamd: selftest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("streamd: selftest passed")
+		return
+	}
+
+	s, err := streamd.New(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streamd: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("streamd: listening on %s (workers %d, queue %d)\n", *addr, opts.Workers, opts.QueueDepth)
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("streamd: %v: draining (accepted jobs finish, new jobs rejected)\n", sig)
+		s.Drain()
+		hs.Close()
+		st := s.Stats()
+		fmt.Printf("streamd: drained clean: %d done, %d timed-out, %d shed, %d failed, %d ledger entries\n",
+			st.Done, st.TimedOut, st.Shed, st.Failed, st.LedgerEntries)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "streamd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runSelftest exercises the full lifecycle over real HTTP and a real
+// SIGTERM, as the check.sh smoke.
+func runSelftest(opts streamd.Options) error {
+	if opts.Workers < 2 {
+		opts.Workers = 2 // the drain assertion needs a job in flight while we kill ourselves
+	}
+	s, err := streamd.New(opts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("streamd: selftest server on %s\n", base)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM)
+
+	submit := func(spec string) (streamd.JobStatus, error) {
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader([]byte(spec)))
+		if err != nil {
+			return streamd.JobStatus{}, err
+		}
+		defer resp.Body.Close()
+		var st streamd.JobStatus
+		if resp.StatusCode != http.StatusAccepted {
+			b, _ := io.ReadAll(resp.Body)
+			return st, fmt.Errorf("submit %s: %d: %s", spec, resp.StatusCode, b)
+		}
+		return st, json.NewDecoder(resp.Body).Decode(&st)
+	}
+	result := func(id string) (int, []byte, http.Header, error) {
+		resp, err := http.Get(base + "/jobs/" + id + "/result?wait=1")
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, resp.Header, err
+	}
+
+	// 1. Quickstart twice: fresh run, then a byte-identical cache hit.
+	const quick = `{"app":"QUICKSTART","n":60000}`
+	j1, err := submit(quick)
+	if err != nil {
+		return err
+	}
+	code, fresh, hdr1, err := result(j1.ID)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("fresh quickstart: code %d, err %v: %s", code, err, fresh)
+	}
+	if hdr1.Get("X-Streamd-Cache") != "miss" {
+		return fmt.Errorf("first quickstart served as %q, want miss", hdr1.Get("X-Streamd-Cache"))
+	}
+	j2, err := submit(quick)
+	if err != nil {
+		return err
+	}
+	code, cached, hdr2, err := result(j2.ID)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("cached quickstart: code %d, err %v", code, err)
+	}
+	if hdr2.Get("X-Streamd-Cache") != "hit" {
+		return fmt.Errorf("second quickstart served as %q, want hit", hdr2.Get("X-Streamd-Cache"))
+	}
+	if !bytes.Equal(fresh, cached) || hdr1.Get("X-Streamd-Output-Hash") != hdr2.Get("X-Streamd-Output-Hash") {
+		return fmt.Errorf("cache hit is not byte-identical to the fresh run")
+	}
+	fmt.Printf("streamd: selftest cache hit verified (hash %s)\n", hdr2.Get("X-Streamd-Output-Hash"))
+
+	// 2. Put a job in flight, then SIGTERM ourselves: the drain must
+	// finish it, reject new work, and leave the ledger valid.
+	j3, err := submit(`{"app":"GAT-SCAT-COMP","n":120000,"comp":2}`)
+	if err != nil {
+		return err
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case <-sigc:
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("SIGTERM never delivered")
+	}
+	s.Drain()
+
+	code, b, _, err := result(j3.ID)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("in-flight job after drain: code %d, err %v: %s", code, err, b)
+	}
+	if _, err := submit(quick); err == nil {
+		return fmt.Errorf("submit accepted during drain, want 503")
+	}
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("readyz after drain: %d, want 503", resp.StatusCode)
+	}
+	hs.Close()
+
+	// 3. Ledger: valid JSONL, one entry per fresh run (two here: the
+	// quickstart and the GAT-SCAT job; the cache hit appends nothing).
+	if opts.LedgerPath != "" {
+		entries, stats, err := obs.ReadLedgerStats(opts.LedgerPath)
+		if err != nil {
+			return fmt.Errorf("post-drain ledger: %w", err)
+		}
+		if stats.TornTail {
+			return fmt.Errorf("post-drain ledger has a torn tail")
+		}
+		if len(entries) < 2 {
+			return fmt.Errorf("post-drain ledger has %d entries, want ≥2", len(entries))
+		}
+		fmt.Printf("streamd: selftest ledger valid (%d entries)\n", len(entries))
+	}
+	st := s.Stats()
+	if st.Failed != 0 {
+		return fmt.Errorf("selftest jobs failed: %+v", st)
+	}
+	return nil
+}

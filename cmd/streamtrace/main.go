@@ -33,6 +33,7 @@ import (
 	"streamgpp/internal/apps/micro"
 	"streamgpp/internal/apps/neo"
 	"streamgpp/internal/apps/spas"
+	"streamgpp/internal/covreport"
 	"streamgpp/internal/critpath"
 	"streamgpp/internal/exec"
 	"streamgpp/internal/fault"
@@ -271,9 +272,9 @@ func main() {
 	}
 
 	flat := obs.FlattenSnapshot(reg.Snapshot())
-	var cov *coverageReport
+	var cov *covreport.Report
 	if *covflag || *jsonOut || *topbails > 0 {
-		c := newCoverageReport(flat, stream.Cycles, sim.PentiumD8300())
+		c := covreport.New(flat, stream.Cycles, sim.PentiumD8300())
 		cov = &c
 		if cpath != nil && cov.DominantBail != "" {
 			// Dep-wait segments name why the work they waited on was
@@ -295,7 +296,7 @@ func main() {
 			CritpathBound     string               `json:"critpath_bound"`
 			CritpathByTask    map[string]uint64    `json:"critpath_by_task"`
 			Calibration       *advisor.Calibration `json:"calibration,omitempty"`
-			Coverage          *coverageReport      `json:"coverage,omitempty"`
+			Coverage          *covreport.Report      `json:"coverage,omitempty"`
 			Metrics           map[string]float64   `json:"metrics"`
 		}{
 			App: *app, Name: name,

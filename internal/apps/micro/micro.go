@@ -203,6 +203,12 @@ func RunLDST(p Params, ecfg exec.Config) (Result, error) {
 		},
 	})
 
+	// Stage boundary: a job cancelled during the regular baseline must
+	// not start the stream phase (and returns no partial result).
+	if err := ecfg.Aborted("stage"); err != nil {
+		return Result{}, err
+	}
+
 	// Stream: gather a, b → kernel → scatter o.
 	str := newLDST(p)
 	l := str.a.Layout
@@ -292,6 +298,10 @@ func RunGATSCAT(p Params, ecfg exec.Config) (Result, error) {
 			reg.o.Set(int(reg.io.Idx[i]), 0, v)
 		},
 	})
+
+	if err := ecfg.Aborted("stage"); err != nil {
+		return Result{}, err
+	}
 
 	str := newGATSCAT(p)
 	l := str.a.Layout
@@ -428,6 +438,10 @@ func RunPRODCON(p Params, ecfg exec.Config) (Result, error) {
 			},
 		},
 	)
+
+	if err := ecfg.Aborted("stage"); err != nil {
+		return Result{}, err
+	}
 
 	str := newPRODCON(p)
 	l := str.a.Layout

@@ -35,6 +35,10 @@ func RunQuickstart(p Params, ecfg exec.Config) (Result, error) {
 		},
 	})
 
+	if err := ecfg.Aborted("stage"); err != nil {
+		return Result{}, err
+	}
+
 	str := newLDST(p)
 	l := str.a.Layout
 	k := &svm.Kernel{

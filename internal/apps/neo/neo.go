@@ -330,6 +330,9 @@ func Run(p Params, ecfg exec.Config) (Result, error) {
 		return Result{}, err
 	}
 	regRes := reg.RunRegular(ecfg)
+	if err := ecfg.Aborted("stage"); err != nil {
+		return Result{}, err
+	}
 
 	str, err := NewInstance(p)
 	if err != nil {

@@ -9,7 +9,6 @@ import (
 	"streamgpp/internal/apps/micro"
 	"streamgpp/internal/apps/neo"
 	"streamgpp/internal/apps/spas"
-	"streamgpp/internal/exec"
 )
 
 // Fig9 reproduces the micro-benchmark speedup curves: LD-ST-COMP,
@@ -28,15 +27,16 @@ func Fig9(w io.Writer, quick bool) error {
 	}
 	rows, err := parMap(len(comps), func(i int) ([3]float64, error) {
 		p := micro.Params{N: n, Comp: comps[i], Seed: 9}
-		ld, err := micro.RunLDST(p, exec.Defaults())
+		ecfg := rowExec(fmt.Sprintf("fig9/comp=%d", comps[i]))
+		ld, err := micro.RunLDST(p, ecfg)
 		if err != nil {
 			return [3]float64{}, err
 		}
-		gs, err := micro.RunGATSCAT(p, exec.Defaults())
+		gs, err := micro.RunGATSCAT(p, ecfg)
 		if err != nil {
 			return [3]float64{}, err
 		}
-		pc, err := micro.RunPRODCON(p, exec.Defaults())
+		pc, err := micro.RunPRODCON(p, ecfg)
 		if err != nil {
 			return [3]float64{}, err
 		}
@@ -70,7 +70,7 @@ func Fig11a(w io.Writer, quick bool) error {
 	results, err := parMap(len(cfgs), func(i int) (fem.Result, error) {
 		p := cfgs[i]
 		p.Steps = steps
-		return fem.Run(p, exec.Defaults())
+		return fem.Run(p, rowExec("fig11a/"+p.Name()))
 	})
 	if err != nil {
 		return err
@@ -99,7 +99,7 @@ func Fig11b(w io.Writer, quick bool) error {
 	results, err := parMap(len(cfgs), func(i int) (cdp.Result, error) {
 		p := cfgs[i]
 		p.Steps = steps
-		return cdp.Run(p, exec.Defaults())
+		return cdp.Run(p, rowExec("fig11b/"+p.Name()))
 	})
 	if err != nil {
 		return err
@@ -124,7 +124,7 @@ func Fig11c(w io.Writer, quick bool) error {
 		Header: []string{"elements", "speedup", "saved writeback MB"},
 	}
 	results, err := parMap(len(sizes), func(i int) (neo.Result, error) {
-		return neo.Run(neo.Params{Elements: sizes[i], Seed: 11}, exec.Defaults())
+		return neo.Run(neo.Params{Elements: sizes[i], Seed: 11}, rowExec(fmt.Sprintf("fig11c/elems=%d", sizes[i])))
 	})
 	if err != nil {
 		return err
@@ -149,7 +149,8 @@ func Fig11d(w io.Writer, quick bool) error {
 		Header: []string{"rows", "nnz", "speedup"},
 	}
 	results, err := parMap(len(sizes), func(i int) (spas.Result, error) {
-		return spas.Run(spas.Params{Rows: sizes[i], NNZPerRow: spas.PaperNNZPerRow, Seed: 13}, exec.Defaults())
+		return spas.Run(spas.Params{Rows: sizes[i], NNZPerRow: spas.PaperNNZPerRow, Seed: 13},
+			rowExec(fmt.Sprintf("fig11d/rows=%d", sizes[i])))
 	})
 	if err != nil {
 		return err

@@ -24,7 +24,7 @@ func Quickstart(w io.Writer, quick bool) error {
 		Header: []string{"style", "cycles", "speedup", "overlap"},
 	}
 	tr := &exec.Trace{}
-	ecfg := exec.Defaults()
+	ecfg := rowExec("quickstart")
 	ecfg.Trace = tr
 	// No explicit Observer: the machine inherits sim.SetDefaultObserver,
 	// so measured mode (-ledger/-compare) sees this experiment's

@@ -37,7 +37,7 @@ func Stalls(w io.Writer, quick bool) error {
 		// into this table under the parallel runner.
 		reg := obs.NewRegistry()
 		tr := &exec.Trace{}
-		ecfg := exec.Defaults()
+		ecfg := rowExec("stalls/" + cfgRow.label)
 		ecfg.Trace = tr
 		res, err := micro.RunGATSCAT(micro.Params{N: n, Comp: 1, Seed: 9,
 			NoDoubleBuffer: cfgRow.noDouble, Observer: reg}, ecfg)

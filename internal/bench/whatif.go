@@ -127,9 +127,9 @@ func whatIfParams(quick bool) micro.Params {
 }
 
 // runQuickstartStream runs the quickstart workload once with the given
-// parameter mutation and returns the stream-side result.
-func runQuickstartStream(p micro.Params, tr *exec.Trace) (exec.Result, error) {
-	ecfg := exec.Defaults()
+// parameter mutation and returns the stream-side result. ecfg is used
+// as a template (its Trace is overridden per run).
+func runQuickstartStream(p micro.Params, tr *exec.Trace, ecfg exec.Config) (exec.Result, error) {
 	ecfg.Trace = tr
 	res, err := micro.RunQuickstart(p, ecfg)
 	if err != nil {
@@ -142,9 +142,16 @@ func runQuickstartStream(p micro.Params, tr *exec.Trace) (exec.Result, error) {
 // scenarios over the quickstart workload and renders the verdict
 // table.
 func RunWhatIf(w io.Writer, quick bool, specs []WhatIfSpec) (*WhatIfResult, error) {
+	return RunWhatIfExec(w, quick, specs, exec.Defaults())
+}
+
+// RunWhatIfExec is RunWhatIf with an explicit executor-configuration
+// template — streamd uses it to impose per-job deadlines (Config.Ctx)
+// on what-if jobs. The template's Trace field is managed per run.
+func RunWhatIfExec(w io.Writer, quick bool, specs []WhatIfSpec, ecfg exec.Config) (*WhatIfResult, error) {
 	base := whatIfParams(quick)
 	tr := &exec.Trace{}
-	baseRes, err := runQuickstartStream(base, tr)
+	baseRes, err := runQuickstartStream(base, tr, ecfg)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +162,7 @@ func RunWhatIf(w io.Writer, quick bool, specs []WhatIfSpec) (*WhatIfResult, erro
 
 	out := &WhatIfResult{Tolerance: WhatIfTolerance()}
 	for _, s := range specs {
-		row, err := runScenario(g, base, baseRes, s, out.Tolerance)
+		row, err := runScenario(g, base, baseRes, s, out.Tolerance, ecfg)
 		if err != nil {
 			return nil, fmt.Errorf("whatif %s: %w", s.Name(), err)
 		}
@@ -189,7 +196,7 @@ func RunWhatIf(w io.Writer, quick bool, specs []WhatIfSpec) (*WhatIfResult, erro
 }
 
 // runScenario produces one cross-checked row.
-func runScenario(g *critpath.Graph, base micro.Params, baseRes exec.Result, s WhatIfSpec, tol float64) (WhatIfRow, error) {
+func runScenario(g *critpath.Graph, base micro.Params, baseRes exec.Result, s WhatIfSpec, tol float64, ecfg exec.Config) (WhatIfRow, error) {
 	row := WhatIfRow{Scenario: s.Name(), Baseline: baseRes.Cycles, Gated: true}
 
 	// Empirical: re-run with the knob actually changed. Each run gets a
@@ -215,7 +222,7 @@ func runScenario(g *critpath.Graph, base micro.Params, baseRes exec.Result, s Wh
 	default:
 		return row, fmt.Errorf("unknown scenario kind %q", s.Kind)
 	}
-	empRes, err := runQuickstartStream(emp, nil)
+	empRes, err := runQuickstartStream(emp, nil, ecfg)
 	if err != nil {
 		return row, err
 	}

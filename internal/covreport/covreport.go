@@ -1,4 +1,14 @@
-package main
+// Package covreport builds the fast-path coverage report: why the
+// simulator's bulk fast path did or did not serve each access
+// (sim/coverage.go's bail taxonomy), and where the run's memory
+// traffic went per level (obs.BandwidthReport). The report is a pure
+// function of a flattened metrics map, the stream run's cycles and the
+// machine configuration, so the same builder serves streamtrace's
+// -coverage text/JSON views, streamd's per-job coverage downloads and
+// tests — and can re-derive a report from a ledger entry's Metrics
+// after the fact. (It lives outside internal/obs because it needs the
+// sim bail taxonomy, and sim already imports obs.)
+package covreport
 
 import (
 	"fmt"
@@ -10,17 +20,10 @@ import (
 	"streamgpp/internal/sim"
 )
 
-// This file builds the -coverage report: why the simulator's bulk fast
-// path did or did not serve each access (sim/coverage.go's bail
-// taxonomy), and where the run's memory traffic went per level
-// (obs.BandwidthReport). Both are pure functions of the flattened
-// metrics map, so the same builders serve the text report, the -json
-// object and tests — and could re-derive a report from a ledger
-// entry's Metrics after the fact.
-
-// coverageReport is the -coverage JSON object. All counter-valued
-// fields are float64 because they come from the flattened gauge map.
-type coverageReport struct {
+// Report is the coverage report object (streamtrace's -coverage JSON,
+// streamd's /jobs/{id}/coverage body). All counter-valued fields are
+// float64 because they come from the flattened gauge map.
+type Report struct {
 	FastAccesses float64 `json:"fast_accesses"`
 	SlowAccesses float64 `json:"slow_accesses"`
 	FastPct      float64 `json:"fastpath_pct"`
@@ -41,28 +44,28 @@ type coverageReport struct {
 	// (count × mean per-access occupied cycles), so the next
 	// optimization target reads directly off the report. The -topbails
 	// flag selects how many the text view prints.
-	TopBails []bailCost `json:"top_bails"`
+	TopBails []BailCost `json:"top_bails"`
 	// Arrays lists per-array traffic, heaviest first.
-	Arrays []coverageArray `json:"arrays,omitempty"`
+	Arrays []Array `json:"arrays,omitempty"`
 	// Bandwidth is the per-level traffic and roofline summary.
 	Bandwidth obs.BandwidthReport `json:"bandwidth"`
 }
 
-// coverageArray is one array's traffic split.
-type coverageArray struct {
+// Array is one array's traffic split.
+type Array struct {
 	Name         string  `json:"name"`
 	Elems        float64 `json:"elems"`
 	IndexedElems float64 `json:"indexed_elems"`
 }
 
-// bailCost is one bail reason's estimated optimization value: how many
+// BailCost is one bail reason's estimated optimization value: how many
 // simulated cycles the accesses behind its events cost on the slow
 // path. The estimate charges every event the run's mean per-access
 // occupied cycles — coarse (a window_full event stands for a whole
 // declined batch, an indexed event for one access), but it correctly
 // separates millions of cheap L1-hit bails from thousands of
 // DRAM-bound ones, which a raw count cannot.
-type bailCost struct {
+type BailCost struct {
 	Reason     string  `json:"reason"`
 	Count      float64 `json:"count"`
 	LostCycles float64 `json:"est_lost_cycles"`
@@ -70,7 +73,7 @@ type bailCost struct {
 
 // rankBails builds the lost-cycles ranking from the bail counters and
 // the run's mean per-access occupied cycles.
-func rankBails(bails map[string]float64, bw obs.BandwidthReport, accesses float64) []bailCost {
+func rankBails(bails map[string]float64, bw obs.BandwidthReport, accesses float64) []BailCost {
 	perAccess := 0.0
 	if accesses > 0 {
 		occ := bw.TLBWalkCycles
@@ -79,10 +82,10 @@ func rankBails(bails map[string]float64, bw obs.BandwidthReport, accesses float6
 		}
 		perAccess = occ / accesses
 	}
-	var out []bailCost
+	var out []BailCost
 	for _, r := range sim.BailReasons() {
 		if v := bails[r.String()]; v > 0 {
-			out = append(out, bailCost{Reason: r.String(), Count: v, LostCycles: v * perAccess})
+			out = append(out, BailCost{Reason: r.String(), Count: v, LostCycles: v * perAccess})
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].LostCycles > out[j].LostCycles })
@@ -102,11 +105,11 @@ func dominantBail(bails map[string]float64) string {
 	return best
 }
 
-// newCoverageReport derives the report from a flattened metrics map
+// New derives the report from a flattened metrics map
 // (obs.FlattenSnapshot of the run's registry), the stream run's total
 // cycles and the machine configuration (for the roofline peak).
-func newCoverageReport(metrics map[string]float64, streamCycles uint64, cfg sim.Config) coverageReport {
-	rep := coverageReport{
+func New(metrics map[string]float64, streamCycles uint64, cfg sim.Config) Report {
+	rep := Report{
 		FastAccesses: metrics["coverage.fast_accesses"],
 		SlowAccesses: metrics["coverage.slow_accesses"],
 		FastPct:      metrics["coverage.fastpath_pct"],
@@ -132,7 +135,7 @@ func newCoverageReport(metrics map[string]float64, streamCycles uint64, cfg sim.
 		if !ok || strings.HasSuffix(name, ".indexed") {
 			continue
 		}
-		rep.Arrays = append(rep.Arrays, coverageArray{
+		rep.Arrays = append(rep.Arrays, Array{
 			Name:         name,
 			Elems:        v,
 			IndexedElems: metrics["coverage.array."+name+".indexed_elems"],
@@ -148,7 +151,7 @@ func newCoverageReport(metrics map[string]float64, streamCycles uint64, cfg sim.
 }
 
 // Render writes the human-readable coverage report.
-func (r coverageReport) Render(w io.Writer) {
+func (r Report) Render(w io.Writer) {
 	total := r.FastAccesses + r.SlowAccesses
 	fmt.Fprintf(w, "  fast path served %.0f of %.0f accesses (%.1f%%), %.0f batched iterations\n",
 		r.FastAccesses, total, r.FastPct, r.BatchedIters)
@@ -193,7 +196,7 @@ func (r coverageReport) Render(w io.Writer) {
 
 // RenderTopBails writes the -topbails view: the top n bail reasons
 // ranked by estimated lost cycles rather than raw counts.
-func (r coverageReport) RenderTopBails(w io.Writer, n int) {
+func (r Report) RenderTopBails(w io.Writer, n int) {
 	fmt.Fprintln(w, "  top bails by estimated lost cycles (events × mean per-access occupied cycles):")
 	if len(r.TopBails) == 0 {
 		fmt.Fprintln(w, "    (none)")

@@ -1,7 +1,8 @@
-package main
+package covreport
 
 import (
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -15,10 +16,12 @@ import (
 	"streamgpp/internal/sim"
 )
 
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
 // runCoverage runs one micro-benchmark the way the CLI does (registry
 // attached via the sim default) in the given fast-path mode and
 // returns the derived coverage report plus the raw flattened metrics.
-func runCoverage(t *testing.T, app string, fast bool) (coverageReport, map[string]float64) {
+func runCoverage(t *testing.T, app string, fast bool) (Report, map[string]float64) {
 	t.Helper()
 	sim.SetDefaultFastPath(fast)
 	defer sim.SetDefaultFastPath(true)
@@ -31,7 +34,7 @@ func runCoverage(t *testing.T, app string, fast bool) (coverageReport, map[strin
 		t.Fatal(err)
 	}
 	flat := obs.FlattenSnapshot(reg.Snapshot())
-	return newCoverageReport(flat, res.Stream.Cycles, sim.PentiumD8300()), flat
+	return New(flat, res.Stream.Cycles, sim.PentiumD8300()), flat
 }
 
 // jsonShape flattens a marshalled JSON value into its sorted key paths

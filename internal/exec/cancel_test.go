@@ -1,0 +1,135 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"streamgpp/internal/fault"
+)
+
+// TestCancelledContextAborts: a run whose Config.Ctx is already
+// cancelled must abort with a structured RunError (Op "cancel")
+// wrapping context.Canceled, on both stream mappings.
+func TestCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Defaults()
+	cfg.Ctx = ctx
+
+	for name, run := range map[string]func() error{
+		"2ctx": func() error {
+			s := newFig2(20000, 8)
+			_, err := RunStream2Ctx(s.m, compileFig2(t, s), cfg)
+			return err
+		},
+		"1ctx": func() error {
+			s := newFig2(20000, 8)
+			_, err := RunStream1Ctx(s.m, compileFig2(t, s), cfg)
+			return err
+		},
+	} {
+		err := run()
+		if err == nil {
+			t.Fatalf("%s: cancelled run completed", name)
+		}
+		var re *RunError
+		if !errors.As(err, &re) {
+			t.Fatalf("%s: error is not a RunError: %v", name, err)
+		}
+		if re.Op != "cancel" || !re.Cancelled() {
+			t.Fatalf("%s: RunError = %+v, want Op cancel", name, re)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: cause is not context.Canceled: %v", name, err)
+		}
+		if !Cancelled(err) {
+			t.Fatalf("%s: Cancelled(err) = false", name)
+		}
+	}
+}
+
+// TestDeadlineExceededAborts: an expired deadline reports the
+// DeadlineExceeded cause (the streamd timed-out job state keys off
+// this distinction).
+func TestDeadlineExceededAborts(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	cfg := Defaults()
+	cfg.Ctx = ctx
+	s := newFig2(20000, 8)
+	_, err := RunStream2Ctx(s.m, compileFig2(t, s), cfg)
+	if !errors.Is(err, context.DeadlineExceeded) || !Cancelled(err) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCancelSkipsDegradation: cancellation must not trigger the
+// 2ctx→1ctx fallback even when degradation is armed — re-running
+// sequentially would just blow past the same deadline.
+func TestCancelSkipsDegradation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fcfg := fault.Config{Seed: 5}
+	s, _ := faultyFig2(20000, fcfg)
+	cfg := Defaults()
+	cfg.Ctx = ctx
+	cfg.DegradeTo1Ctx = true
+	res, err := RunStream2Ctx(s.m, compileFig2(t, s), cfg)
+	if !Cancelled(err) {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if res.Recovery.Degraded {
+		t.Fatal("cancelled run degraded to 1ctx")
+	}
+}
+
+// TestCancelledFalseForOtherFailures: simulated failures must not be
+// mistaken for cancellation.
+func TestCancelledFalseForOtherFailures(t *testing.T) {
+	re := &RunError{Op: "retry", Err: ErrRetriesExhausted}
+	if re.Cancelled() || Cancelled(re) {
+		t.Fatal("retry exhaustion classified as cancellation")
+	}
+	if Cancelled(nil) {
+		t.Fatal("Cancelled(nil) = true")
+	}
+}
+
+// TestConfigFaultAttaches: Config.Fault must arm the injector exactly
+// like sim.Machine.SetFaultInjector — faults fire, retries absorb
+// them, and the same injector seed replays byte-identically — without
+// any process-global state.
+func TestConfigFaultAttaches(t *testing.T) {
+	fcfg := fault.Config{Seed: 42}
+	fcfg.Rate[fault.KernelFault] = 0.15
+	fcfg.MaxPerKind[fault.KernelFault] = 6
+
+	run := func() (Result, string, []float64) {
+		s := newFig2(20000, 8)
+		cfg := Defaults()
+		cfg.Fault = fault.New(fcfg)
+		res := mustRun2(t, s.m, compileFig2(t, s), cfg)
+		out := make([]float64, s.n)
+		for i := range out {
+			out[i] = s.y.At(i, 0)
+		}
+		return res, cfg.Fault.TraceString(), out
+	}
+	res1, trace1, out1 := run()
+	if res1.Recovery.FaultsInjected == 0 || res1.Recovery.Retries == 0 {
+		t.Fatalf("Config.Fault injector never fired: %+v", res1.Recovery)
+	}
+	s := newFig2(20000, 8)
+	want := s.reference()
+	for i := range want {
+		if out1[i] != want[i] {
+			t.Fatalf("y[%d] wrong after Config.Fault retries", i)
+		}
+	}
+	res2, trace2, _ := run()
+	if trace1 != trace2 || res1.Cycles != res2.Cycles {
+		t.Fatalf("per-run injector not replayable: cycles %d vs %d", res1.Cycles, res2.Cycles)
+	}
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -24,7 +25,7 @@ var (
 // and — for scheduling failures — a queue diagnosis built from the
 // dependence bit-vectors.
 type RunError struct {
-	Op       string // "enqueue", "retry", "watchdog", "incomplete"
+	Op       string // "enqueue", "retry", "watchdog", "incomplete", "cancel"
 	Task     string // task name ("name#strip"), when task-attributed
 	Kind     string // task kind (G/K/S), when task-attributed
 	Phase    int    // compiled-schedule phase of the task (-1 if n/a)
@@ -58,6 +59,22 @@ func (e *RunError) Error() string {
 
 // Unwrap exposes the sentinel cause to errors.Is.
 func (e *RunError) Unwrap() error { return e.Err }
+
+// Cancelled reports whether the run was aborted by its Config.Ctx —
+// a caller-imposed deadline or cancellation rather than a simulated
+// failure. Cancelled runs must not be retried or degraded: the caller
+// asked for the work to stop, and re-running it sequentially would
+// blow straight past the same deadline.
+func (e *RunError) Cancelled() bool {
+	return errors.Is(e.Err, context.Canceled) || errors.Is(e.Err, context.DeadlineExceeded)
+}
+
+// Cancelled reports whether err is (or wraps) a RunError caused by
+// context cancellation or deadline expiry.
+func Cancelled(err error) bool {
+	var re *RunError
+	return errors.As(err, &re) && re.Cancelled()
+}
 
 // RecoverySummary accounts one run's fault-recovery activity; it is
 // all zeros for a machine without a fault injector.

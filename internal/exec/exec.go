@@ -17,6 +17,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"streamgpp/internal/compiler"
@@ -81,6 +82,24 @@ type Config struct {
 	// retries: output arrays are restored from a pre-run snapshot and
 	// the whole program re-runs without thread-level overlap.
 	DegradeTo1Ctx bool
+
+	// Ctx, when non-nil, bounds the run in wall-clock time: it is
+	// checked before every strip task execution and at the control
+	// thread's scheduling loop, so a cancelled or expired context
+	// aborts the run within one task's wall time with a structured
+	// RunError (Op "cancel") wrapping ctx.Err(). Cancellation is
+	// terminal — no retry, no 1-ctx degradation — and callers receive
+	// no partial output (the Run* wrappers return a zero Result
+	// alongside the error). This is what lets streamd impose per-job
+	// deadlines that reach all the way down to the strip retrier.
+	Ctx context.Context
+	// Fault, when non-nil, is attached to the machine at Run* entry
+	// (sim.Machine.SetFaultInjector) — a per-run alternative to the
+	// process-global sim.SetDefaultFaultInjector. Because each run owns
+	// its injector, concurrent runs (the parallel experiment runner,
+	// streamd job workers) keep independent deterministic draw streams
+	// and stay replayable from their seeds.
+	Fault *fault.Injector
 }
 
 // Defaults returns the evaluation configuration.
@@ -97,6 +116,29 @@ func Defaults() Config {
 		RetryLimit:            3,
 		WatchdogCycles:        1_500_000,
 		DegradeTo1Ctx:         true,
+	}
+}
+
+// Aborted returns a non-nil *RunError (as error) when cfg.Ctx is
+// cancelled or expired — the stage-boundary check app runners use
+// between their regular and stream phases.
+func (cfg Config) Aborted(op string) error {
+	if cfg.Ctx == nil {
+		return nil
+	}
+	if err := cfg.Ctx.Err(); err != nil {
+		return &RunError{Op: "cancel", Phase: -1, Strip: -1, Err: err}
+	}
+	return nil
+}
+
+// attachFault arms cfg.Fault on the machine, if configured. The
+// injector is read dynamically at every fault site, so attaching at
+// run entry (rather than machine construction) is equivalent to the
+// global-default path.
+func attachFault(m *sim.Machine, cfg Config) {
+	if cfg.Fault != nil {
+		m.SetFaultInjector(cfg.Fault)
 	}
 }
 
@@ -123,10 +165,11 @@ type stripRetrier struct {
 	rec      *RecoverySummary
 	retryCtr *obs.Counter
 	ts       *tlSampler // optional timeline sampler (nil-safe)
+	ctx      context.Context
 }
 
 func newStripRetrier(m *sim.Machine, cfg Config, rec *RecoverySummary, ts *tlSampler) stripRetrier {
-	sr := stripRetrier{inj: m.FaultInjector(), limit: cfg.RetryLimit, rec: rec, ts: ts}
+	sr := stripRetrier{inj: m.FaultInjector(), limit: cfg.RetryLimit, rec: rec, ts: ts, ctx: cfg.Ctx}
 	if sr.inj != nil {
 		if r := m.Observer(); r != nil {
 			sr.retryCtr = r.Counter("exec.strip_retries")
@@ -139,6 +182,15 @@ func newStripRetrier(m *sim.Machine, cfg Config, rec *RecoverySummary, ts *tlSam
 // RunError means the retry budget is exhausted. lastStart is the start
 // cycle of the final attempt; everything before it is recovery time.
 func (sr stripRetrier) run(c *sim.CPU, t *wq.Task) (lastStart uint64, rerr *RunError) {
+	// The per-task cancellation point: a cancelled run stops before the
+	// next strip task rather than at some coarser boundary, so a
+	// streamd deadline aborts within one task's wall time.
+	if sr.ctx != nil {
+		if err := sr.ctx.Err(); err != nil {
+			return c.Now(), &RunError{Op: "cancel", Task: t.Name, Kind: t.Kind.String(),
+				Phase: t.Phase, Strip: t.Strip, Ctx: c.ID(), Cycle: c.Now(), Err: err}
+		}
+	}
 	attempts := 0
 	for {
 		lastStart = c.Now()
@@ -205,6 +257,7 @@ func (s *arraySnapshot) restore() {
 // array state (Config.DegradeTo1Ctx). A non-nil error is always a
 // *RunError naming the failing task, strip, phase and cycle.
 func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, error) {
+	attachFault(m, cfg)
 	var snap *arraySnapshot
 	if m.FaultInjector() != nil && cfg.DegradeTo1Ctx {
 		snap = snapshotOutputs(p)
@@ -212,6 +265,13 @@ func RunStream2Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, err
 	res, rerr := runStream2Attempt(m, p, cfg)
 	if rerr == nil {
 		return res, nil
+	}
+	if rerr.Cancelled() {
+		// The caller's deadline or cancellation ended the run; the
+		// sequential fallback would only run past the same deadline.
+		// No partial output either way — callers discard Result on
+		// error, and streamd never serves one.
+		return res, rerr
 	}
 	if snap == nil {
 		return res, rerr
@@ -384,6 +444,17 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 		func(c *sim.CPU) {
 			wd := newWatchdog()
 			for rerr == nil && int(q.Completed()) < total {
+				// Cancellation point for the scheduling loop itself, so a
+				// run whose remaining work is all on the memory thread
+				// still observes its deadline here.
+				if cfg.Ctx != nil {
+					if err := cfg.Ctx.Err(); err != nil {
+						abort(&RunError{Op: "cancel", Phase: -1, Strip: -1,
+							Ctx: c.ID(), Cycle: c.Now(), Err: err})
+						c.Signal(work)
+						break
+					}
+				}
 				// Control part: enqueue as much of the schedule as fits.
 				enqueued := false
 				for next < total {
@@ -515,6 +586,7 @@ func publishRun(m *sim.Machine, label string, st sim.RunStats, kindCycles [3]uin
 // faulted strips are retried exactly as in the two-context schedule; a
 // non-nil error is always a *RunError.
 func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, error) {
+	attachFault(m, cfg)
 	var kindCycles [3]uint64
 	var rec RecoverySummary
 	inj := m.FaultInjector()
@@ -600,6 +672,7 @@ type Loop struct {
 // loop's computation, modelling the dynamically scheduled pipeline
 // "speculatively executing ahead to discover cache misses" (§VI).
 func RunRegular(m *sim.Machine, cfg Config, loops ...Loop) Result {
+	attachFault(m, cfg)
 	st := m.Run(func(c *sim.CPU) {
 		for _, l := range loops {
 			pipe := c.NewPipe(cfg.RegularMLP, cfg.RegularIssue, sim.StateCompute)

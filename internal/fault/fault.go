@@ -18,6 +18,9 @@ package fault
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
 	"strings"
 
 	"streamgpp/internal/obs"
@@ -107,13 +110,20 @@ func ParseSpec(spec string) (Config, error) {
 		return cfg, nil
 	}
 	for _, part := range strings.Split(spec, ",") {
-		name, rateStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		part = strings.TrimSpace(part)
+		name, rateStr, ok := strings.Cut(part, ":")
 		if !ok {
-			return cfg, fmt.Errorf("fault: spec entry %q is not kind:rate", part)
+			return cfg, fmt.Errorf("fault: spec entry %q is not kind:rate (e.g. \"kernel_fault:0.01\")", part)
 		}
-		var rate float64
-		if _, err := fmt.Sscanf(rateStr, "%g", &rate); err != nil || rate < 0 || rate > 1 {
-			return cfg, fmt.Errorf("fault: rate %q of %q must be in [0,1]", rateStr, name)
+		// strconv.ParseFloat, not Sscanf: Sscanf("%g") stops at the
+		// first non-numeric byte, so "0.5x" silently parsed as 0.5 and
+		// the caller never learned about the trailing garbage.
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil {
+			return cfg, fmt.Errorf("fault: spec entry %q: rate %q of kind %q is not a number", part, rateStr, name)
+		}
+		if math.IsNaN(rate) || rate < 0 || rate > 1 {
+			return cfg, fmt.Errorf("fault: spec entry %q: rate %v of kind %q is outside [0,1]", part, rateStr, name)
 		}
 		if name == "all" {
 			for k := range cfg.Rate {
@@ -128,6 +138,26 @@ func ParseSpec(spec string) (Config, error) {
 		cfg.Rate[k] = rate
 	}
 	return cfg, nil
+}
+
+// DeriveSeed derives a per-run injector seed from a shared base seed
+// and a stable identity string (a streamd job's canonical config key,
+// a bench row key). The derivation is a pure function of its inputs,
+// so a derived run replays byte-identically from (base, id) alone —
+// which is what lets the parallel experiment runner give every row its
+// own injector without losing determinism: row schedules no longer
+// depend on which goroutine drew from a shared stream first.
+func DeriveSeed(base uint64, id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	// Mix through the splitmix64 finaliser so base and id both diffuse
+	// into every output bit (plain XOR would leave base recoverable and
+	// correlate nearby ids).
+	z := base ^ h.Sum64()
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Record is one fired fault in the trace.

@@ -1,6 +1,9 @@
 package fault
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestReplayIdentity: two injectors with the same seed and the same
 // call sequence must produce identical fault schedules and traces.
@@ -130,6 +133,72 @@ func TestParseSpec(t *testing.T) {
 	}
 	if _, err := ParseSpec(""); err != nil {
 		t.Fatal("empty spec must be valid (no faults)")
+	}
+}
+
+// TestParseSpecNamesOffendingToken: malformed rates must be rejected
+// (Sscanf used to accept "0.5x" as 0.5) and the error must name the
+// bad token so an HTTP 400 built from it is actionable.
+func TestParseSpecNamesOffendingToken(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string // substrings the error must contain
+	}{
+		{"kernel_fault:0.5x", []string{`"0.5x"`, "kernel_fault", "not a number"}},
+		{"kernel_fault:", []string{`""`, "kernel_fault", "not a number"}},
+		{"kernel_fault:rate", []string{`"rate"`, "not a number"}},
+		{"kernel_fault:NaN", []string{"NaN", "outside [0,1]"}},
+		{"kernel_fault:1.5", []string{"1.5", "outside [0,1]"}},
+		{"latency_spike:0.1,poisoned_strip:zz", []string{`"zz"`, "poisoned_strip"}},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.spec)
+		if err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", c.spec)
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Fatalf("ParseSpec(%q) error %q does not name %q", c.spec, err, w)
+			}
+		}
+	}
+	// Scientific notation and surrounding whitespace stay accepted.
+	cfg, err := ParseSpec(" kernel_fault: 2.5e-1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rate[KernelFault] != 0.25 {
+		t.Fatalf("rate = %g", cfg.Rate[KernelFault])
+	}
+}
+
+// TestDeriveSeed: stable across calls, sensitive to both inputs.
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(7, "job-a") != DeriveSeed(7, "job-a") {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(7, "job-a") == DeriveSeed(7, "job-b") {
+		t.Fatal("DeriveSeed ignores id")
+	}
+	if DeriveSeed(7, "job-a") == DeriveSeed(8, "job-a") {
+		t.Fatal("DeriveSeed ignores base")
+	}
+	// Two injectors derived for different ids must diverge, and the
+	// same (base, id) must replay the same schedule.
+	mk := func(base uint64, id string) string {
+		cfg := Config{Seed: DeriveSeed(base, id)}
+		cfg.Rate[KernelFault] = 0.2
+		in := New(cfg)
+		for i := 0; i < 300; i++ {
+			in.Roll(KernelFault, uint64(i))
+		}
+		return in.TraceString()
+	}
+	if mk(1, "row/comp=4") != mk(1, "row/comp=4") {
+		t.Fatal("derived schedule not replayable")
+	}
+	if mk(1, "row/comp=4") == mk(1, "row/comp=8") {
+		t.Fatal("derived schedules identical across rows")
 	}
 }
 

@@ -129,43 +129,115 @@ func AppendLedger(path string, e LedgerEntry) error {
 	return f.Close()
 }
 
+// LedgerStats reports what a lenient ledger read encountered beyond
+// the entries themselves.
+type LedgerStats struct {
+	// Entries is how many valid entries were read.
+	Entries int
+	// TornTail is true when the final line was unparseable JSON — the
+	// torn-write signature of a writer killed mid-append — and was
+	// skipped rather than failing the read.
+	TornTail bool
+	// TornLine is the 1-based line number of the skipped tail line.
+	TornLine int
+}
+
 // ReadLedger parses every entry in the JSONL file at path, oldest
 // first. Blank lines are skipped; a malformed or schema-mismatched line
-// fails with its line number so a corrupted ledger is diagnosable.
+// fails with its line number so a corrupted ledger is diagnosable —
+// except a malformed *final* line, which is tolerated as a torn write
+// (see ParseLedgerStats).
 func ReadLedger(path string) ([]LedgerEntry, error) {
+	entries, _, err := ReadLedgerStats(path)
+	return entries, err
+}
+
+// ReadLedgerStats is ReadLedger plus torn-tail accounting.
+func ReadLedgerStats(path string) ([]LedgerEntry, LedgerStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("obs: opening ledger: %w", err)
+		return nil, LedgerStats{}, fmt.Errorf("obs: opening ledger: %w", err)
 	}
 	defer f.Close()
-	return ParseLedger(f)
+	return ParseLedgerStats(f)
 }
 
 // ParseLedger is ReadLedger over an arbitrary reader.
 func ParseLedger(r io.Reader) ([]LedgerEntry, error) {
+	entries, _, err := ParseLedgerStats(r)
+	return entries, err
+}
+
+// ParseLedgerStats parses a JSONL ledger, tolerating exactly one kind
+// of damage: a final line that does not parse as JSON. That is the
+// crash-consistency case — AppendLedger writes line+'\n' in one write,
+// so a writer killed mid-append (streamd on SIGKILL, a powered-off
+// host) leaves a prefix of the last line and nothing else. Such a tail
+// is skipped and counted in LedgerStats rather than failing the whole
+// file. Unparseable JSON anywhere *before* the last line, or a
+// well-formed line that fails schema Validate, is still a hard error:
+// those are corruption, not a torn write. (A crash followed by a
+// blind append would glue the next entry onto the torn prefix and turn
+// it into mid-file corruption — writers that reopen a ledger should
+// call RepairLedger first, as streamd does.)
+func ParseLedgerStats(r io.Reader) ([]LedgerEntry, LedgerStats, error) {
 	var out []LedgerEntry
+	var stats LedgerStats
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	lineno := 0
+	// A JSON parse failure is held pending until we know whether more
+	// content follows: at EOF it is a tolerated torn tail, mid-file it
+	// is corruption.
+	var pendingErr error
+	pendingLine := 0
 	for sc.Scan() {
 		lineno++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		if pendingErr != nil {
+			return out, stats, fmt.Errorf("obs: ledger line %d: %w", pendingLine, pendingErr)
+		}
 		var e LedgerEntry
 		if err := json.Unmarshal(line, &e); err != nil {
-			return out, fmt.Errorf("obs: ledger line %d: %w", lineno, err)
+			pendingErr, pendingLine = err, lineno
+			continue
 		}
 		if err := e.Validate(); err != nil {
-			return out, fmt.Errorf("obs: ledger line %d: %w", lineno, err)
+			return out, stats, fmt.Errorf("obs: ledger line %d: %w", lineno, err)
 		}
 		out = append(out, e)
 	}
 	if err := sc.Err(); err != nil {
-		return out, fmt.Errorf("obs: reading ledger: %w", err)
+		return out, stats, fmt.Errorf("obs: reading ledger: %w", err)
 	}
-	return out, nil
+	if pendingErr != nil {
+		stats.TornTail = true
+		stats.TornLine = pendingLine
+	}
+	stats.Entries = len(out)
+	return out, stats, nil
+}
+
+// RepairLedger truncates a torn final line from the ledger at path,
+// rewriting the file with only its valid entries. It returns whether a
+// torn tail was removed. Call before reopening a ledger for appends:
+// appending after a torn line would glue two records onto one line and
+// turn a recoverable torn write into unrecoverable corruption.
+func RepairLedger(path string) (bool, error) {
+	entries, stats, err := ReadLedgerStats(path)
+	if err != nil {
+		return false, err
+	}
+	if !stats.TornTail {
+		return false, nil
+	}
+	if err := WriteLedger(path, entries); err != nil {
+		return true, fmt.Errorf("obs: repairing ledger: %w", err)
+	}
+	return true, nil
 }
 
 // WriteLedger writes entries as JSONL to path, replacing any existing
@@ -190,7 +262,10 @@ func WriteLedger(path string, entries []LedgerEntry) error {
 }
 
 // ValidateLedgerFile checks every line of the ledger at path, returning
-// how many entries it holds. The check.sh schema gate calls this.
+// how many entries it holds. The check.sh schema gate calls this. A
+// torn final line is tolerated (it is the expected crash artifact, and
+// every reader skips it identically); callers wanting to surface the
+// warning use ReadLedgerStats.
 func ValidateLedgerFile(path string) (int, error) {
 	entries, err := ReadLedger(path)
 	return len(entries), err

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -108,16 +110,105 @@ func TestLedgerCrossVersion(t *testing.T) {
 }
 
 func TestLedgerRejectsMalformedLine(t *testing.T) {
+	// Malformed JSON *before* the last line is corruption, not a torn
+	// write, and must still fail with its line number.
 	entries, err := ParseLedger(strings.NewReader(
-		`{"schema":1,"experiment":"fig5","wall_ns":1}` + "\n" + `{"schema":1` + "\n"))
+		`{"schema":1,"experiment":"fig5","wall_ns":1}` + "\n" +
+			`{"schema":1` + "\n" +
+			`{"schema":1,"experiment":"fig6","wall_ns":2}` + "\n"))
 	if err == nil {
-		t.Fatal("malformed line accepted")
+		t.Fatal("mid-file malformed line accepted")
 	}
 	if !strings.Contains(err.Error(), "line 2") {
 		t.Fatalf("error does not name the line: %v", err)
 	}
 	if len(entries) != 1 {
 		t.Fatalf("valid prefix lost: %d entries", len(entries))
+	}
+	// A well-formed final line that fails schema validation is also
+	// corruption — torn writes truncate JSON, they don't invent valid
+	// JSON with bad fields.
+	_, err = ParseLedger(strings.NewReader(
+		`{"schema":1,"experiment":"fig5","wall_ns":1}` + "\n" +
+			`{"schema":99,"experiment":"fig6","wall_ns":2}` + "\n"))
+	if err == nil {
+		t.Fatal("schema-invalid final line accepted")
+	}
+}
+
+// TestLedgerToleratesTornTail: a writer killed mid-append (streamd on
+// SIGKILL) leaves a prefix of the final line. The read must skip it
+// with a counted warning instead of failing the whole file.
+func TestLedgerToleratesTornTail(t *testing.T) {
+	full := `{"schema":2,"experiment":"fig5","wall_ns":1}`
+	for cut := 1; cut < len(full); cut++ {
+		torn := full[:cut]
+		entries, stats, err := ParseLedgerStats(strings.NewReader(
+			full + "\n" + full + "\n" + torn))
+		if err != nil {
+			t.Fatalf("cut %d: torn tail rejected: %v", cut, err)
+		}
+		if len(entries) != 2 || stats.Entries != 2 {
+			t.Fatalf("cut %d: %d entries, want 2", cut, len(entries))
+		}
+		if !stats.TornTail || stats.TornLine != 3 {
+			t.Fatalf("cut %d: stats = %+v, want torn tail at line 3", cut, stats)
+		}
+	}
+	// An intact file reports no torn tail.
+	_, stats, err := ParseLedgerStats(strings.NewReader(full + "\n"))
+	if err != nil || stats.TornTail || stats.Entries != 1 {
+		t.Fatalf("intact file: stats = %+v, err = %v", stats, err)
+	}
+}
+
+// TestLedgerTornTailOnDisk writes a partial record the way a killed
+// streamd would — a valid ledger plus a truncated final line — and
+// checks the whole read/validate/repair path over the actual file.
+func TestLedgerTornTailOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	for _, e := range []LedgerEntry{sampleEntry("a", 1), sampleEntry("b", 2)} {
+		if err := AppendLedger(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the torn write: start appending a third record but cut
+	// the write partway through (no trailing newline, truncated JSON).
+	line, _ := json.Marshal(sampleEntry("c", 3))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(line[:len(line)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	entries, stats, err := ReadLedgerStats(path)
+	if err != nil {
+		t.Fatalf("torn ledger rejected: %v", err)
+	}
+	if len(entries) != 2 || !stats.TornTail || stats.TornLine != 3 {
+		t.Fatalf("entries = %d, stats = %+v", len(entries), stats)
+	}
+	if n, err := ValidateLedgerFile(path); err != nil || n != 2 {
+		t.Fatalf("ValidateLedgerFile = %d, %v", n, err)
+	}
+
+	// RepairLedger truncates the torn tail so appends are safe again.
+	dropped, err := RepairLedger(path)
+	if err != nil || !dropped {
+		t.Fatalf("RepairLedger = %v, %v", dropped, err)
+	}
+	if err := AppendLedger(path, sampleEntry("c", 3)); err != nil {
+		t.Fatal(err)
+	}
+	entries, stats, err = ReadLedgerStats(path)
+	if err != nil || stats.TornTail || len(entries) != 3 {
+		t.Fatalf("after repair+append: %d entries, stats = %+v, err = %v", len(entries), stats, err)
+	}
+	if dropped, err := RepairLedger(path); err != nil || dropped {
+		t.Fatalf("RepairLedger on clean file = %v, %v", dropped, err)
 	}
 }
 

@@ -1,0 +1,185 @@
+package streamd
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST /jobs                submit a JobSpec; 202 + JobStatus,
+//	                          400 (bad spec, message names the field),
+//	                          429 + Retry-After (queue full),
+//	                          503 (draining)
+//	GET  /jobs/{id}           job status
+//	GET  /jobs/{id}/result    result payload once done; add ?wait=1 to
+//	                          block until the job is terminal.
+//	                          202 while running, 409 + error for
+//	                          failed/timed-out/shed jobs.
+//	                          X-Streamd-Cache: hit|miss,
+//	                          X-Streamd-Output-Hash: <hash>
+//	GET  /jobs/{id}/trace     Perfetto trace (jobs submitted with
+//	                          trace=true), else 404
+//	GET  /jobs/{id}/coverage  coverage report (coverage=true), else 404
+//	GET  /healthz             200 while the process lives
+//	GET  /readyz              200 accepting, 503 draining
+//	GET  /statz               counters (Stats JSON)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleArtifact("trace"))
+	mux.HandleFunc("GET /jobs/{id}/coverage", s.handleArtifact("coverage"))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string    `json:"error"`
+	Job   *JobError `json:"job_error,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "streamd: bad job JSON: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, job.Status())
+	case errors.Is(err, ErrFull):
+		// Admission control: the bounded job queue is full. Retry-After
+		// is the clients' backpressure signal.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		var ve *ValidationError
+		if errors.As(err, &ve) {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "streamd: no such job " + r.PathValue("id")})
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// waitIfAsked blocks until the job is terminal when ?wait is set,
+// bounded by the request's own context.
+func waitIfAsked(r *http.Request, j *Job) {
+	if r.URL.Query().Get("wait") == "" {
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	waitIfAsked(r, j)
+	st := j.Status()
+	switch {
+	case st.State == StateDone:
+		a, hit := j.result()
+		cacheHeader := "miss"
+		if hit {
+			cacheHeader = "hit"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Streamd-Cache", cacheHeader)
+		w.Header().Set("X-Streamd-Output-Hash", a.hash)
+		w.WriteHeader(http.StatusOK)
+		w.Write(a.payload)
+	case st.State.Terminal():
+		// Failed, timed out or shed: a structured error, never partial
+		// output.
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error: "streamd: job " + j.ID + " " + string(st.State),
+			Job:   st.Error,
+		})
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// handleArtifact serves the trace or coverage download.
+func (s *Server) handleArtifact(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.job(w, r)
+		if !ok {
+			return
+		}
+		waitIfAsked(r, j)
+		st := j.Status()
+		if !st.State.Terminal() {
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
+		a, _ := j.result()
+		var body []byte
+		if a != nil {
+			if kind == "trace" {
+				body = a.trace
+			} else {
+				body = a.coverage
+			}
+		}
+		if body == nil {
+			writeJSON(w, http.StatusNotFound, errorBody{
+				Error: "streamd: job " + j.ID + " has no " + kind + " artifact (submit with \"" + kind + "\": true)",
+			})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	}
+}

@@ -1,0 +1,344 @@
+// Package streamd is the fault-tolerant job service over the
+// simulator: an HTTP/JSON server that accepts simulation and what-if
+// jobs, schedules them on a bounded worker pool with admission
+// control and per-job deadlines, serves repeated configurations from a
+// content-addressed result cache, and drains gracefully on SIGTERM —
+// accepted jobs finish, new ones are rejected, the run ledger is left
+// valid. See DESIGN.md §15 for the job state machine and the cache
+// soundness argument.
+package streamd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"streamgpp/internal/obs"
+	"streamgpp/internal/sim"
+	"streamgpp/internal/wq"
+)
+
+// ErrFull is the admission-control rejection: every job-queue slot is
+// in use. It aliases wq.ErrFull deliberately — the job layer applies
+// the same bounded-queue discipline the strip layer got, one level up;
+// the HTTP layer maps it to 429 + Retry-After.
+var ErrFull = wq.ErrFull
+
+// ErrDraining rejects submissions during shutdown (HTTP 503).
+var ErrDraining = errors.New("streamd: server draining, not accepting jobs")
+
+// Options configures a Server. Zero values take the documented
+// defaults.
+type Options struct {
+	// Workers is the job-worker pool size (default 4).
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs (default 64, the
+	// work queue's slot count — the same admission bound one level up).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 1024 entries).
+	CacheEntries int
+	// MaxN bounds a single job's problem size (default 2,000,000
+	// elements — admission control for memory, not just queue slots).
+	MaxN int
+	// LedgerPath, when non-empty, appends one obs ledger entry per
+	// fresh (non-cached) completed run. The file is repaired at
+	// startup if a previous process died mid-append (torn tail).
+	LedgerPath string
+	// BaseFaultSeed seeds per-job fault derivation for specs that do
+	// not carry their own (default 1).
+	BaseFaultSeed uint64
+}
+
+func (o *Options) setDefaults() {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = wq.DefaultCapacity
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = 2_000_000
+	}
+	if o.BaseFaultSeed == 0 {
+		o.BaseFaultSeed = 1
+	}
+}
+
+// Stats is a snapshot of the server's counters, served at /statz.
+type Stats struct {
+	Accepted        uint64 `json:"accepted"`
+	RejectedFull    uint64 `json:"rejected_full"`
+	RejectedDrain   uint64 `json:"rejected_draining"`
+	Done            uint64 `json:"done"`
+	Failed          uint64 `json:"failed"`
+	TimedOut        uint64 `json:"timed_out"`
+	Shed            uint64 `json:"shed"`
+	Panics          uint64 `json:"panics"`
+	CacheHits       uint64 `json:"cache_hits"`
+	CacheMisses     uint64 `json:"cache_misses"`
+	CacheEntries    int    `json:"cache_entries"`
+	QueueDepth      int    `json:"queue_depth"`
+	Workers         int    `json:"workers"`
+	Draining        bool   `json:"draining"`
+	LedgerEntries   uint64 `json:"ledger_entries"`
+	LedgerTornTail  bool   `json:"ledger_torn_tail_repaired"`
+	RepairedAtStart bool   `json:"-"`
+}
+
+// Server is the streamd job service.
+type Server struct {
+	opts  Options
+	cache *cache
+	queue chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	draining bool
+	nextID   uint64
+	stats    Stats
+
+	ledgerMu sync.Mutex // serialises ledger appends
+
+	workers sync.WaitGroup
+	// run executes one job spec; tests substitute it to script
+	// saturation, panics and deadlines deterministically.
+	run func(ctx context.Context, spec JobSpec, canonical, key string, baseFaultSeed uint64) (*artifacts, error)
+}
+
+// New builds and starts a server: the ledger is repaired if a previous
+// process tore its final line, and the worker pool is running on
+// return.
+func New(opts Options) (*Server, error) {
+	opts.setDefaults()
+	s := &Server{
+		opts:  opts,
+		cache: newCache(opts.CacheEntries),
+		queue: make(chan *Job, opts.QueueDepth),
+		jobs:  make(map[string]*Job),
+		run:   runSpec,
+	}
+	s.stats.Workers = opts.Workers
+	if opts.LedgerPath != "" {
+		if _, err := os.Stat(opts.LedgerPath); err == nil {
+			repaired, err := obs.RepairLedger(opts.LedgerPath)
+			if err != nil {
+				return nil, fmt.Errorf("streamd: ledger %s unusable: %w", opts.LedgerPath, err)
+			}
+			s.stats.RepairedAtStart = repaired
+			s.stats.LedgerTornTail = repaired
+		}
+	}
+	s.workers.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit validates and admits a job. On success the job is queued (its
+// deadline clock already running). Admission errors: a validation
+// error (client's fault, HTTP 400), ErrFull (saturated, HTTP 429) or
+// ErrDraining (shutting down, HTTP 503).
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	spec.normalize()
+	if err := spec.Validate(s.opts.MaxN); err != nil {
+		return nil, &ValidationError{Err: err}
+	}
+	canonical := spec.Canonical(s.opts.BaseFaultSeed)
+	key := obs.Hash(canonical)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.stats.RejectedDrain++
+		return nil, ErrDraining
+	}
+	job := newJob(fmt.Sprintf("job-%06d", s.nextID+1), spec, canonical, key)
+	select {
+	case s.queue <- job:
+	default:
+		job.cancel()
+		s.stats.RejectedFull++
+		return nil, ErrFull
+	}
+	s.nextID++
+	s.jobs[job.ID] = job
+	s.stats.Accepted++
+	return job, nil
+}
+
+// ValidationError marks a client error (HTTP 400).
+type ValidationError struct{ Err error }
+
+func (e *ValidationError) Error() string { return e.Err.Error() }
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// Job returns the job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Draining reports whether the server has begun shutdown.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission and waits until every accepted job has reached
+// a terminal state. Safe to call more than once and from multiple
+// goroutines; all callers return once the pool is idle. The ledger
+// needs no separate flush: entries are appended (and synced by the OS)
+// per run, so after Drain the file is a complete, valid JSONL record
+// of every fresh run.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers exit after finishing what was accepted
+	}
+	s.mu.Unlock()
+	s.workers.Wait()
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	st.Draining = s.draining
+	st.QueueDepth = len(s.queue)
+	s.mu.Unlock()
+	st.CacheHits, st.CacheMisses, st.CacheEntries = s.cache.stats()
+	return st
+}
+
+// worker is the job-worker loop. The pool drains the queue until
+// Drain closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// count bumps one terminal-state counter.
+func (s *Server) count(st State, panicked bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch st {
+	case StateDone:
+		s.stats.Done++
+	case StateFailed:
+		s.stats.Failed++
+	case StateTimedOut:
+		s.stats.TimedOut++
+	case StateShed:
+		s.stats.Shed++
+	}
+	if panicked {
+		s.stats.Panics++
+	}
+}
+
+// runJob takes one accepted job to a terminal state. Panics are
+// isolated here: a crashing run marks its job failed and the worker
+// (and server) live on.
+func (s *Server) runJob(j *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.finish(StateFailed, nil, false, &JobError{
+				Op: "panic", Phase: -1, Strip: -1,
+				Message: fmt.Sprintf("job worker panic: %v", r),
+			})
+			s.count(StateFailed, true)
+		}
+	}()
+
+	j.setState(StateAdmitted)
+
+	// A deadline burned entirely in the queue sheds the job: running it
+	// would return a result nobody is waiting for, and under overload
+	// shedding stale work is what keeps the queue moving.
+	if err := j.ctx.Err(); err != nil {
+		j.finish(StateShed, nil, false, &JobError{
+			Op: "shed", Phase: -1, Strip: -1,
+			Message:  "deadline expired while queued: " + err.Error(),
+			TimedOut: errors.Is(err, context.DeadlineExceeded),
+		})
+		s.count(StateShed, false)
+		return
+	}
+
+	// Content-addressed hit: the stored bytes are, by determinism, the
+	// bytes this run would have produced.
+	if a, ok := s.cache.get(j.Key); ok {
+		j.finish(StateDone, a, true, nil)
+		s.count(StateDone, false)
+		return
+	}
+
+	j.setState(StateRunning)
+	t0 := time.Now()
+	a, err := s.run(j.ctx, j.Spec, j.Canonical, j.Key, s.opts.BaseFaultSeed)
+	wall := time.Since(t0)
+	if err != nil {
+		je := toJobError(err)
+		st := StateFailed
+		if je.TimedOut {
+			st = StateTimedOut
+		}
+		j.finish(st, nil, false, je)
+		s.count(st, false)
+		return
+	}
+	s.cache.put(j.Key, a)
+	j.finish(StateDone, a, false, nil)
+	s.count(StateDone, false)
+	s.appendLedger(j, a, wall)
+}
+
+// appendLedger records one fresh run. Serialised: concurrent workers
+// must not interleave appends to the JSONL file.
+func (s *Server) appendLedger(j *Job, a *artifacts, wall time.Duration) {
+	if s.opts.LedgerPath == "" {
+		return
+	}
+	entry := obs.LedgerEntry{
+		Schema:     obs.LedgerSchema,
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		Experiment: "streamd/" + j.Spec.App,
+		Config:     j.Canonical,
+		ConfigHash: j.Key,
+		FastPath:   sim.DefaultFastPath(),
+		Quick:      j.Spec.Quick,
+		WallNs:     wall.Nanoseconds(),
+		SimCycles:  a.simCycles,
+		OutputHash: a.hash,
+		Metrics:    a.metrics,
+		Source:     "streamd",
+		Extra:      map[string]string{"job": j.ID},
+	}
+	if wall > 0 {
+		entry.SimCyclesPerSec = float64(a.simCycles) / wall.Seconds()
+	}
+	s.ledgerMu.Lock()
+	err := obs.AppendLedger(s.opts.LedgerPath, entry)
+	s.ledgerMu.Unlock()
+	// A ledger append failure must not fail the job: the result is
+	// already computed and cached. Successful appends are counted so
+	// /statz (and the drain smoke) can cross-check the file.
+	if err == nil {
+		s.mu.Lock()
+		s.stats.LedgerEntries++
+		s.mu.Unlock()
+	}
+}

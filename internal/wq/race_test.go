@@ -1,0 +1,114 @@
+package wq
+
+import (
+	"strings"
+	"testing"
+
+	"streamgpp/internal/fault"
+	"streamgpp/internal/sim"
+)
+
+// TestConcurrentScrubDiagnoseUnderFaults drives one queue from two
+// simulated contexts — a producer enqueuing a dependency chain under
+// injected dropped dependence-clears, and a consumer draining both
+// queues while running the Scrub/Diagnose watchdog path whenever
+// progress stalls. Simulated threads are real goroutines serialised by
+// the engine's channel handoffs, so under -race this test checks the
+// happens-before edges that make the queue's "no Go-level locking"
+// design sound; scripts/check.sh runs this package in its race section.
+func TestConcurrentScrubDiagnoseUnderFaults(t *testing.T) {
+	const n = 400
+
+	fcfg := fault.Config{Seed: 42}
+	fcfg.Rate[fault.DroppedDepClear] = 0.3
+
+	q := New(16)
+	q.Fault = fault.New(fcfg)
+
+	var (
+		completed  int
+		enqRetries int
+		staleSeen  bool
+	)
+
+	// Producer: enqueue a three-kind chain where every task depends on
+	// its predecessor, plus a two-back edge every fourth task — enough
+	// fan-in that a dropped clear reliably wedges a waiter. ErrFull (the
+	// queue's admission backpressure) is handled the way the executors
+	// do: idle a little and retry.
+	producer := func(c *sim.CPU) {
+		for id := 0; id < n; id++ {
+			kind := [...]Kind{Gather, KernelRun, Scatter}[id%3]
+			tk := Task{ID: id, Name: "t", Kind: kind, Run: func(*sim.CPU) {}}
+			if id > 0 {
+				tk.Deps = append(tk.Deps, id-1)
+			}
+			if id%4 == 0 && id > 1 {
+				tk.Deps = append(tk.Deps, id-2)
+			}
+			for q.Enqueue(tk) == ErrFull {
+				enqRetries++
+				c.Idle(20)
+			}
+			c.Idle(2)
+		}
+	}
+
+	// Consumer: drain both queues. When neither queue has a ready task
+	// (either genuinely empty or wedged on a stale bit), run the
+	// watchdog path — Diagnose then Scrub — exactly as the executors'
+	// progress watchdog does.
+	consumer := func(c *sim.CPU) {
+		for completed < n {
+			ran := false
+			for _, qid := range []QueueID{MemQueue, ComputeQueue} {
+				if slot, tk, ok := q.NextReady(qid); ok {
+					tk.Run(c)
+					c.Idle(5)
+					q.Complete(slot)
+					completed++
+					ran = true
+				}
+			}
+			if !ran {
+				diag := q.Diagnose()
+				if strings.Contains(diag, "stale") {
+					staleSeen = true
+				}
+				q.Scrub()
+				c.Idle(10)
+			}
+		}
+	}
+
+	m := sim.MustNew(sim.PentiumD8300())
+	m.Run(producer, consumer)
+
+	if completed != n {
+		t.Fatalf("completed %d of %d tasks", completed, n)
+	}
+	if q.InFlight() != 0 {
+		t.Fatalf("%d tasks still in flight after drain", q.InFlight())
+	}
+	if q.Completed() != n {
+		t.Fatalf("queue counted %d completions, want %d", q.Completed(), n)
+	}
+	if q.DroppedClears() == 0 {
+		t.Fatal("fault injection never dropped a dependence clear (rate 0.3 over 400 completions)")
+	}
+	if q.Scrubbed() == 0 {
+		t.Fatal("Scrub never recovered a stale bit despite dropped clears")
+	}
+	if !staleSeen {
+		t.Error("Diagnose never reported the stale-bit hint while wedged")
+	}
+
+	// The final diagnosis of a drained queue reports counts only — no
+	// blocked tasks.
+	diag := q.Diagnose()
+	if strings.Contains(diag, "blocked") {
+		t.Errorf("drained queue still reports blocked tasks:\n%s", diag)
+	}
+	t.Logf("enqueue retries %d, dropped clears %d, scrubbed %d",
+		enqRetries, q.DroppedClears(), q.Scrubbed())
+}

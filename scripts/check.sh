@@ -6,7 +6,9 @@
 # slowed run must fail), a smoke of the critical-path profiler and the
 # what-if cross-check (identity exact, kernel speedup within the gate
 # tolerance), a smoke of the fast-path coverage profiler (known bail
-# reason named, nonzero DRAM attribution), and a smoke run of the
+# reason named, nonzero DRAM attribution), the streamd job-service
+# lifecycle selftest (cache hit byte-identity, SIGTERM drain, valid
+# ledger) plus a shortened -race soak, and a smoke run of the
 # wall-clock benchmark harness.
 set -eu
 cd "$(dirname "$0")/.."
@@ -25,6 +27,13 @@ go test -race ./internal/wq/ ./internal/exec/ ./internal/obs/ ./internal/svm/
 
 echo "== go test -race (parallel experiment runner) =="
 go test -race -run 'TestFastPathAndParallelRunsAreByteIdentical' ./internal/bench/
+
+echo "== go test -race (streamd soak, shortened) =="
+# The full 520-job soak runs in the plain 'go test ./...' pass above;
+# -short scales it to 160 jobs so the race-instrumented run stays in
+# the tens of seconds while saturation and mid-soak drain remain
+# structural.
+go test -race -short -run 'TestSoak' ./internal/streamd/
 
 echo "== fuzz smoke (bitvec, wq, sim fast path) =="
 go test -run='^$' -fuzz=FuzzVec -fuzztime=5s ./internal/bitvec/
@@ -113,7 +122,24 @@ grep -E "DRAM" /tmp/coverage.txt | grep -Eq "[1-9][0-9]*" \
 grep -q "roofline" /tmp/coverage.txt \
     || { echo "streamtrace -coverage printed no roofline summary"; cat /tmp/coverage.txt; exit 1; }
 
-rm -f "$GATE_BASE" /tmp/streambench.check
+echo "== streamd lifecycle smoke =="
+# The selftest drives the full job-service lifecycle over real HTTP:
+# submit the quickstart job twice and assert the second response is a
+# cache hit with byte-identical output, SIGTERM the process with a job
+# in flight, and assert the drain finished it, rejected new work
+# (503), and left a valid repairable ledger. Exit 0 means every
+# assertion held.
+go build -o /tmp/streamd.check ./cmd/streamd
+STREAMD_LEDGER="${TMPDIR:-/tmp}/streamgpp-streamd-selftest.jsonl"
+rm -f "$STREAMD_LEDGER"
+/tmp/streamd.check -selftest -ledger "$STREAMD_LEDGER" >/tmp/streamd_selftest.txt 2>&1 \
+    || { echo "streamd selftest failed"; cat /tmp/streamd_selftest.txt; exit 1; }
+grep -q "cache hit verified" /tmp/streamd_selftest.txt \
+    || { echo "streamd selftest verified no cache hit"; cat /tmp/streamd_selftest.txt; exit 1; }
+grep -q "ledger valid" /tmp/streamd_selftest.txt \
+    || { echo "streamd selftest left no valid ledger"; cat /tmp/streamd_selftest.txt; exit 1; }
+
+rm -f "$GATE_BASE" "$STREAMD_LEDGER" /tmp/streambench.check /tmp/streamd.check /tmp/streamd_selftest.txt
 rm -f /tmp/streamtrace.check /tmp/fault_a.txt /tmp/fault_b.txt /tmp/critpath.txt /tmp/whatif.txt /tmp/coverage.txt
 
 echo "== scripts/bench.sh smoke =="
