@@ -13,18 +13,24 @@
 // Endpoints (see internal/streamd and the README's "Running streamd"):
 //
 //	POST /jobs                GET /jobs/{id}         GET /jobs/{id}/result
+//	GET  /jobs/{id}/events    GET /jobs/{id}/stream  (SSE live progress)
 //	GET  /jobs/{id}/trace     GET /jobs/{id}/coverage
 //	GET  /healthz             GET /readyz            GET /statz
+//	GET  /metricz             (Prometheus text exposition)
 //
 // -selftest starts a server on a loopback port and drives the
 // check.sh smoke against it over real HTTP: submit the quickstart job
 // twice, assert the second response is a cache hit with byte-identical
-// output, send the process a real SIGTERM mid-flight, and assert the
-// drain finished the in-flight job, rejected new work and left a valid
-// ledger. Exit 0 means every assertion held.
+// output, stream a larger job over SSE and assert at least one
+// mid-run progress frame arrives before its done event, scrape
+// /metricz and the job's lifecycle event log, send the process a real
+// SIGTERM mid-flight, and assert the drain finished the in-flight
+// job, rejected new work and left a valid ledger and event log. Exit
+// 0 means every assertion held.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -34,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -172,7 +179,80 @@ func runSelftest(opts streamd.Options) error {
 	}
 	fmt.Printf("streamd: selftest cache hit verified (hash %s)\n", hdr2.Get("X-Streamd-Output-Hash"))
 
-	// 2. Put a job in flight, then SIGTERM ourselves: the drain must
+	// 2. Live progress over SSE: a bigger job must deliver at least one
+	// mid-run progress frame before its done event. Frames only exist
+	// while the job runs (the latest replays on connect), so seeing one
+	// proves the stream attached mid-run. Distinct seeds keep every
+	// attempt a fresh run — a cache hit would finish instantly.
+	var sseJob streamd.JobStatus
+	var progressFrames int
+	for attempt := 1; attempt <= 3 && progressFrames == 0; attempt++ {
+		sseJob, err = submit(fmt.Sprintf(`{"app":"GAT-SCAT-COMP","n":%d,"comp":2,"seed":%d}`, 200000*attempt, 100+attempt))
+		if err != nil {
+			return err
+		}
+		resp, err := http.Get(base + "/jobs/" + sseJob.ID + "/stream")
+		if err != nil {
+			return err
+		}
+		doneSeen := false
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			switch sc.Text() {
+			case "event: progress":
+				progressFrames++
+			case "event: done":
+				doneSeen = true
+			}
+		}
+		resp.Body.Close()
+		if !doneSeen {
+			return fmt.Errorf("SSE stream for %s ended without a done event", sseJob.ID)
+		}
+	}
+	if progressFrames == 0 {
+		return fmt.Errorf("SSE streams delivered no mid-run progress frames")
+	}
+	fmt.Printf("streamd: selftest observed %d mid-run progress frames over SSE\n", progressFrames)
+
+	// 3. The lifecycle event log for that job, via the API.
+	resp, err := http.Get(base + "/jobs/" + sseJob.ID + "/events")
+	if err != nil {
+		return err
+	}
+	var events []streamd.Event
+	err = json.NewDecoder(resp.Body).Decode(&events)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if len(events) < 4 || events[0].Type != "submit" || events[len(events)-1].Type != "terminal" {
+		return fmt.Errorf("job %s event log implausible: %d events", sseJob.ID, len(events))
+	}
+
+	// 4. /metricz: a parseable Prometheus exposition carrying the job
+	// counters and the run-duration histogram.
+	resp, err = http.Get(base + "/metricz")
+	if err != nil {
+		return err
+	}
+	prom, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	var counterLine string
+	for _, line := range strings.Split(string(prom), "\n") {
+		if strings.HasPrefix(line, "streamd_jobs_accepted ") {
+			counterLine = line
+		}
+	}
+	if counterLine == "" || !strings.Contains(string(prom), "# TYPE streamd_run_ms histogram") {
+		return fmt.Errorf("metricz exposition incomplete:\n%s", prom)
+	}
+	fmt.Printf("streamd: selftest metricz scrape ok (%s)\n", counterLine)
+
+	// 5. Put a job in flight, then SIGTERM ourselves: the drain must
 	// finish it, reject new work, and leave the ledger valid.
 	j3, err := submit(`{"app":"GAT-SCAT-COMP","n":120000,"comp":2}`)
 	if err != nil {
@@ -195,7 +275,7 @@ func runSelftest(opts streamd.Options) error {
 	if _, err := submit(quick); err == nil {
 		return fmt.Errorf("submit accepted during drain, want 503")
 	}
-	resp, err := http.Get(base + "/readyz")
+	resp, err = http.Get(base + "/readyz")
 	if err != nil {
 		return err
 	}
@@ -205,8 +285,9 @@ func runSelftest(opts streamd.Options) error {
 	}
 	hs.Close()
 
-	// 3. Ledger: valid JSONL, one entry per fresh run (two here: the
-	// quickstart and the GAT-SCAT job; the cache hit appends nothing).
+	// 6. Ledger: valid JSONL, one entry per fresh run (the cache hit
+	// appends nothing). The event log next to it must round-trip too,
+	// with its tail whole — Drain closed it after the last worker.
 	if opts.LedgerPath != "" {
 		entries, stats, err := obs.ReadLedgerStats(opts.LedgerPath)
 		if err != nil {
@@ -219,6 +300,14 @@ func runSelftest(opts streamd.Options) error {
 			return fmt.Errorf("post-drain ledger has %d entries, want ≥2", len(entries))
 		}
 		fmt.Printf("streamd: selftest ledger valid (%d entries)\n", len(entries))
+		_, estats, err := streamd.ReadEvents(opts.LedgerPath + ".events")
+		if err != nil {
+			return fmt.Errorf("post-drain event log: %w", err)
+		}
+		if estats.TornTail {
+			return fmt.Errorf("post-drain event log has a torn tail")
+		}
+		fmt.Printf("streamd: selftest event log valid (%d events over %d jobs)\n", estats.Events, estats.Jobs)
 	}
 	st := s.Stats()
 	if st.Failed != 0 {

@@ -1,0 +1,171 @@
+// Command streamtop is a terminal dashboard for a running streamd: it
+// polls /statz (structured counters) and /metricz (the Prometheus
+// exposition, for the latency quantile gauges) and renders queue
+// depth, per-state job occupancy, cache hit rate and the queue-wait /
+// admission / run-duration percentiles in place.
+//
+// Usage:
+//
+//	streamtop -addr http://localhost:8372
+//	streamtop -addr http://localhost:8372 -interval 2s
+//	streamtop -once        # one snapshot, no screen control (for pipes)
+//
+// The dashboard is read-only and clock-neutral by construction: it
+// only scrapes endpoints whose handlers never touch a simulated
+// clock, so watching a server does not change what it computes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"streamgpp/internal/streamd"
+)
+
+// scrape fetches one /statz + /metricz pair.
+func scrape(client *http.Client, base string) (streamd.Stats, map[string]float64, error) {
+	var st streamd.Stats
+	resp, err := client.Get(base + "/statz")
+	if err != nil {
+		return st, nil, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return st, nil, fmt.Errorf("decoding /statz: %w", err)
+	}
+
+	resp, err = client.Get(base + "/metricz")
+	if err != nil {
+		return st, nil, err
+	}
+	metrics, err := parseProm(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return st, nil, fmt.Errorf("parsing /metricz: %w", err)
+	}
+	return st, metrics, nil
+}
+
+// parseProm reads a Prometheus text exposition into a flat
+// name→value map (unlabelled samples and _bucket/_sum/_count series
+// alike; bucket labels are folded into the key as name_bucket_le_B).
+func parseProm(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name, val := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue // +Inf etc. in sample position never happens here; skip defensively
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			le := ""
+			if j := strings.Index(name, `le="`); j >= 0 {
+				le = name[j+4 : strings.IndexByte(name[j+4:], '"')+j+4]
+			}
+			name = name[:i] + "_le_" + le
+		}
+		out[name] = v
+	}
+	return out, sc.Err()
+}
+
+// fmtDur renders a seconds count as 1h02m03s.
+func fmtDur(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Truncate(time.Second).String()
+}
+
+// render draws one frame of the dashboard.
+func render(w io.Writer, addr string, st streamd.Stats, m map[string]float64) {
+	fmt.Fprintf(w, "streamd %s    up %s", addr, fmtDur(st.UptimeSec))
+	if st.Draining {
+		fmt.Fprintf(w, "    DRAINING")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "workers %d    queue %d    cache %d entries\n\n", st.Workers, st.QueueDepth, st.CacheEntries)
+
+	fmt.Fprintf(w, "jobs     accepted %-6d rejected %d full / %d draining    panics %d\n",
+		st.Accepted, st.RejectedFull, st.RejectedDrain, st.Panics)
+	var states []string
+	for state := range st.JobsByState {
+		states = append(states, state)
+	}
+	sort.Strings(states)
+	fmt.Fprintf(w, "states  ")
+	for _, state := range states {
+		fmt.Fprintf(w, " %s=%d", state, st.JobsByState[state])
+	}
+	fmt.Fprintln(w)
+
+	hitRate := 0.0
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		hitRate = 100 * float64(st.CacheHits) / float64(lookups)
+	}
+	fmt.Fprintf(w, "cache    %d hits / %d misses (%.1f%% hit rate)    ledger %d entries\n\n",
+		st.CacheHits, st.CacheMisses, hitRate, st.LedgerEntries)
+
+	fmt.Fprintf(w, "%-22s %10s %10s %10s %10s\n", "latency (ms)", "p50", "p95", "p99", "count")
+	for _, h := range []struct{ label, name string }{
+		{"queue wait", "streamd_queue_wait_ms"},
+		{"admission", "streamd_admission_ms"},
+		{"run duration", "streamd_run_ms"},
+	} {
+		count, ok := m[h.name+"_count"]
+		if !ok {
+			fmt.Fprintf(w, "%-22s %10s %10s %10s %10s\n", h.label, "-", "-", "-", "0")
+			continue
+		}
+		fmt.Fprintf(w, "%-22s %10g %10g %10g %10.0f\n",
+			h.label, m[h.name+"_p50"], m[h.name+"_p95"], m[h.name+"_p99"], count)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8372", "streamd base URL")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen control)")
+	flag.Parse()
+
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	for {
+		st, metrics, err := scrape(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streamtop: %v\n", err)
+			if *once {
+				os.Exit(1)
+			}
+			time.Sleep(*interval)
+			continue
+		}
+		if *once {
+			render(os.Stdout, base, st, metrics)
+			return
+		}
+		// Home the cursor and clear to end of screen: repaint in place
+		// without the flash a full clear causes.
+		fmt.Print("\x1b[H\x1b[2J")
+		render(os.Stdout, base, st, metrics)
+		fmt.Printf("\n(refreshing every %s, ctrl-c to quit)\n", *interval)
+		time.Sleep(*interval)
+	}
+}

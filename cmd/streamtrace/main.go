@@ -10,6 +10,7 @@
 //	streamtrace -app gatscat -n 200000 -comp 1 -o trace.json
 //	streamtrace -app ldst -nodouble        # serialised-pipeline ablation
 //	streamtrace -app fem
+//	streamtrace -events streamd.jsonl.events   # pretty-print a streamd event log
 //
 // Open the JSON at https://ui.perfetto.dev (or chrome://tracing): track
 // ctx0 is the control+compute thread, ctx1 the memory thread, with a
@@ -20,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -40,7 +42,38 @@ import (
 	"streamgpp/internal/obs"
 	"streamgpp/internal/sdf"
 	"streamgpp/internal/sim"
+	"streamgpp/internal/streamd"
 )
+
+// printEvents renders a streamd lifecycle event log as a table, one
+// row per event, with per-event millisecond offsets from server start.
+// A torn final line — the crash artifact the log's readers tolerate —
+// is noted, not fatal.
+func printEvents(w io.Writer, path string) error {
+	events, stats, err := streamd.ReadEvents(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-5s %12s  %-10s  %-8s  %-13s  %-9s  %-5s  %s\n",
+		"SEQ", "T_MS", "JOB", "TYPE", "APP", "STATE", "CACHE", "DETAIL")
+	for _, e := range events {
+		var detail []string
+		if e.Retries > 0 {
+			detail = append(detail, fmt.Sprintf("retries=%d", e.Retries))
+		}
+		if e.Error != nil {
+			detail = append(detail, e.Error.Message)
+		}
+		fmt.Fprintf(w, "%-5d %12.3f  %-10s  %-8s  %-13s  %-9s  %-5s  %s\n",
+			e.Seq, float64(e.TNs)/1e6, e.Job, e.Type, e.App, e.State, e.Cache,
+			strings.Join(detail, " "))
+	}
+	fmt.Fprintf(w, "%d events over %d jobs\n", stats.Events, stats.Jobs)
+	if stats.TornTail {
+		fmt.Fprintf(w, "note: torn final line %d skipped (writer killed mid-append; repaired on next streamd start)\n", stats.TornLine)
+	}
+	return nil
+}
 
 // mergeMetrics folds extra flat metric keys into a flattened snapshot.
 func mergeMetrics(m, extra map[string]float64) map[string]float64 {
@@ -122,7 +155,17 @@ func main() {
 		"report fast-path coverage (which accesses the bulk fast path served, and why the rest bailed) and per-level bandwidth attribution")
 	topbails := flag.Int("topbails", 0,
 		"with -coverage, also rank the top N bail reasons by estimated lost cycles (bails × mean per-access cost)")
+	eventsPath := flag.String("events", "",
+		"pretty-print the streamd job lifecycle event log (JSONL) at this path and exit")
 	flag.Parse()
+
+	if *eventsPath != "" {
+		if err := printEvents(os.Stdout, *eventsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "streamtrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		var names []string

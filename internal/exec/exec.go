@@ -100,6 +100,14 @@ type Config struct {
 	// streamd job workers) keep independent deterministic draw streams
 	// and stay replayable from their seeds.
 	Fault *fault.Injector
+
+	// Progress, when non-nil, receives one ProgressFrame after every
+	// completed stream task. The hook is host-side and clock-neutral:
+	// it fires after the task's cycles are accounted and reads only
+	// already-committed state, so timing is byte-identical with or
+	// without it (see progress.go). The callback runs on the
+	// simulating goroutine — keep it cheap and never block in it.
+	Progress func(ProgressFrame)
 }
 
 // Defaults returns the evaluation configuration.
@@ -411,6 +419,10 @@ func runStream2Attempt(m *sim.Machine, p *compiler.Program, cfg Config) (Result,
 		if cfg.Trace != nil {
 			cfg.Trace.sample("wq depth", c.Now(), float64(q.InFlight()))
 		}
+		if cfg.Progress != nil {
+			cfg.Progress(ProgressFrame{Done: int(q.Completed()), Total: total,
+				Phase: t.Phase, Strip: t.Strip, Cycle: c.Now(), Retries: rec.Retries})
+		}
 		c.Signal(work)
 		return true
 	}
@@ -617,6 +629,10 @@ func RunStream1Ctx(m *sim.Machine, p *compiler.Program, cfg Config) (Result, err
 			kindCycles[t.Kind] += c.Now() - before
 			ca.taskEnd(c.ID(), t.Kind, t.Phase)
 			ts.taskEnd(t.Kind, c.Now(), nil)
+			if cfg.Progress != nil {
+				cfg.Progress(ProgressFrame{Done: i + 1, Total: len(p.Tasks),
+					Phase: t.Phase, Strip: t.Strip, Cycle: c.Now(), Retries: rec.Retries})
+			}
 			if cfg.Trace != nil {
 				// Sequential schedule: admission and start coincide, and
 				// the declared dependencies are the recorded edges (every

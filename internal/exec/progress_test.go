@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"testing"
+
+	"streamgpp/internal/compiler"
+	"streamgpp/internal/svm"
+)
+
+// runFig2WithProgress runs the fig2 program on the chosen mapping with
+// an optional frame collector and returns the result plus the frames.
+func runFig2WithProgress(t *testing.T, n int, twoCtx, hook bool) (Result, []ProgressFrame) {
+	t.Helper()
+	s := newFig2(n, 8)
+	p, err := compiler.Compile(s.graph(), compiler.DefaultOptions(svm.DefaultSRF(s.m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []ProgressFrame
+	cfg := Defaults()
+	if hook {
+		cfg.Progress = func(f ProgressFrame) { frames = append(frames, f) }
+	}
+	if twoCtx {
+		return mustRun2(t, s.m, p, cfg), frames
+	}
+	return mustRun1(t, s.m, p, cfg), frames
+}
+
+// The hook's contract: exactly one frame per completed task, Done
+// strictly increasing up to Total, every frame locating a real
+// phase/strip, and the final frame reporting completion.
+func TestProgressFramesCoverTheSchedule(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		twoCtx bool
+	}{{"2ctx", true}, {"1ctx", false}} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, frames := runFig2WithProgress(t, 20000, tc.twoCtx, true)
+			if len(frames) < 2 {
+				t.Fatalf("only %d frames for a multi-strip schedule", len(frames))
+			}
+			total := frames[0].Total
+			if total != len(frames) {
+				t.Errorf("%d frames for %d tasks (want one per task)", len(frames), total)
+			}
+			for i, f := range frames {
+				if f.Total != total {
+					t.Fatalf("frame %d changed Total: %d → %d", i, total, f.Total)
+				}
+				if f.Done != i+1 {
+					t.Fatalf("frame %d reports Done=%d, want %d (monotone, one per completion)", i, f.Done, i+1)
+				}
+				if f.Phase < 0 || f.Strip < 0 {
+					t.Fatalf("frame %d has no task location: %+v", i, f)
+				}
+				if f.Retries != 0 {
+					t.Fatalf("fault-free run reported retries: %+v", f)
+				}
+			}
+			if last := frames[len(frames)-1]; last.Done != last.Total {
+				t.Errorf("final frame %+v does not report completion", last)
+			}
+		})
+	}
+}
+
+// Clock-neutrality: an attached hook must not move a single simulated
+// cycle — the byte-identity guarantee streamd's live progress rides on
+// (and the reason `-exp all -quick` output is unchanged with hooks
+// enabled).
+func TestProgressHookIsClockNeutral(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		twoCtx bool
+	}{{"2ctx", true}, {"1ctx", false}} {
+		t.Run(tc.name, func(t *testing.T) {
+			bare, _ := runFig2WithProgress(t, 20000, tc.twoCtx, false)
+			hooked, frames := runFig2WithProgress(t, 20000, tc.twoCtx, true)
+			if bare.Cycles != hooked.Cycles {
+				t.Fatalf("progress hook moved the clock: %d cycles bare, %d hooked",
+					bare.Cycles, hooked.Cycles)
+			}
+			if bare.KindCycles != hooked.KindCycles {
+				t.Fatalf("per-kind cycles differ: %v vs %v", bare.KindCycles, hooked.KindCycles)
+			}
+			if len(frames) == 0 {
+				t.Fatal("hooked run produced no frames")
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file implements the pull half of the observability layer's
+// service story: a Prometheus text-exposition (version 0.0.4) encoder
+// over a registry snapshot. streamd serves it at GET /metricz so any
+// scraper — Prometheus itself, curl in check.sh, the streamtop
+// dashboard — reads the same registry the simulator and the job
+// service write into. The encoding is deterministic (metrics in sorted
+// name order, buckets in bound order, shortest-round-trip floats) so a
+// golden-file test can pin it byte-for-byte.
+
+// PromName maps a registry metric name onto the Prometheus name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*: every other rune becomes '_', and
+// a leading digit gains a '_' prefix. The mapping is lossy by design
+// (dots and underscores collide); the HELP line carries the original
+// name so the source instrument stays identifiable.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a value in the exposition's number grammar.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promQuantiles are the summary quantiles WriteProm derives from every
+// histogram, exposed as <name>_p50/_p95/_p99 gauges beside the bucket
+// series (Prometheus forbids mixing histogram and summary sample
+// families under one name, so the quantiles get their own).
+var promQuantiles = [...]struct {
+	suffix string
+	q      float64
+}{
+	{"_p50", 0.50},
+	{"_p95", 0.95},
+	{"_p99", 0.99},
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format:
+// counters and gauges one sample each (gauges also expose their
+// high-water mark as <name>_max), histograms as cumulative
+// <name>_bucket{le="..."} series over the fixed power-of-two bounds
+// (HistBucketBounds) plus <name>_sum, <name>_count and the
+// p50/p95/p99 gauges. Empty trailing buckets are elided — the series
+// ends at the first bound whose cumulative count reaches the total,
+// followed by the mandatory le="+Inf" sample.
+func WriteProm(w io.Writer, s Snapshot) error {
+	bounds := HistBucketBounds()
+	for _, name := range s.Names() {
+		v := s[name]
+		pn := PromName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", pn, name); err != nil {
+			return err
+		}
+		switch v.Kind {
+		case KindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", pn, pn, promFloat(v.Value))
+		case KindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(v.Value))
+			fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %s\n", pn, pn, promFloat(v.Max))
+		case KindHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+			var cum uint64
+			for i, n := range v.Buckets {
+				cum += n
+				if math.IsInf(bounds[i], 1) {
+					break // the +Inf sample below covers the last bucket
+				}
+				fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, promFloat(bounds[i]), cum)
+				if cum == v.Count {
+					break
+				}
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, v.Count)
+			fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(v.Sum))
+			fmt.Fprintf(w, "%s_count %d\n", pn, v.Count)
+			for _, pq := range promQuantiles {
+				fmt.Fprintf(w, "# TYPE %s%s gauge\n%s%s %s\n",
+					pn, pq.suffix, pn, pq.suffix, promFloat(v.Quantile(pq.q)))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden pins the exposition byte-for-byte: metric-name
+// escaping (dots, spaces, braces, leading digits), HELP/TYPE lines,
+// histogram bucket cumulativity and the derived quantile gauges. If
+// the encoding changes deliberately, regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/obs -run TestWritePromGolden.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("exec.strip_retries").Add(3)
+	r.Counter("9starts.with-digit{x}").Inc()
+	g := r.Gauge("wq depth")
+	g.Set(7)
+	g.Set(2)
+	h := r.Histogram("streamd.run_ms")
+	for _, v := range []float64{0.5, 3, 3, 100} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// Bucket cumulativity is a hard invariant scrapers rely on: each
+// le="B" sample counts every observation ≤ B, so the series is
+// non-decreasing and ends at the total count.
+func TestWritePromBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for v := 1; v <= 300; v++ {
+		h.Observe(float64(v))
+	}
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var last int64 = -1
+	var infSeen bool
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "h_bucket{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket series decreased: %q after %d", line, last)
+		}
+		last = n
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if n != 300 {
+				t.Fatalf("+Inf bucket = %d, want total 300", n)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no le=\"+Inf\" bucket emitted")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"exec.strip_retries": "exec_strip_retries",
+		"wq depth":           "wq_depth",
+		"9lead":              "_9lead",
+		"a:b":                "a:b",
+		"bw.L1.bytes":        "bw_L1_bytes",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Snapshot quantiles must agree with the live instrument's, and both
+// must bound the true quantile from above while never exceeding max.
+func TestSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q")
+	for v := 1; v <= 1000; v++ {
+		h.Observe(float64(v))
+	}
+	snap := r.Snapshot()["q"]
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		live, frozen := h.Quantile(q), snap.Quantile(q)
+		if live != frozen {
+			t.Errorf("q=%v: live %v != snapshot %v", q, live, frozen)
+		}
+		if frozen > h.Max() {
+			t.Errorf("q=%v: quantile %v exceeds max %v", q, frozen, h.Max())
+		}
+		trueQ := q * 1000
+		if frozen < trueQ {
+			t.Errorf("q=%v: quantile %v below the true quantile %v (not an upper bound)", q, frozen, trueQ)
+		}
+	}
+	if got := (MetricValue{Kind: KindGauge, Value: 5}).Quantile(0.5); got != 0 {
+		t.Errorf("gauge Quantile = %v, want 0", got)
+	}
+}

@@ -85,6 +85,27 @@ func (g *Gauge) Max() float64 {
 // counts observations in [2^(i-1), 2^i), bucket 0 counts v < 1.
 const histBuckets = 32
 
+// HistBuckets is the exported bucket count, for callers sizing
+// bucket-indexed state (the Prometheus encoder, tests).
+const HistBuckets = histBuckets
+
+// HistBucketBounds returns the histograms' fixed upper bucket bounds,
+// in bucket order: bound 0 is 1 (bucket 0 counts v < 1), bound i is
+// 2^i for the [2^(i-1), 2^i) buckets, and the final bound is +Inf —
+// Observe clamps everything ≥ 2^(histBuckets-2) into the last bucket,
+// so its upper edge is unbounded. Every Histogram shares these bounds;
+// that is what lets snapshots taken at different times (or from
+// different processes) be merged or compared bucket-by-bucket.
+func HistBucketBounds() [histBuckets]float64 {
+	var b [histBuckets]float64
+	b[0] = 1
+	for i := 1; i < histBuckets-1; i++ {
+		b[i] = float64(uint64(1) << uint(i))
+	}
+	b[histBuckets-1] = math.Inf(1)
+	return b
+}
+
 // Histogram accumulates a distribution of samples into power-of-two
 // buckets, keeping exact count/sum/min/max.
 type Histogram struct {
@@ -162,24 +183,40 @@ func (h *Histogram) Max() float64 {
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.count == 0 {
+	return bucketQuantile(q, h.count, &h.buckets, h.max)
+}
+
+// Buckets returns a copy of the per-bucket sample counts (bounds from
+// HistBucketBounds).
+func (h *Histogram) Buckets() [histBuckets]uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.buckets
+}
+
+// bucketQuantile is the shared quantile estimate over power-of-two
+// buckets: the upper bound of the bucket holding the q-th sample,
+// capped by the observed max (the estimate can never exceed a real
+// sample).
+func bucketQuantile(q float64, count uint64, buckets *[histBuckets]uint64, max float64) float64 {
+	if count == 0 {
 		return 0
 	}
-	target := uint64(q * float64(h.count))
-	if target >= h.count {
-		return h.max
+	target := uint64(q * float64(count))
+	if target >= count {
+		return max
 	}
 	var seen uint64
-	for i, n := range h.buckets {
+	for i, n := range buckets {
 		seen += n
 		if seen > target {
 			if i == 0 {
-				return math.Min(1, h.max)
+				return math.Min(1, max)
 			}
-			return math.Min(float64(uint64(1)<<uint(i)), h.max)
+			return math.Min(float64(uint64(1)<<uint(i)), max)
 		}
 	}
-	return h.max
+	return max
 }
 
 // Registry holds named instruments, created lazily on first use so
@@ -269,6 +306,11 @@ type MetricValue struct {
 	Count uint64  // histogram sample count
 	Sum   float64 // histogram sample sum
 	Min   float64 // histogram minimum
+	// Buckets is the histogram's per-bucket sample counts, frozen with
+	// the other fields (bounds from HistBucketBounds; zero for
+	// counters/gauges). A fixed array, so snapshot values stay
+	// self-contained — no aliasing of live instrument state.
+	Buckets [histBuckets]uint64
 }
 
 // Mean returns the histogram mean (0 otherwise).
@@ -277,6 +319,16 @@ func (v MetricValue) Mean() float64 {
 		return 0
 	}
 	return v.Sum / float64(v.Count)
+}
+
+// Quantile returns the frozen histogram's q-quantile upper bound, from
+// the same bucket estimate as Histogram.Quantile (0 for non-histograms
+// and empty histograms).
+func (v MetricValue) Quantile(q float64) float64 {
+	if v.Kind != KindHistogram {
+		return 0
+	}
+	return bucketQuantile(q, v.Count, &v.Buckets, v.Max)
 }
 
 // Snapshot is a frozen view of a registry, keyed by metric name.
@@ -297,7 +349,7 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		h.mu.Lock()
-		s[name] = MetricValue{Kind: KindHistogram, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		s[name] = MetricValue{Kind: KindHistogram, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Buckets: h.buckets}
 		h.mu.Unlock()
 	}
 	return s
@@ -318,6 +370,9 @@ func (cur Snapshot) Delta(prev Snapshot) Snapshot {
 			case KindHistogram:
 				v.Count -= p.Count
 				v.Sum -= p.Sum
+				for i := range v.Buckets {
+					v.Buckets[i] -= p.Buckets[i]
+				}
 			}
 		}
 		out[name] = v

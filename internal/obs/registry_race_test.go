@@ -37,6 +37,20 @@ func TestRegistryConcurrentUse(t *testing.T) {
 						return
 					}
 					snap.Delta(snap)
+					// Quantile reads race the Observes above: the live
+					// read locks the instrument; the snapshot read works
+					// on frozen buckets. Neither may tear (caught by
+					// -race) or step outside the observed range.
+					if q := r.Histogram(shared).Quantile(0.95); q > 128 {
+						t.Errorf("live p95 %v outside bucket bound for samples < 100", q)
+						return
+					}
+					if v, ok := snap[shared]; ok && v.Kind == KindHistogram {
+						if q := v.Quantile(0.95); q > 128 {
+							t.Errorf("snapshot p95 %v outside bucket bound for samples < 100", q)
+							return
+						}
+					}
 				}
 			}
 		}(w)

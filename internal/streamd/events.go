@@ -1,0 +1,269 @@
+package streamd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// This file is the job lifecycle event log: one structured record per
+// state-machine edge, kept in memory for GET /jobs/{id}/events and
+// appended as JSONL next to the run ledger so a crashed server's last
+// moments are reconstructable. The format follows the ledger's
+// crash-consistency discipline exactly — whole-line appends, torn
+// final line tolerated on read, repaired before reopening for append
+// (DESIGN.md §16).
+
+// The event types, in the order a job can emit them. A cache-hit job
+// goes submit → admit → terminal (no start); a shed job likewise.
+// reject is emitted for submissions refused at admission (queue full):
+// the job ID is burned but the job never enters the state machine.
+const (
+	EventSubmit   = "submit"   // accepted into the job queue
+	EventReject   = "reject"   // refused at admission, no job created
+	EventAdmit    = "admit"    // claimed by a worker
+	EventStart    = "start"    // simulator running (always a cache miss)
+	EventRetry    = "retry"    // a strip retry inside the run (fault recovery)
+	EventTerminal = "terminal" // reached a terminal state
+)
+
+// Event is one job lifecycle record.
+//
+// Timestamps: TNs is monotonic nanoseconds since *this server process*
+// started — durations between a job's events are exact, but TNs is not
+// comparable across restarts. Seq is file-global and strictly
+// increasing, surviving restarts (a reopened log continues from the
+// last persisted Seq), so Seq — not TNs — is the cross-restart order.
+// Time is wall-clock RFC3339Nano for humans and is not used for
+// ordering anywhere.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	TNs  int64  `json:"t_ns"`
+	Time string `json:"time,omitempty"`
+	Job  string `json:"job"`
+	Type string `json:"type"`
+	// State is the job's state after the transition (terminal events
+	// carry the terminal state: done, failed, timed-out or shed).
+	State State  `json:"state,omitempty"`
+	App   string `json:"app,omitempty"`
+	Key   string `json:"key,omitempty"` // canonical config hash
+	// Cache is the disposition on terminal events: "hit" or "miss".
+	Cache string `json:"cache,omitempty"`
+	// Retries is the run's cumulative strip-retry count at the event.
+	Retries uint64 `json:"retries,omitempty"`
+	// Error carries the structured failure on failed/timed-out/shed
+	// terminal events.
+	Error *JobError `json:"error,omitempty"`
+}
+
+// validate rejects records that cannot have been written by this log.
+func (e *Event) validate() error {
+	if e.Job == "" {
+		return fmt.Errorf("streamd: event seq %d without a job ID", e.Seq)
+	}
+	if e.Type == "" {
+		return fmt.Errorf("streamd: event seq %d without a type", e.Seq)
+	}
+	return nil
+}
+
+// eventLog is the in-process log: an in-memory per-job index serving
+// GET /jobs/{id}/events plus an optional JSONL append file. Appends
+// are whole-line single writes, so a crash leaves at most one torn
+// final line — the same recoverable artifact the ledger leaves.
+type eventLog struct {
+	mu     sync.Mutex
+	f      *os.File // nil when persistence is disabled
+	start  time.Time
+	seq    uint64
+	byJob  map[string][]Event
+	errs   uint64 // append write failures (events dropped from the file, never from memory)
+	closed bool
+}
+
+// newEventLog opens the log. A non-empty path enables persistence:
+// an existing file is repaired (torn tail truncated) before appending
+// — appending after a torn line would glue two records together and
+// turn a recoverable crash artifact into corruption — and Seq resumes
+// after the highest persisted value.
+func newEventLog(path string) (*eventLog, error) {
+	l := &eventLog{start: time.Now(), byJob: make(map[string][]Event)}
+	if path == "" {
+		return l, nil
+	}
+	if _, err := os.Stat(path); err == nil {
+		old, stats, err := ReadEvents(path)
+		if err != nil {
+			return nil, fmt.Errorf("streamd: event log %s unusable: %w", path, err)
+		}
+		if len(old) > 0 {
+			l.seq = old[len(old)-1].Seq
+		}
+		if stats.TornTail {
+			if err := rewriteEvents(path, old); err != nil {
+				return nil, err
+			}
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("streamd: opening event log: %w", err)
+	}
+	l.f = f
+	return l, nil
+}
+
+// rewriteEvents replaces the file with only its valid entries.
+func rewriteEvents(path string, events []Event) error {
+	tmp := path + ".repair"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("streamd: repairing event log: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			f.Close()
+			return fmt.Errorf("streamd: repairing event log: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("streamd: repairing event log: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("streamd: repairing event log: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// append stamps and records one event. The write failure mode is
+// asymmetric by design: a full disk drops the event from the *file*
+// (counted in errs) but never from memory — the live API stays
+// complete while the persistent record degrades, exactly like the run
+// ledger's append-failure policy.
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	e.TNs = time.Since(l.start).Nanoseconds()
+	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	l.byJob[e.Job] = append(l.byJob[e.Job], e)
+	if l.f == nil || l.closed {
+		return
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		l.errs++
+		return
+	}
+	if _, err := l.f.Write(append(line, '\n')); err != nil {
+		l.errs++
+	}
+}
+
+// jobEvents returns the job's events in emission order.
+func (l *eventLog) jobEvents(id string) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.byJob[id]))
+	copy(out, l.byJob[id])
+	return out
+}
+
+// dropped reports file-append failures.
+func (l *eventLog) dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.errs
+}
+
+// closeFile stops persistence (called from Drain, after the last
+// worker exits — no event can follow it).
+func (l *eventLog) closeFile() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// EventStats reports what a lenient event-log read encountered.
+type EventStats struct {
+	Events int // valid events read
+	Jobs   int // distinct job IDs seen
+	// TornTail is true when the final line was unparseable — the
+	// torn-write signature of a writer killed mid-append — and was
+	// skipped; TornLine is its 1-based line number.
+	TornTail bool
+	TornLine int
+}
+
+// ReadEvents parses the JSONL event log at path, oldest first. The
+// tolerance contract matches obs.ReadLedgerStats: a malformed *final*
+// line is the torn-write signature of a writer killed mid-append and
+// is skipped (reported in stats); malformed JSON anywhere earlier, or
+// a well-formed record failing validation, is corruption and fails.
+func ReadEvents(path string) ([]Event, EventStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, EventStats{}, fmt.Errorf("streamd: opening event log: %w", err)
+	}
+	defer f.Close()
+	return ParseEvents(f)
+}
+
+// ParseEvents is ReadEvents over an io.Reader.
+func ParseEvents(r io.Reader) ([]Event, EventStats, error) {
+	var out []Event
+	var stats EventStats
+	jobs := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	// A parse failure is held pending until we know whether more
+	// content follows: at EOF it is a tolerated torn tail, mid-file it
+	// is corruption.
+	var pendingErr error
+	pendingLine := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			return out, stats, fmt.Errorf("streamd: event log line %d: %w", pendingLine, pendingErr)
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			pendingErr, pendingLine = err, lineno
+			continue
+		}
+		if err := e.validate(); err != nil {
+			return out, stats, fmt.Errorf("streamd: event log line %d: %w", lineno, err)
+		}
+		out = append(out, e)
+		jobs[e.Job] = true
+	}
+	if err := sc.Err(); err != nil {
+		return out, stats, fmt.Errorf("streamd: reading event log: %w", err)
+	}
+	if pendingErr != nil {
+		stats.TornTail = true
+		stats.TornLine = pendingLine
+	}
+	stats.Events = len(out)
+	stats.Jobs = len(jobs)
+	return out, stats, nil
+}

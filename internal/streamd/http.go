@@ -3,7 +3,12 @@ package streamd
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+
+	"streamgpp/internal/obs"
 )
 
 // Handler returns the server's HTTP API:
@@ -12,7 +17,22 @@ import (
 //	                          400 (bad spec, message names the field),
 //	                          429 + Retry-After (queue full),
 //	                          503 (draining)
-//	GET  /jobs/{id}           job status
+//	GET  /jobs/{id}           job status (JobStatus JSON, including the
+//	                          latest progress frame once one exists).
+//	                          ?wait=1 long-polls until the job is
+//	                          terminal; ?wait=1&seq=N returns as soon
+//	                          as a progress frame with seq > N lands
+//	                          (or the job is terminal) — repeat with
+//	                          the returned seq to follow a run without
+//	                          busy polling.
+//	GET  /jobs/{id}/events    the job's lifecycle event log (JSON
+//	                          array of Event: submit/admit/start/
+//	                          retry/terminal with monotonic t_ns)
+//	GET  /jobs/{id}/stream    Server-Sent Events: one `progress` event
+//	                          per frame (coalesced to the latest;
+//	                          seq strictly increasing), then a single
+//	                          `done` event carrying the terminal
+//	                          JobStatus, then a clean close
 //	GET  /jobs/{id}/result    result payload once done; add ?wait=1 to
 //	                          block until the job is terminal.
 //	                          202 while running, 409 + error for
@@ -25,10 +45,23 @@ import (
 //	GET  /healthz             200 while the process lives
 //	GET  /readyz              200 accepting, 503 draining
 //	GET  /statz               counters (Stats JSON)
+//	GET  /metricz             Prometheus text exposition (obs.WriteProm
+//	                          over the server registry)
+//
+// The /statz response is the Stats struct: uptime_sec; the admission
+// counters accepted / rejected_full / rejected_draining; terminal
+// counters done / failed / timed_out / shed and panics; cache_hits /
+// cache_misses / cache_entries; queue_depth, workers, draining;
+// jobs_by_state (live per-state occupancy, terminal states
+// accumulating); ledger_entries and ledger_torn_tail_repaired. The
+// same numbers — plus the queue-wait / admission / run-duration
+// histograms with quantiles — are scrapable at /metricz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleArtifact("trace"))
 	mux.HandleFunc("GET /jobs/{id}/coverage", s.handleArtifact("coverage"))
@@ -44,6 +77,10 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WriteProm(w, s.MetricsSnapshot())
 	})
 	return mux
 }
@@ -104,7 +141,121 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	q := r.URL.Query()
+	if q.Get("wait") != "" {
+		// Plain ?wait=1 keeps its original meaning — block until
+		// terminal. An explicit seq=N opts into progress-aware
+		// unblocking: return on the first frame with Seq > N.
+		afterSeq := ^uint64(0)
+		if v := q.Get("seq"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorBody{Error: "streamd: bad seq " + strconv.Quote(v) + ": " + err.Error()})
+				return
+			}
+			afterSeq = n
+		}
+		waitStatus(r, j, afterSeq)
+	}
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// waitStatus blocks until the job is terminal, a progress frame with
+// Seq > afterSeq lands, or the request dies. afterSeq == MaxUint64
+// (no seq param) can never be exceeded, giving terminal-only waiting.
+func waitStatus(r *http.Request, j *Job, afterSeq uint64) {
+	for {
+		prog, ch := j.progress()
+		if prog.Seq > afterSeq {
+			return
+		}
+		select {
+		case <-j.Done():
+			return
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+// handleEvents serves the job's lifecycle event log.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	events := s.events.jobEvents(j.ID)
+	if events == nil {
+		events = []Event{}
+	}
+	writeJSON(w, http.StatusOK, events)
+}
+
+// handleStream serves Server-Sent Events for one job: a `progress`
+// event per frame — coalesced to the latest when the client or the
+// scheduler falls behind, seq strictly increasing — then exactly one
+// `done` event with the terminal JobStatus, then EOF. A client
+// connecting mid-run immediately receives the latest frame (if any)
+// before blocking for the next; connecting after the job is terminal
+// yields just the `done` event.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "streamd: connection does not support streaming"})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var sent uint64 // seq of the last frame written
+	for {
+		prog, ch := j.progress()
+		// Terminal wins over a pending frame: once the job is over no
+		// progress event is emitted (the done payload carries the final
+		// frame in JobStatus.Progress), so a client attaching late gets
+		// exactly one done event.
+		select {
+		case <-j.Done():
+			writeSSE(w, "done", j.Status())
+			fl.Flush()
+			return
+		default:
+		}
+		if prog.Seq > sent {
+			sent = prog.Seq
+			writeSSE(w, "progress", prog)
+			fl.Flush()
+			continue // a newer frame may already have landed
+		}
+		select {
+		case <-j.Done():
+			writeSSE(w, "done", j.Status())
+			fl.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+// writeSSE emits one Server-Sent Event with a JSON data payload.
+func writeSSE(w io.Writer, event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Progress and JobStatus always marshal; defensive.
+		b = []byte(`{"error":"marshal failure"}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
 }
 
 // waitIfAsked blocks until the job is terminal when ?wait is set,

@@ -183,6 +183,20 @@ func toJobError(err error) *JobError {
 	return je
 }
 
+// Progress is the wire form of a mid-run progress report, derived
+// from exec.ProgressFrame. Seq increases by one per frame the job
+// records; readers use it both to detect a new frame (long-poll
+// ?wait=1&seq=N) and to keep SSE emission strictly ordered.
+type Progress struct {
+	Seq     uint64 `json:"seq"`
+	Done    int    `json:"done"`
+	Total   int    `json:"total"`
+	Phase   int    `json:"phase"`
+	Strip   int    `json:"strip"`
+	Cycle   uint64 `json:"cycle"`
+	Retries uint64 `json:"retries"`
+}
+
 // Job is one accepted submission.
 type Job struct {
 	ID        string
@@ -194,21 +208,47 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{} // closed on the transition to a terminal state
 
+	// onState, when set (the server wires it at admission), observes
+	// every state transition. Called outside j.mu, after the new state
+	// is visible; for terminal transitions it runs *before* done is
+	// closed, so by the time a waiter unblocks the transition has been
+	// logged and counted.
+	onState func(j *Job, from, to State)
+
 	mu       sync.Mutex
 	state    State
 	err      *JobError
 	res      *artifacts
 	cacheHit bool
+
+	tSubmit time.Time // set at newJob
+	tAdmit  time.Time // set entering admitted
+	tRun    time.Time // set entering running (zero for cache hits / shed)
+
+	prog   Progress
+	progCh chan struct{} // closed and replaced on every new frame
 }
 
 // setState advances a non-terminal job.
 func (j *Job) setState(s State) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state.Terminal() {
+		j.mu.Unlock()
 		panic(fmt.Sprintf("streamd: job %s transition %s → %s after terminal", j.ID, j.state, s))
 	}
+	from := j.state
 	j.state = s
+	switch s {
+	case StateAdmitted:
+		j.tAdmit = time.Now()
+	case StateRunning:
+		j.tRun = time.Now()
+	}
+	hook := j.onState
+	j.mu.Unlock()
+	if hook != nil {
+		hook(j, from, s)
+	}
 }
 
 // finish moves the job to a terminal state, recording its result or
@@ -219,13 +259,49 @@ func (j *Job) finish(s State, res *artifacts, cacheHit bool, jerr *JobError) {
 		j.mu.Unlock()
 		panic(fmt.Sprintf("streamd: job %s finished twice (%s then %s)", j.ID, j.state, s))
 	}
+	from := j.state
 	j.state = s
 	j.res = res
 	j.cacheHit = cacheHit
 	j.err = jerr
+	hook := j.onState
 	j.mu.Unlock()
+	if hook != nil {
+		hook(j, from, s)
+	}
 	j.cancel()
 	close(j.done)
+}
+
+// noteProgress records one frame from the executor's hook and wakes
+// every watcher (long-poll and SSE readers block on progCh). Frames
+// arriving after the terminal transition are dropped — the job's
+// story is over; waking watchers then could make them observe a
+// progress update on a job already reported done.
+func (j *Job) noteProgress(f exec.ProgressFrame) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.prog = Progress{
+		Seq: j.prog.Seq + 1, Done: f.Done, Total: f.Total,
+		Phase: f.Phase, Strip: f.Strip, Cycle: f.Cycle, Retries: f.Retries,
+	}
+	ch := j.progCh
+	j.progCh = make(chan struct{})
+	j.mu.Unlock()
+	close(ch)
+}
+
+// progress returns the latest frame plus a channel closed when a newer
+// one lands. Watchers that fall behind coalesce to the latest frame —
+// progress is a gauge, not a queue — and select on Done() alongside
+// the returned channel, since no frame follows the terminal state.
+func (j *Job) progress() (Progress, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.prog, j.progCh
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -240,6 +316,9 @@ type JobStatus struct {
 	CacheHit   bool      `json:"cache_hit,omitempty"`
 	OutputHash string    `json:"output_hash,omitempty"`
 	Error      *JobError `json:"error,omitempty"`
+	// Progress is the latest mid-run frame, present once the run has
+	// reported at least one (and retained on terminal status).
+	Progress *Progress `json:"progress,omitempty"`
 }
 
 // Status snapshots the job.
@@ -249,6 +328,10 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{ID: j.ID, App: j.Spec.App, Key: j.Key, State: j.state, CacheHit: j.cacheHit, Error: j.err}
 	if j.res != nil {
 		st.OutputHash = j.res.hash
+	}
+	if j.prog.Seq > 0 {
+		p := j.prog
+		st.Progress = &p
 	}
 	return st
 }
@@ -273,6 +356,8 @@ func newJob(id string, spec JobSpec, canonical, key string) *Job {
 		Key:       key,
 		state:     StateQueued,
 		done:      make(chan struct{}),
+		tSubmit:   time.Now(),
+		progCh:    make(chan struct{}),
 	}
 	if spec.DeadlineMs > 0 {
 		j.ctx, j.cancel = context.WithTimeout(context.Background(), time.Duration(spec.DeadlineMs)*time.Millisecond)

@@ -58,10 +58,16 @@ type ResultPayload struct {
 // runSpec executes a validated job spec under ctx and returns its
 // artifacts. It is a pure function of (spec, baseFaultSeed): the
 // context only decides whether the run completes, never what it
-// computes — a cancelled run returns an error and no artifacts.
-func runSpec(ctx context.Context, spec JobSpec, canonical, key string, baseFaultSeed uint64) (*artifacts, error) {
+// computes — a cancelled run returns an error and no artifacts. The
+// progress hook (may be nil) is likewise non-semantic: it is
+// clock-neutral by the executor's contract (exec.ProgressFrame), so
+// attaching it changes neither cycles nor payload bytes. WHATIF jobs
+// run several scenarios back to back; their frames restart Done/Total
+// per scenario.
+func runSpec(ctx context.Context, spec JobSpec, canonical, key string, baseFaultSeed uint64, progress func(exec.ProgressFrame)) (*artifacts, error) {
 	ecfg := exec.Defaults()
 	ecfg.Ctx = ctx
+	ecfg.Progress = progress
 
 	pay := ResultPayload{App: spec.App, Canonical: canonical, Key: key}
 

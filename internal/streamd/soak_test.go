@@ -211,7 +211,7 @@ func TestSoak(t *testing.T) {
 	for i, spec := range cacheable {
 		spec.normalize()
 		canonical := spec.Canonical(1)
-		a, err := runSpec(context.Background(), spec, canonical, obs.Hash(canonical), 1)
+		a, err := runSpec(context.Background(), spec, canonical, obs.Hash(canonical), 1, nil)
 		if err != nil {
 			t.Fatalf("fresh run of spec %d: %v", i, err)
 		}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"streamgpp/internal/exec"
 	"streamgpp/internal/obs"
 	"streamgpp/internal/sim"
 	"streamgpp/internal/wq"
@@ -47,6 +48,13 @@ type Options struct {
 	// fresh (non-cached) completed run. The file is repaired at
 	// startup if a previous process died mid-append (torn tail).
 	LedgerPath string
+	// EventsPath, when non-empty, persists the job lifecycle event log
+	// (JSONL, one record per state transition) at that path. Defaults
+	// to LedgerPath+".events" when a ledger is configured; with
+	// neither, events are held in memory only (still served at
+	// GET /jobs/{id}/events). Like the ledger, an existing file is
+	// repaired at startup if its final line was torn.
+	EventsPath string
 	// BaseFaultSeed seeds per-job fault derivation for specs that do
 	// not carry their own (default 1).
 	BaseFaultSeed uint64
@@ -68,47 +76,58 @@ func (o *Options) setDefaults() {
 	if o.BaseFaultSeed == 0 {
 		o.BaseFaultSeed = 1
 	}
+	if o.EventsPath == "" && o.LedgerPath != "" {
+		o.EventsPath = o.LedgerPath + ".events"
+	}
 }
 
 // Stats is a snapshot of the server's counters, served at /statz.
 type Stats struct {
-	Accepted        uint64 `json:"accepted"`
-	RejectedFull    uint64 `json:"rejected_full"`
-	RejectedDrain   uint64 `json:"rejected_draining"`
-	Done            uint64 `json:"done"`
-	Failed          uint64 `json:"failed"`
-	TimedOut        uint64 `json:"timed_out"`
-	Shed            uint64 `json:"shed"`
-	Panics          uint64 `json:"panics"`
-	CacheHits       uint64 `json:"cache_hits"`
-	CacheMisses     uint64 `json:"cache_misses"`
-	CacheEntries    int    `json:"cache_entries"`
-	QueueDepth      int    `json:"queue_depth"`
-	Workers         int    `json:"workers"`
-	Draining        bool   `json:"draining"`
-	LedgerEntries   uint64 `json:"ledger_entries"`
-	LedgerTornTail  bool   `json:"ledger_torn_tail_repaired"`
-	RepairedAtStart bool   `json:"-"`
+	UptimeSec       float64        `json:"uptime_sec"`
+	Accepted        uint64         `json:"accepted"`
+	RejectedFull    uint64         `json:"rejected_full"`
+	RejectedDrain   uint64         `json:"rejected_draining"`
+	Done            uint64         `json:"done"`
+	Failed          uint64         `json:"failed"`
+	TimedOut        uint64         `json:"timed_out"`
+	Shed            uint64         `json:"shed"`
+	Panics          uint64         `json:"panics"`
+	CacheHits       uint64         `json:"cache_hits"`
+	CacheMisses     uint64         `json:"cache_misses"`
+	CacheEntries    int            `json:"cache_entries"`
+	QueueDepth      int            `json:"queue_depth"`
+	Workers         int            `json:"workers"`
+	Draining        bool           `json:"draining"`
+	JobsByState     map[string]int `json:"jobs_by_state"`
+	LedgerEntries   uint64         `json:"ledger_entries"`
+	LedgerTornTail  bool           `json:"ledger_torn_tail_repaired"`
+	EventsDropped   uint64         `json:"events_dropped,omitempty"`
+	RepairedAtStart bool           `json:"-"`
 }
 
 // Server is the streamd job service.
 type Server struct {
-	opts  Options
-	cache *cache
-	queue chan *Job
+	opts   Options
+	cache  *cache
+	queue  chan *Job
+	start  time.Time
+	reg    *obs.Registry // /metricz instruments
+	events *eventLog
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	draining bool
-	nextID   uint64
-	stats    Stats
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	draining    bool
+	nextID      uint64
+	stats       Stats
+	stateCounts map[State]int // live jobs per state (terminal states accumulate)
 
 	ledgerMu sync.Mutex // serialises ledger appends
 
 	workers sync.WaitGroup
 	// run executes one job spec; tests substitute it to script
-	// saturation, panics and deadlines deterministically.
-	run func(ctx context.Context, spec JobSpec, canonical, key string, baseFaultSeed uint64) (*artifacts, error)
+	// saturation, panics and deadlines deterministically. The progress
+	// callback (may be nil) receives the executor's mid-run frames.
+	run func(ctx context.Context, spec JobSpec, canonical, key string, baseFaultSeed uint64, progress func(exec.ProgressFrame)) (*artifacts, error)
 }
 
 // New builds and starts a server: the ledger is repaired if a previous
@@ -117,13 +136,21 @@ type Server struct {
 func New(opts Options) (*Server, error) {
 	opts.setDefaults()
 	s := &Server{
-		opts:  opts,
-		cache: newCache(opts.CacheEntries),
-		queue: make(chan *Job, opts.QueueDepth),
-		jobs:  make(map[string]*Job),
-		run:   runSpec,
+		opts:        opts,
+		cache:       newCache(opts.CacheEntries),
+		queue:       make(chan *Job, opts.QueueDepth),
+		start:       time.Now(),
+		reg:         obs.NewRegistry(),
+		jobs:        make(map[string]*Job),
+		stateCounts: make(map[State]int),
+		run:         runSpec,
 	}
 	s.stats.Workers = opts.Workers
+	events, err := newEventLog(opts.EventsPath)
+	if err != nil {
+		return nil, err
+	}
+	s.events = events
 	if opts.LedgerPath != "" {
 		if _, err := os.Stat(opts.LedgerPath); err == nil {
 			repaired, err := obs.RepairLedger(opts.LedgerPath)
@@ -157,20 +184,92 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	defer s.mu.Unlock()
 	if s.draining {
 		s.stats.RejectedDrain++
+		s.reg.Counter("streamd.jobs_rejected_draining").Inc()
 		return nil, ErrDraining
 	}
-	job := newJob(fmt.Sprintf("job-%06d", s.nextID+1), spec, canonical, key)
+	// The ID is burned whether or not admission succeeds: a rejected
+	// submission still gets a reject event under its own ID, and IDs
+	// are never reused, so the event log's per-job histories never
+	// collide.
+	s.nextID++
+	job := newJob(fmt.Sprintf("job-%06d", s.nextID), spec, canonical, key)
+	job.onState = s.onTransition
+	// The submit event is appended *before* the queue send: the moment
+	// the job is in the channel a worker can claim it, and its admit
+	// event must sort after submit.
+	s.events.append(Event{Job: job.ID, Type: EventSubmit, State: StateQueued, App: spec.App, Key: key})
 	select {
 	case s.queue <- job:
 	default:
 		job.cancel()
 		s.stats.RejectedFull++
+		s.reg.Counter("streamd.jobs_rejected_full").Inc()
+		s.events.append(Event{Job: job.ID, Type: EventReject, App: spec.App, Key: key})
 		return nil, ErrFull
 	}
-	s.nextID++
 	s.jobs[job.ID] = job
 	s.stats.Accepted++
+	s.reg.Counter("streamd.jobs_accepted").Inc()
+	s.stateCounts[StateQueued]++
+	s.reg.Gauge("streamd.jobs.queued").Set(float64(s.stateCounts[StateQueued]))
 	return job, nil
+}
+
+// onTransition is the job state-machine observer (wired as Job.onState
+// at admission): it maintains the per-state gauges, feeds the latency
+// histograms — queue_wait_ms at admit, admission_ms at run start,
+// run_ms at the terminal edge — and appends the lifecycle event. It
+// runs on the transitioning goroutine with j.mu released; for
+// terminal transitions it completes before the job's Done channel
+// closes, so a waiter never observes a terminal status whose event is
+// missing from the log.
+func (s *Server) onTransition(j *Job, from, to State) {
+	s.mu.Lock()
+	s.stateCounts[from]--
+	s.stateCounts[to]++
+	s.reg.Gauge("streamd.jobs."+string(from)).Set(float64(s.stateCounts[from]))
+	s.reg.Gauge("streamd.jobs."+string(to)).Set(float64(s.stateCounts[to]))
+	s.mu.Unlock()
+
+	st := j.Status()
+	ev := Event{Job: j.ID, Type: "", State: to, App: j.Spec.App, Key: j.Key}
+	if st.Progress != nil {
+		ev.Retries = st.Progress.Retries
+	}
+	switch {
+	case to == StateAdmitted:
+		ev.Type = EventAdmit
+		s.reg.Histogram("streamd.queue_wait_ms").Observe(float64(j.tAdmit.Sub(j.tSubmit)) / float64(time.Millisecond))
+	case to == StateRunning:
+		ev.Type = EventStart
+		ev.Cache = "miss"
+		s.reg.Counter("streamd.cache.misses").Inc()
+		s.reg.Histogram("streamd.admission_ms").Observe(float64(j.tRun.Sub(j.tAdmit)) / float64(time.Millisecond))
+	case to.Terminal():
+		ev.Type = EventTerminal
+		ev.Error = st.Error
+		if st.CacheHit {
+			ev.Cache = "hit"
+			s.reg.Counter("streamd.cache.hits").Inc()
+		} else if from == StateRunning {
+			ev.Cache = "miss"
+			s.reg.Histogram("streamd.run_ms").Observe(float64(time.Since(j.tRun)) / float64(time.Millisecond))
+		}
+		s.reg.Counter("streamd.jobs_" + promStateName(to)).Inc()
+	}
+	s.events.append(ev)
+}
+
+// promStateName maps a State to its counter suffix ("timed-out" →
+// "timed_out" — obs.PromName would do it too, but doing it here keeps
+// the registry's dotted names consistent).
+func promStateName(st State) string {
+	switch st {
+	case StateTimedOut:
+		return "timed_out"
+	default:
+		return string(st)
+	}
 }
 
 // ValidationError marks a client error (HTTP 400).
@@ -208,6 +307,9 @@ func (s *Server) Drain() {
 	}
 	s.mu.Unlock()
 	s.workers.Wait()
+	// Every worker has exited, so no event can follow: the JSONL event
+	// log is complete and its tail line whole.
+	s.events.closeFile()
 }
 
 // Stats snapshots the counters.
@@ -216,9 +318,35 @@ func (s *Server) Stats() Stats {
 	st := s.stats
 	st.Draining = s.draining
 	st.QueueDepth = len(s.queue)
+	st.JobsByState = make(map[string]int, len(s.stateCounts))
+	for state, n := range s.stateCounts {
+		if n != 0 {
+			st.JobsByState[string(state)] = n
+		}
+	}
 	s.mu.Unlock()
+	st.UptimeSec = time.Since(s.start).Seconds()
 	st.CacheHits, st.CacheMisses, st.CacheEntries = s.cache.stats()
+	st.EventsDropped = s.events.dropped()
 	return st
+}
+
+// MetricsSnapshot refreshes the point-in-time gauges (uptime, queue
+// depth, cache size, drain flag) and returns the registry snapshot
+// /metricz encodes. Counters and histograms are updated at the edges
+// that define them (admission, state transitions), not here.
+func (s *Server) MetricsSnapshot() obs.Snapshot {
+	st := s.Stats()
+	s.reg.Gauge("streamd.uptime_sec").Set(st.UptimeSec)
+	s.reg.Gauge("streamd.queue.depth").Set(float64(st.QueueDepth))
+	s.reg.Gauge("streamd.cache.entries").Set(float64(st.CacheEntries))
+	s.reg.Gauge("streamd.workers").Set(float64(st.Workers))
+	var draining float64
+	if st.Draining {
+		draining = 1
+	}
+	s.reg.Gauge("streamd.draining").Set(draining)
+	return s.reg.Snapshot()
 }
 
 // worker is the job-worker loop. The pool drains the queue until
@@ -246,6 +374,7 @@ func (s *Server) count(st State, panicked bool) {
 	}
 	if panicked {
 		s.stats.Panics++
+		s.reg.Counter("streamd.panics").Inc()
 	}
 }
 
@@ -287,8 +416,23 @@ func (s *Server) runJob(j *Job) {
 	}
 
 	j.setState(StateRunning)
+	// The progress callback runs on this worker goroutine, inside the
+	// simulator's task loop: it must stay cheap and never block. It
+	// publishes the frame for long-poll/SSE watchers and logs a retry
+	// event whenever the run's recovery tally grows.
+	var lastRetries uint64
+	progress := func(f exec.ProgressFrame) {
+		if f.Retries > lastRetries {
+			lastRetries = f.Retries
+			s.events.append(Event{
+				Job: j.ID, Type: EventRetry, State: StateRunning,
+				App: j.Spec.App, Key: j.Key, Retries: f.Retries,
+			})
+		}
+		j.noteProgress(f)
+	}
 	t0 := time.Now()
-	a, err := s.run(j.ctx, j.Spec, j.Canonical, j.Key, s.opts.BaseFaultSeed)
+	a, err := s.run(j.ctx, j.Spec, j.Canonical, j.Key, s.opts.BaseFaultSeed, progress)
 	wall := time.Since(t0)
 	if err != nil {
 		je := toJobError(err)
@@ -340,5 +484,6 @@ func (s *Server) appendLedger(j *Job, a *artifacts, wall time.Duration) {
 		s.mu.Lock()
 		s.stats.LedgerEntries++
 		s.mu.Unlock()
+		s.reg.Counter("streamd.ledger.entries").Inc()
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"streamgpp/internal/exec"
 	"streamgpp/internal/obs"
 )
 
@@ -198,7 +199,7 @@ func blockingServer(t *testing.T, opts Options) (*Server, *httptest.Server, func
 	var once sync.Once
 	release := func() { once.Do(func() { close(ch) }) }
 	t.Cleanup(release)
-	s.run = func(ctx context.Context, spec JobSpec, canonical, key string, base uint64) (*artifacts, error) {
+	s.run = func(ctx context.Context, spec JobSpec, canonical, key string, base uint64, progress func(exec.ProgressFrame)) (*artifacts, error) {
 		select {
 		case <-ch:
 		case <-ctx.Done():
@@ -338,11 +339,11 @@ func TestQueuedPastDeadlineShed(t *testing.T) {
 // survive and keep serving.
 func TestPanicIsolation(t *testing.T) {
 	s, hs := newTestServer(t, Options{Workers: 1})
-	s.run = func(ctx context.Context, spec JobSpec, canonical, key string, base uint64) (*artifacts, error) {
+	s.run = func(ctx context.Context, spec JobSpec, canonical, key string, base uint64, progress func(exec.ProgressFrame)) (*artifacts, error) {
 		if spec.Seed == 666 {
 			panic("synthetic job crash")
 		}
-		return runSpec(ctx, spec, canonical, key, base)
+		return runSpec(ctx, spec, canonical, key, base, progress)
 	}
 
 	code, body, _ := submit(t, hs, JobSpec{App: "QUICKSTART", N: 1000, Seed: 666})
@@ -565,7 +566,7 @@ func TestFaultSeedDerivation(t *testing.T) {
 
 	runOnce := func(sp JobSpec, base uint64) *artifacts {
 		canonical := sp.Canonical(base)
-		a, err := runSpec(ctx, sp, canonical, obs.Hash(canonical), base)
+		a, err := runSpec(ctx, sp, canonical, obs.Hash(canonical), base, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

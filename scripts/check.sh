@@ -7,9 +7,10 @@
 # what-if cross-check (identity exact, kernel speedup within the gate
 # tolerance), a smoke of the fast-path coverage profiler (known bail
 # reason named, nonzero DRAM attribution), the streamd job-service
-# lifecycle selftest (cache hit byte-identity, SIGTERM drain, valid
-# ledger) plus a shortened -race soak, and a smoke run of the
-# wall-clock benchmark harness.
+# lifecycle selftest (cache hit byte-identity, mid-run SSE progress,
+# /metricz scrape, SIGTERM drain, valid ledger and event log, the
+# streamtrace -events round-trip) plus a shortened -race soak, and a
+# smoke run of the wall-clock benchmark harness.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -125,21 +126,41 @@ grep -q "roofline" /tmp/coverage.txt \
 echo "== streamd lifecycle smoke =="
 # The selftest drives the full job-service lifecycle over real HTTP:
 # submit the quickstart job twice and assert the second response is a
-# cache hit with byte-identical output, SIGTERM the process with a job
-# in flight, and assert the drain finished it, rejected new work
-# (503), and left a valid repairable ledger. Exit 0 means every
-# assertion held.
+# cache hit with byte-identical output, stream a larger job over SSE
+# and assert at least one mid-run progress frame preceded its done
+# event, scrape /metricz, SIGTERM the process with a job in flight,
+# and assert the drain finished it, rejected new work (503), and left
+# a valid repairable ledger plus a complete lifecycle event log. Exit
+# 0 means every assertion held.
 go build -o /tmp/streamd.check ./cmd/streamd
 STREAMD_LEDGER="${TMPDIR:-/tmp}/streamgpp-streamd-selftest.jsonl"
-rm -f "$STREAMD_LEDGER"
+rm -f "$STREAMD_LEDGER" "$STREAMD_LEDGER.events"
 /tmp/streamd.check -selftest -ledger "$STREAMD_LEDGER" >/tmp/streamd_selftest.txt 2>&1 \
     || { echo "streamd selftest failed"; cat /tmp/streamd_selftest.txt; exit 1; }
 grep -q "cache hit verified" /tmp/streamd_selftest.txt \
     || { echo "streamd selftest verified no cache hit"; cat /tmp/streamd_selftest.txt; exit 1; }
+grep -q "mid-run progress frames over SSE" /tmp/streamd_selftest.txt \
+    || { echo "streamd selftest streamed no mid-run progress"; cat /tmp/streamd_selftest.txt; exit 1; }
+grep -q "metricz scrape ok (streamd_jobs_accepted" /tmp/streamd_selftest.txt \
+    || { echo "streamd selftest metricz scrape failed"; cat /tmp/streamd_selftest.txt; exit 1; }
 grep -q "ledger valid" /tmp/streamd_selftest.txt \
     || { echo "streamd selftest left no valid ledger"; cat /tmp/streamd_selftest.txt; exit 1; }
+grep -q "event log valid" /tmp/streamd_selftest.txt \
+    || { echo "streamd selftest left no valid event log"; cat /tmp/streamd_selftest.txt; exit 1; }
+# The persisted event JSONL must round-trip through the streamtrace
+# pretty-printer: a table with the lifecycle edges and no torn tail.
+go build -o /tmp/streamtrace.check ./cmd/streamtrace
+/tmp/streamtrace.check -events "$STREAMD_LEDGER.events" >/tmp/streamd_events.txt 2>&1 \
+    || { echo "streamtrace -events failed on the selftest log"; cat /tmp/streamd_events.txt; exit 1; }
+grep -q "terminal" /tmp/streamd_events.txt \
+    || { echo "event log pretty-print shows no terminal edge"; cat /tmp/streamd_events.txt; exit 1; }
+grep -q "events over" /tmp/streamd_events.txt \
+    || { echo "event log pretty-print incomplete"; cat /tmp/streamd_events.txt; exit 1; }
+if grep -q "torn final line" /tmp/streamd_events.txt; then
+    echo "selftest event log has a torn tail"; cat /tmp/streamd_events.txt; exit 1
+fi
 
-rm -f "$GATE_BASE" "$STREAMD_LEDGER" /tmp/streambench.check /tmp/streamd.check /tmp/streamd_selftest.txt
+rm -f "$GATE_BASE" "$STREAMD_LEDGER" "$STREAMD_LEDGER.events" /tmp/streambench.check /tmp/streamd.check /tmp/streamd_selftest.txt /tmp/streamd_events.txt
 rm -f /tmp/streamtrace.check /tmp/fault_a.txt /tmp/fault_b.txt /tmp/critpath.txt /tmp/whatif.txt /tmp/coverage.txt
 
 echo "== scripts/bench.sh smoke =="
