@@ -242,9 +242,22 @@ func runSelftest(opts streamd.Options) error {
 		return err
 	}
 	var counterLine string
+	families := make(map[string]bool)
 	for _, line := range strings.Split(string(prom), "\n") {
 		if strings.HasPrefix(line, "streamd_jobs_accepted ") {
 			counterLine = line
+		}
+		// Two families with one name (a PromName flattening collision)
+		// make the whole exposition unscrapable — reject it here.
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("metricz: malformed TYPE line %q", line)
+			}
+			if families[fields[2]] {
+				return fmt.Errorf("metricz: duplicate metric family %q:\n%s", fields[2], prom)
+			}
+			families[fields[2]] = true
 		}
 	}
 	if counterLine == "" || !strings.Contains(string(prom), "# TYPE streamd_run_ms histogram") {

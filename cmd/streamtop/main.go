@@ -79,7 +79,11 @@ func parseProm(r io.Reader) (map[string]float64, error) {
 		if i := strings.IndexByte(name, '{'); i >= 0 {
 			le := ""
 			if j := strings.Index(name, `le="`); j >= 0 {
-				le = name[j+4 : strings.IndexByte(name[j+4:], '"')+j+4]
+				k := strings.IndexByte(name[j+4:], '"')
+				if k < 0 {
+					continue // truncated label — skip like other malformed lines
+				}
+				le = name[j+4 : j+4+k]
 			}
 			name = name[:i] + "_le_" + le
 		}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// parseProm must flatten well-formed samples (folding le labels into
+// the key) and skip — never panic on — malformed lines, including a
+// truncated le label with no closing quote.
+func TestParsePromMalformedLines(t *testing.T) {
+	in := strings.Join([]string{
+		"# HELP streamd_jobs_accepted streamd.jobs_accepted",
+		"# TYPE streamd_jobs_accepted counter",
+		"streamd_jobs_accepted 3",
+		`streamd_run_ms_bucket{le="128"} 2`,
+		`streamd_run_ms_bucket{le="+Inf"} 2`,
+		`streamd_run_ms_bucket{le="64`, // truncated label, no closing quote, no value
+		`streamd_run_ms_bucket{le="32 1`, // truncated label with a value — must be skipped, not mis-keyed
+		"no_value_line",
+		"streamd_queue_depth not-a-number",
+		"",
+	}, "\n")
+	m, err := parseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["streamd_jobs_accepted"] != 3 {
+		t.Errorf("counter = %v, want 3", m["streamd_jobs_accepted"])
+	}
+	if m["streamd_run_ms_bucket_le_128"] != 2 || m["streamd_run_ms_bucket_le_+Inf"] != 2 {
+		t.Errorf("bucket keys missing: %v", m)
+	}
+	for k := range m {
+		if strings.Contains(k, "le_32") || strings.Contains(k, "le_64") {
+			t.Errorf("malformed bucket line produced key %q", k)
+		}
+	}
+}

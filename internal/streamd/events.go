@@ -71,18 +71,34 @@ func (e *Event) validate() error {
 	return nil
 }
 
+// In-memory retention: the per-job index exists to serve GET
+// /jobs/{id}/events, and a fault-storm job can emit one retry event
+// per recovered strip — thousands of events on a big run. The index
+// therefore keeps at most maxJobEvents per job: the first
+// jobEventsHead events (submit/admit/start always survive) plus the
+// most recent tail (the terminal event always survives), evicting the
+// oldest mid-history event — in practice a retry — once the cap is
+// hit. Eviction touches only the in-memory view; every event is still
+// written to the JSONL file, so the persistent record stays complete
+// and `streamtrace -events` sees the full history.
+const (
+	maxJobEvents  = 512
+	jobEventsHead = 64
+)
+
 // eventLog is the in-process log: an in-memory per-job index serving
 // GET /jobs/{id}/events plus an optional JSONL append file. Appends
 // are whole-line single writes, so a crash leaves at most one torn
 // final line — the same recoverable artifact the ledger leaves.
 type eventLog struct {
-	mu     sync.Mutex
-	f      *os.File // nil when persistence is disabled
-	start  time.Time
-	seq    uint64
-	byJob  map[string][]Event
-	errs   uint64 // append write failures (events dropped from the file, never from memory)
-	closed bool
+	mu      sync.Mutex
+	f       *os.File // nil when persistence is disabled
+	start   time.Time
+	seq     uint64
+	byJob   map[string][]Event
+	errs    uint64 // append write failures (events dropped from the file, never from memory)
+	evicted uint64 // events aged out of the in-memory index (never from the file)
+	closed  bool
 }
 
 // newEventLog opens the log. A non-empty path enables persistence:
@@ -144,9 +160,11 @@ func rewriteEvents(path string, events []Event) error {
 
 // append stamps and records one event. The write failure mode is
 // asymmetric by design: a full disk drops the event from the *file*
-// (counted in errs) but never from memory — the live API stays
-// complete while the persistent record degrades, exactly like the run
-// ledger's append-failure policy.
+// (counted in errs) but not from memory — the live API stays
+// available while the persistent record degrades, exactly like the
+// run ledger's append-failure policy. The converse asymmetry is the
+// retention cap above: memory may age out old mid-history events
+// (counted in evicted) while the file keeps everything.
 func (l *eventLog) append(e Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -154,7 +172,13 @@ func (l *eventLog) append(e Event) {
 	e.Seq = l.seq
 	e.TNs = time.Since(l.start).Nanoseconds()
 	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
-	l.byJob[e.Job] = append(l.byJob[e.Job], e)
+	hist := append(l.byJob[e.Job], e)
+	if len(hist) > maxJobEvents {
+		copy(hist[jobEventsHead:], hist[jobEventsHead+1:])
+		hist = hist[:len(hist)-1]
+		l.evicted++
+	}
+	l.byJob[e.Job] = hist
 	if l.f == nil || l.closed {
 		return
 	}

@@ -152,6 +152,59 @@ func TestEventLogLifecycle(t *testing.T) {
 	}
 }
 
+// The in-memory per-job index is capped: a fault-storm job emitting
+// thousands of retry events keeps bounded memory, retaining the head
+// (submit/admit/start) and the most recent tail (the terminal event),
+// while the JSONL file keeps the complete history.
+func TestEventLogInMemoryCap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	l, err := newEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const retries = 2000
+	l.append(Event{Job: "job-storm", Type: EventSubmit})
+	l.append(Event{Job: "job-storm", Type: EventAdmit})
+	l.append(Event{Job: "job-storm", Type: EventStart})
+	for i := 0; i < retries; i++ {
+		l.append(Event{Job: "job-storm", Type: EventRetry, State: StateRunning})
+	}
+	l.append(Event{Job: "job-storm", Type: EventTerminal, State: StateDone})
+	if err := l.closeFile(); err != nil {
+		t.Fatal(err)
+	}
+	const total = retries + 4
+
+	got := l.jobEvents("job-storm")
+	if len(got) != maxJobEvents {
+		t.Fatalf("in-memory history = %d events, want capped at %d", len(got), maxJobEvents)
+	}
+	if head := eventTypes(got[:3]); strings.Join(head, ",") != "submit,admit,start" {
+		t.Fatalf("head lifecycle events evicted: %v", head)
+	}
+	if last := got[len(got)-1]; last.Type != EventTerminal {
+		t.Fatalf("terminal event evicted: %+v", last)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("retained events out of order at %d: seq %d after %d", i, got[i].Seq, got[i-1].Seq)
+		}
+	}
+	if want := uint64(total - maxJobEvents); l.evicted != want {
+		t.Fatalf("evicted = %d, want %d", l.evicted, want)
+	}
+
+	// The file is exempt from the cap: every event persists.
+	all, stats, err := ReadEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != total || all[len(all)-1].Type != EventTerminal {
+		t.Fatalf("persisted %d events (last %q), want the full %d ending in terminal",
+			stats.Events, all[len(all)-1].Type, total)
+	}
+}
+
 // scripted installs a run function the test drives through channels:
 // it emits the first frame immediately, the rest after step closes,
 // and returns after release closes.
@@ -393,6 +446,7 @@ func TestMetriczAndStatz(t *testing.T) {
 	for _, want := range []string{
 		"streamd_jobs_accepted 2",
 		"streamd_jobs_done 2",
+		"streamd_jobs_by_state_done 2",
 		"streamd_cache_hits 1",
 		"streamd_cache_misses 1",
 		"# TYPE streamd_queue_wait_ms histogram",
@@ -404,6 +458,29 @@ func TestMetriczAndStatz(t *testing.T) {
 		if !strings.Contains(string(text), want) {
 			t.Errorf("/metricz missing %q", want)
 		}
+	}
+
+	// A Prometheus scraper rejects the whole exposition if two metric
+	// families share a name (PromName is lossy: dotted registry names
+	// can flatten onto each other), so every # TYPE line must be
+	// unique. This is the regression guard for the per-state gauges
+	// vs terminal counters collision (streamd.jobs.done vs
+	// streamd.jobs_done → streamd_jobs_done).
+	families := make(map[string]string)
+	for _, line := range strings.Split(string(text), "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			t.Errorf("malformed TYPE line %q", line)
+			continue
+		}
+		name, kind := fields[2], fields[3]
+		if prev, dup := families[name]; dup {
+			t.Errorf("duplicate metric family %q (%s and %s)", name, prev, kind)
+		}
+		families[name] = kind
 	}
 
 	resp, err = http.Get(hs.URL + "/statz")

@@ -211,7 +211,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.stats.Accepted++
 	s.reg.Counter("streamd.jobs_accepted").Inc()
 	s.stateCounts[StateQueued]++
-	s.reg.Gauge("streamd.jobs.queued").Set(float64(s.stateCounts[StateQueued]))
+	s.reg.Gauge("streamd.jobs_by_state.queued").Set(float64(s.stateCounts[StateQueued]))
 	return job, nil
 }
 
@@ -227,8 +227,13 @@ func (s *Server) onTransition(j *Job, from, to State) {
 	s.mu.Lock()
 	s.stateCounts[from]--
 	s.stateCounts[to]++
-	s.reg.Gauge("streamd.jobs."+string(from)).Set(float64(s.stateCounts[from]))
-	s.reg.Gauge("streamd.jobs."+string(to)).Set(float64(s.stateCounts[to]))
+	// Gauges live under jobs_by_state so that after PromName flattens
+	// '.' to '_' they cannot collide with the terminal counters below
+	// ("streamd.jobs.done" and "streamd.jobs_done" would otherwise both
+	// become the Prometheus family "streamd_jobs_done" with conflicting
+	// types, which a scraper rejects wholesale).
+	s.reg.Gauge("streamd.jobs_by_state."+promStateName(from)).Set(float64(s.stateCounts[from]))
+	s.reg.Gauge("streamd.jobs_by_state."+promStateName(to)).Set(float64(s.stateCounts[to]))
 	s.mu.Unlock()
 
 	st := j.Status()
