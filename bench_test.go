@@ -42,6 +42,21 @@ func reportCoverage(b *testing.B, fn func() error) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(reg.Gauge("coverage.fastpath_pct").Value(), "fastpath-cov-pct")
+	reportRuntime(b)
+}
+
+// reportRuntime samples the Go runtime after the timed iterations and
+// reports the simulator process's memory footprint and GC behaviour:
+// live heap bytes and the p99 GC stop-the-world pause. bench.sh folds
+// both into BENCH_history.jsonl, so heap growth or GC regressions in
+// the simulator show up in the same ledger as wall-clock regressions.
+func reportRuntime(b *testing.B) {
+	b.Helper()
+	reg := obs.NewRegistry()
+	rc := obs.NewRuntimeCollector(reg)
+	rc.Collect()
+	b.ReportMetric(reg.Gauge("go.heap.inuse_bytes").Value(), "heap-inuse-bytes")
+	b.ReportMetric(reg.Histogram("go.gc.pause_us").Quantile(0.99)*1e3, "gc-pause-p99-ns")
 }
 
 // TestMain lets the wall-clock benchmarks measure the simulator with
@@ -64,6 +79,7 @@ func BenchmarkFig5Bandwidth(b *testing.B) {
 	}
 	b.ReportMetric(bench.BandwidthProbe{RecordBytes: 4, TotalBytes: 8 << 20}.Run(), "seq-load-GB/s")
 	b.ReportMetric(bench.BandwidthProbe{RecordBytes: 128, Random: true, TotalBytes: 8 << 20}.Run(), "rand-gather-GB/s")
+	reportRuntime(b)
 }
 
 // BenchmarkFig6Overlap runs the computation/memory SMT overlap

@@ -17,16 +17,26 @@
 //	GET  /jobs/{id}/trace     GET /jobs/{id}/coverage
 //	GET  /healthz             GET /readyz            GET /statz
 //	GET  /metricz             (Prometheus text exposition)
+//	GET  /sloz                (SLO burn-rate report, JSON or ?format=text)
+//	GET  /debug/pprof/        (live profiling, only with -pprof)
+//
+// Structured logs (log/slog) go to stderr — one access-log line per
+// request and one lifecycle line per job transition, joined to the
+// events JSONL and ledger by job_id/config_hash; -logformat picks
+// text or json.
 //
 // -selftest starts a server on a loopback port and drives the
 // check.sh smoke against it over real HTTP: submit the quickstart job
 // twice, assert the second response is a cache hit with byte-identical
 // output, stream a larger job over SSE and assert at least one
 // mid-run progress frame arrives before its done event, scrape
-// /metricz and the job's lifecycle event log, send the process a real
-// SIGTERM mid-flight, and assert the drain finished the in-flight
-// job, rejected new work and left a valid ledger and event log. Exit
-// 0 means every assertion held.
+// /metricz (including the build-info and Go-runtime telemetry), /sloz
+// and a live pprof goroutine profile, read the job's lifecycle event
+// log, send the process a real SIGTERM mid-flight, assert the drain
+// finished the in-flight job, rejected new work and left a valid
+// ledger and event log, and finally gate on goroutine leaks: the
+// count must return to its pre-server baseline. Exit 0 means every
+// assertion held.
 package main
 
 import (
@@ -36,10 +46,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -56,8 +68,21 @@ func main() {
 	maxN := flag.Int("maxn", 2_000_000, "largest per-job problem size admitted")
 	ledger := flag.String("ledger", "", "append one run-ledger JSONL entry per fresh run; repaired at startup if torn")
 	faultSeed := flag.Uint64("faultseed", 1, "base seed for per-job fault-schedule derivation")
+	logformat := flag.String("logformat", "text", "structured log encoding on stderr: text or json")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	selftest := flag.Bool("selftest", false, "run the lifecycle self-test against a loopback server and exit")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logformat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "streamd: -logformat %q: want text or json\n", *logformat)
+		os.Exit(2)
+	}
 
 	opts := streamd.Options{
 		Workers:       *workers,
@@ -66,6 +91,8 @@ func main() {
 		MaxN:          *maxN,
 		LedgerPath:    *ledger,
 		BaseFaultSeed: *faultSeed,
+		Logger:        slog.New(handler),
+		EnablePprof:   *pprof,
 	}
 
 	if *selftest {
@@ -111,6 +138,10 @@ func runSelftest(opts streamd.Options) error {
 	if opts.Workers < 2 {
 		opts.Workers = 2 // the drain assertion needs a job in flight while we kill ourselves
 	}
+	opts.EnablePprof = true // the selftest always fetches a live profile
+	// The leak gate's baseline: everything the server and its clients
+	// spawn from here on must be gone again after the drain.
+	baseGoroutines := runtime.NumGoroutine()
 	s, err := streamd.New(opts)
 	if err != nil {
 		return err
@@ -263,7 +294,58 @@ func runSelftest(opts streamd.Options) error {
 	if counterLine == "" || !strings.Contains(string(prom), "# TYPE streamd_run_ms histogram") {
 		return fmt.Errorf("metricz exposition incomplete:\n%s", prom)
 	}
+	// The self-observation plane rides the same scrape: the build-info
+	// gauge and the Go runtime collector's telemetry.
+	for _, want := range []string{"streamd_build_info{", "go_goroutines ", "go_heap_inuse_bytes "} {
+		if !strings.Contains(string(prom), want) {
+			return fmt.Errorf("metricz missing %q:\n%s", want, prom)
+		}
+	}
 	fmt.Printf("streamd: selftest metricz scrape ok (%s)\n", counterLine)
+
+	// 4b. /sloz: the SLO engine evaluates every declared objective with
+	// finite burn numbers. (Healthy is not asserted — a slow CI host can
+	// legitimately burn the run-latency budget.)
+	resp, err = http.Get(base + "/sloz")
+	if err != nil {
+		return err
+	}
+	var slorep obs.SLOReport
+	err = json.NewDecoder(resp.Body).Decode(&slorep)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("sloz decode: %w", err)
+	}
+	if len(slorep.Objectives) == 0 {
+		return fmt.Errorf("sloz reported no objectives")
+	}
+	for _, o := range slorep.Objectives {
+		if len(o.Windows) == 0 {
+			return fmt.Errorf("sloz objective %s has no windows", o.Name)
+		}
+		for _, w := range o.Windows {
+			if w.SLI < 0 || w.SLI > 1 {
+				return fmt.Errorf("sloz objective %s window %s: SLI %v out of [0,1]", o.Name, w.Window, w.SLI)
+			}
+		}
+	}
+	fmt.Printf("streamd: selftest sloz ok (%d objectives)\n", len(slorep.Objectives))
+
+	// 4c. Live profiling over real HTTP: the goroutine profile must be
+	// served and look like one.
+	resp, err = http.Get(base + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		return err
+	}
+	profile, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(profile), "goroutine") {
+		return fmt.Errorf("pprof goroutine profile: code %d, %d bytes", resp.StatusCode, len(profile))
+	}
+	fmt.Printf("streamd: selftest pprof profile fetched (%d bytes)\n", len(profile))
 
 	// 5. Put a job in flight, then SIGTERM ourselves: the drain must
 	// finish it, reject new work, and leave the ledger valid.
@@ -326,5 +408,26 @@ func runSelftest(opts streamd.Options) error {
 	if st.Failed != 0 {
 		return fmt.Errorf("selftest jobs failed: %+v", st)
 	}
+
+	// 7. Goroutine-leak gate: with the pool drained, the listener closed
+	// and the client's keep-alive connections dropped, the goroutine
+	// count must return to (near) the pre-server baseline. The slack
+	// covers runtime goroutines spawned after the baseline was taken
+	// (signal.Notify's watcher, a GC worker); a leaked worker or
+	// handler would hold the count well above it.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	var after int
+	for {
+		after = runtime.NumGoroutine()
+		if after <= baseGoroutines+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutine-leak gate: %d goroutines long after drain (baseline %d)", after, baseGoroutines)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("streamd: selftest goroutine-leak gate ok (baseline %d, after drain %d)\n", baseGoroutines, after)
 	return nil
 }

@@ -1,14 +1,16 @@
 // Command streamtop is a terminal dashboard for a running streamd: it
-// polls /statz (structured counters) and /metricz (the Prometheus
-// exposition, for the latency quantile gauges) and renders queue
-// depth, per-state job occupancy, cache hit rate and the queue-wait /
-// admission / run-duration percentiles in place.
+// polls /statz (structured counters), /metricz (the Prometheus
+// exposition, for the latency quantile gauges) and /sloz (the SLO
+// burn-rate report) and renders readiness, queue depth, per-state job
+// occupancy, cache hit rate, the queue-wait / admission / run-duration
+// percentiles and the error-budget panel in place.
 //
 // Usage:
 //
 //	streamtop -addr http://localhost:8372
 //	streamtop -addr http://localhost:8372 -interval 2s
 //	streamtop -once        # one snapshot, no screen control (for pipes)
+//	streamtop -once -json  # the same snapshot as one JSON object
 //
 // The dashboard is read-only and clock-neutral by construction: it
 // only scrapes endpoints whose handlers never touch a simulated
@@ -28,32 +30,46 @@ import (
 	"strings"
 	"time"
 
+	"streamgpp/internal/obs"
 	"streamgpp/internal/streamd"
 )
 
-// scrape fetches one /statz + /metricz pair.
-func scrape(client *http.Client, base string) (streamd.Stats, map[string]float64, error) {
+// scrape fetches one /statz + /metricz + /sloz round. The SLO report
+// is best-effort: an older streamd without /sloz still renders, just
+// without the budget panel (slo stays nil).
+func scrape(client *http.Client, base string) (streamd.Stats, map[string]float64, *obs.SLOReport, error) {
 	var st streamd.Stats
 	resp, err := client.Get(base + "/statz")
 	if err != nil {
-		return st, nil, err
+		return st, nil, nil, err
 	}
 	err = json.NewDecoder(resp.Body).Decode(&st)
 	resp.Body.Close()
 	if err != nil {
-		return st, nil, fmt.Errorf("decoding /statz: %w", err)
+		return st, nil, nil, fmt.Errorf("decoding /statz: %w", err)
 	}
 
 	resp, err = client.Get(base + "/metricz")
 	if err != nil {
-		return st, nil, err
+		return st, nil, nil, err
 	}
 	metrics, err := parseProm(resp.Body)
 	resp.Body.Close()
 	if err != nil {
-		return st, nil, fmt.Errorf("parsing /metricz: %w", err)
+		return st, nil, nil, fmt.Errorf("parsing /metricz: %w", err)
 	}
-	return st, metrics, nil
+
+	var slo *obs.SLOReport
+	if resp, err := client.Get(base + "/sloz"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			var rep obs.SLOReport
+			if json.NewDecoder(resp.Body).Decode(&rep) == nil {
+				slo = &rep
+			}
+		}
+		resp.Body.Close()
+	}
+	return st, metrics, slo, nil
 }
 
 // parseProm reads a Prometheus text exposition into a flat
@@ -98,10 +114,14 @@ func fmtDur(sec float64) string {
 }
 
 // render draws one frame of the dashboard.
-func render(w io.Writer, addr string, st streamd.Stats, m map[string]float64) {
-	fmt.Fprintf(w, "streamd %s    up %s", addr, fmtDur(st.UptimeSec))
+func render(w io.Writer, addr string, st streamd.Stats, m map[string]float64, slo *obs.SLOReport) {
+	ready := "READY"
 	if st.Draining {
-		fmt.Fprintf(w, "    DRAINING")
+		ready = "DRAINING"
+	}
+	fmt.Fprintf(w, "streamd %s    up %s    %s", addr, fmtDur(st.UptimeSec), ready)
+	if st.EventsDropped > 0 {
+		fmt.Fprintf(w, "    events-dropped %d", st.EventsDropped)
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "workers %d    queue %d    cache %d entries\n\n", st.Workers, st.QueueDepth, st.CacheEntries)
@@ -140,19 +160,61 @@ func render(w io.Writer, addr string, st streamd.Stats, m map[string]float64) {
 		fmt.Fprintf(w, "%-22s %10g %10g %10g %10.0f\n",
 			h.label, m[h.name+"_p50"], m[h.name+"_p95"], m[h.name+"_p99"], count)
 	}
+
+	if slo != nil {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-22s", "slo")
+		if len(slo.Objectives) > 0 {
+			for _, ws := range slo.Objectives[0].Windows {
+				fmt.Fprintf(w, " %10s %10s", "burn "+ws.Window, "sli "+ws.Window)
+			}
+		}
+		fmt.Fprintf(w, " %12s\n", "budget-used")
+		for _, st := range slo.Objectives {
+			flag := ""
+			if !st.Healthy {
+				flag = "  BREACH"
+			}
+			fmt.Fprintf(w, "%-22s", st.Name)
+			for _, ws := range st.Windows {
+				partial := ""
+				if ws.Partial {
+					partial = "*"
+				}
+				fmt.Fprintf(w, " %10s %10s", fmt.Sprintf("%.2f%s", ws.BurnRate, partial), fmt.Sprintf("%.4f", ws.SLI))
+			}
+			fmt.Fprintf(w, " %11.1f%%%s\n", st.BudgetUsedPct, flag)
+		}
+		if !slo.Healthy {
+			fmt.Fprintln(w, "SLO: error budget burning — see /sloz?format=text")
+		}
+	}
+}
+
+// writeSnapshotJSON emits one machine-readable snapshot: the /statz
+// stats, the flattened /metricz samples and the /sloz report (null
+// when the server predates the endpoint).
+func writeSnapshotJSON(w io.Writer, st streamd.Stats, m map[string]float64, slo *obs.SLOReport) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Stats   streamd.Stats      `json:"stats"`
+		Metrics map[string]float64 `json:"metrics"`
+		SLO     *obs.SLOReport     `json:"slo"`
+	}{st, m, slo})
 }
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8372", "streamd base URL")
 	interval := flag.Duration("interval", time.Second, "poll interval")
 	once := flag.Bool("once", false, "print one snapshot and exit (no screen control)")
+	asJSON := flag.Bool("json", false, "with -once, emit the snapshot as one JSON object")
 	flag.Parse()
 
 	base := strings.TrimRight(*addr, "/")
 	client := &http.Client{Timeout: 5 * time.Second}
 
 	for {
-		st, metrics, err := scrape(client, base)
+		st, metrics, slo, err := scrape(client, base)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "streamtop: %v\n", err)
 			if *once {
@@ -162,13 +224,20 @@ func main() {
 			continue
 		}
 		if *once {
-			render(os.Stdout, base, st, metrics)
+			if *asJSON {
+				if err := writeSnapshotJSON(os.Stdout, st, metrics, slo); err != nil {
+					fmt.Fprintf(os.Stderr, "streamtop: %v\n", err)
+					os.Exit(1)
+				}
+				return
+			}
+			render(os.Stdout, base, st, metrics, slo)
 			return
 		}
 		// Home the cursor and clear to end of screen: repaint in place
 		// without the flash a full clear causes.
 		fmt.Print("\x1b[H\x1b[2J")
-		render(os.Stdout, base, st, metrics)
+		render(os.Stdout, base, st, metrics, slo)
 		fmt.Printf("\n(refreshing every %s, ctrl-c to quit)\n", *interval)
 		time.Sleep(*interval)
 	}

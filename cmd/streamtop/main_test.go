@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"streamgpp/internal/obs"
+	"streamgpp/internal/streamd"
 )
 
 // parseProm must flatten well-formed samples (folding le labels into
@@ -15,7 +20,7 @@ func TestParsePromMalformedLines(t *testing.T) {
 		"streamd_jobs_accepted 3",
 		`streamd_run_ms_bucket{le="128"} 2`,
 		`streamd_run_ms_bucket{le="+Inf"} 2`,
-		`streamd_run_ms_bucket{le="64`, // truncated label, no closing quote, no value
+		`streamd_run_ms_bucket{le="64`,   // truncated label, no closing quote, no value
 		`streamd_run_ms_bucket{le="32 1`, // truncated label with a value — must be skipped, not mis-keyed
 		"no_value_line",
 		"streamd_queue_depth not-a-number",
@@ -35,5 +40,124 @@ func TestParsePromMalformedLines(t *testing.T) {
 		if strings.Contains(k, "le_32") || strings.Contains(k, "le_64") {
 			t.Errorf("malformed bucket line produced key %q", k)
 		}
+	}
+}
+
+// fakeSnapshot builds the three scrape products a render test needs:
+// a draining server that has dropped events, one latency histogram's
+// quantile gauges, and an SLO report with one breached objective.
+func fakeSnapshot() (streamd.Stats, map[string]float64, *obs.SLOReport) {
+	st := streamd.Stats{
+		UptimeSec:     61,
+		Workers:       2,
+		QueueDepth:    1,
+		Accepted:      5,
+		Draining:      true,
+		EventsDropped: 7,
+		JobsByState:   map[string]int{"done": 4, "running": 1},
+	}
+	m := map[string]float64{
+		"streamd_run_ms_count": 5,
+		"streamd_run_ms_p50":   12,
+		"streamd_run_ms_p95":   40,
+		"streamd_run_ms_p99":   64,
+	}
+	slo := &obs.SLOReport{
+		UptimeSec: 61,
+		Healthy:   false,
+		Objectives: []obs.SLOStatus{
+			{
+				SLOObjective: obs.SLOObjective{Name: "run-latency", Target: 0.95},
+				Windows: []obs.SLOWindowStatus{
+					{Window: "5m", SLI: 0.9, BurnRate: 2, Partial: true},
+					{Window: "1h", SLI: 0.9, BurnRate: 2, Partial: true},
+				},
+				BudgetUsedPct: 200,
+				Healthy:       false,
+			},
+			{
+				SLOObjective: obs.SLOObjective{Name: "availability", Target: 0.999},
+				Windows: []obs.SLOWindowStatus{
+					{Window: "5m", SLI: 1, BurnRate: 0},
+					{Window: "1h", SLI: 1, BurnRate: 0},
+				},
+				Healthy: true,
+			},
+		},
+	}
+	return st, m, slo
+}
+
+// render must surface readiness, the dropped-event count and the SLO
+// budget panel — and stay quiet about all three on a healthy server.
+func TestRenderReadinessAndSLOPanel(t *testing.T) {
+	st, m, slo := fakeSnapshot()
+	var buf bytes.Buffer
+	render(&buf, "http://x:1", st, m, slo)
+	out := buf.String()
+	for _, want := range []string{
+		"DRAINING",
+		"events-dropped 7",
+		"run-latency",
+		"availability",
+		"burn 5m",
+		"BREACH",
+		"budget burning",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// Healthy, nothing dropped, no report: none of the alarm strings.
+	var quiet bytes.Buffer
+	render(&quiet, "http://x:1", streamd.Stats{Workers: 1}, m, nil)
+	q := quiet.String()
+	if !strings.Contains(q, "READY") {
+		t.Errorf("healthy render missing READY:\n%s", q)
+	}
+	for _, not := range []string{"DRAINING", "events-dropped", "BREACH", "slo"} {
+		if strings.Contains(q, not) {
+			t.Errorf("healthy render contains %q:\n%s", not, q)
+		}
+	}
+}
+
+// The -once -json snapshot must round-trip: stats, flattened metrics
+// and the SLO report under stable keys, with slo null when absent.
+func TestWriteSnapshotJSON(t *testing.T) {
+	st, m, slo := fakeSnapshot()
+	var buf bytes.Buffer
+	if err := writeSnapshotJSON(&buf, st, m, slo); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Stats   streamd.Stats      `json:"stats"`
+		Metrics map[string]float64 `json:"metrics"`
+		SLO     *obs.SLOReport     `json:"slo"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Stats.Draining || got.Stats.EventsDropped != 7 {
+		t.Errorf("stats did not round-trip: %+v", got.Stats)
+	}
+	if got.Metrics["streamd_run_ms_p99"] != 64 {
+		t.Errorf("metrics did not round-trip: %v", got.Metrics)
+	}
+	if got.SLO == nil || got.SLO.Healthy || len(got.SLO.Objectives) != 2 {
+		t.Errorf("slo did not round-trip: %+v", got.SLO)
+	}
+
+	buf.Reset()
+	if err := writeSnapshotJSON(&buf, st, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["slo"]) != "null" {
+		t.Errorf("absent report should encode as null, got %s", raw["slo"])
 	}
 }

@@ -11,6 +11,7 @@
 //	streamtrace -app ldst -nodouble        # serialised-pipeline ablation
 //	streamtrace -app fem
 //	streamtrace -events streamd.jsonl.events   # pretty-print a streamd event log
+//	streamtrace -trend BENCH_history.jsonl     # per-experiment ledger trends with anomaly flags
 //
 // Open the JSON at https://ui.perfetto.dev (or chrome://tracing): track
 // ctx0 is the control+compute thread, ctx1 the memory thread, with a
@@ -72,6 +73,26 @@ func printEvents(w io.Writer, path string) error {
 	if stats.TornTail {
 		fmt.Fprintf(w, "note: torn final line %d skipped (writer killed mid-append; repaired on next streamd start)\n", stats.TornLine)
 	}
+	return nil
+}
+
+// printTrend rolls a run ledger up into per-experiment trend rows —
+// wall time, simulated throughput and fast-path coverage against
+// their run history — flagging the latest run when it sits outside
+// the same robust band CompareLedgers uses (MAD-scaled, with a
+// relative floor so quiet histories don't alarm on noise).
+func printTrend(w io.Writer, path string, asJSON bool) error {
+	entries, err := obs.ReadLedger(path)
+	if err != nil {
+		return err
+	}
+	rows := obs.TrendReport(entries, obs.DefaultTrendOptions())
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+	obs.RenderTrend(w, rows)
 	return nil
 }
 
@@ -157,10 +178,20 @@ func main() {
 		"with -coverage, also rank the top N bail reasons by estimated lost cycles (bails × mean per-access cost)")
 	eventsPath := flag.String("events", "",
 		"pretty-print the streamd job lifecycle event log (JSONL) at this path and exit")
+	trendPath := flag.String("trend", "",
+		"report per-experiment trends over the run ledger (JSONL) at this path and exit (honours -json)")
 	flag.Parse()
 
 	if *eventsPath != "" {
 		if err := printEvents(os.Stdout, *eventsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "streamtrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *trendPath != "" {
+		if err := printTrend(os.Stdout, *trendPath, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "streamtrace: %v\n", err)
 			os.Exit(1)
 		}
@@ -339,7 +370,7 @@ func main() {
 			CritpathBound     string               `json:"critpath_bound"`
 			CritpathByTask    map[string]uint64    `json:"critpath_by_task"`
 			Calibration       *advisor.Calibration `json:"calibration,omitempty"`
-			Coverage          *covreport.Report      `json:"coverage,omitempty"`
+			Coverage          *covreport.Report    `json:"coverage,omitempty"`
 			Metrics           map[string]float64   `json:"metrics"`
 		}{
 			App: *app, Name: name,

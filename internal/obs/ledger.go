@@ -100,6 +100,9 @@ func FlattenSnapshot(s Snapshot) map[string]float64 {
 		switch v.Kind {
 		case KindHistogram:
 			out[name] = v.Mean()
+		case KindInfo:
+			// Constant-1 info metrics carry their facts in labels; a
+			// flat 1 would only pollute the ledger.
 		default:
 			out[name] = v.Value
 		}

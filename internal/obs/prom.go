@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,6 +40,40 @@ func PromName(name string) string {
 			b.WriteByte('_')
 		}
 	}
+	return b.String()
+}
+
+// promLabelValue escapes a label value per the exposition grammar:
+// backslash, double quote and newline are backslash-escaped.
+func promLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels renders a label set as {k="v",...} with sorted keys (so
+// the exposition stays deterministic); empty sets render as nothing.
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(PromName(k))
+		b.WriteString(`="`)
+		b.WriteString(promLabelValue(labels[k]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
 	return b.String()
 }
 
@@ -87,6 +122,11 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		switch v.Kind {
 		case KindCounter:
 			fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", pn, pn, promFloat(v.Value))
+		case KindInfo:
+			// Info metrics are the constant-1 gauge-with-labels pattern
+			// (…_build_info): the value never moves, the labels carry the
+			// facts.
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s%s 1\n", pn, pn, promLabels(v.Labels))
 		case KindGauge:
 			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(v.Value))
 			fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %s\n", pn, pn, promFloat(v.Max))

@@ -25,6 +25,11 @@ func TestWritePromGolden(t *testing.T) {
 	for _, v := range []float64{0.5, 3, 3, 100} {
 		h.Observe(v)
 	}
+	r.Info("streamd.build_info", map[string]string{
+		"goversion": "go1.22.0",
+		"revision":  "abc123",
+		"weird":     "a\"b\\c\nd",
+	})
 
 	var buf bytes.Buffer
 	if err := WriteProm(&buf, r.Snapshot()); err != nil {
@@ -124,5 +129,27 @@ func TestSnapshotQuantile(t *testing.T) {
 	}
 	if got := (MetricValue{Kind: KindGauge, Value: 5}).Quantile(0.5); got != 0 {
 		t.Errorf("gauge Quantile = %v, want 0", got)
+	}
+}
+
+// Info metrics render as a constant-1 gauge whose labels are escaped
+// per the exposition grammar and emitted in sorted key order.
+func TestWritePromInfoEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Info("build.info", map[string]string{
+		"b": `back\slash`,
+		"a": "line\nbreak",
+		"c": `quo"te`,
+	})
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `build_info{a="line\nbreak",b="back\\slash",c="quo\"te"} 1` + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("info sample missing or misescaped:\n got %q\nwant substring %q", buf.String(), want)
+	}
+	if !strings.Contains(buf.String(), "# TYPE build_info gauge\n") {
+		t.Errorf("info metric missing gauge TYPE line:\n%s", buf.String())
 	}
 }

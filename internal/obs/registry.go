@@ -226,6 +226,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	infos    map[string]map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -234,7 +235,22 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		infos:    map[string]map[string]string{},
 	}
+}
+
+// Info registers a constant info metric: a gauge fixed at 1 whose
+// payload is its label set — the standard Prometheus pattern for
+// build/version facts (…_build_info{version="…",goversion="…"} 1).
+// Labels are copied; registering the same name again replaces the set.
+func (r *Registry) Info(name string, labels map[string]string) {
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	r.infos[name] = cp
+	r.mu.Unlock()
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -296,12 +312,13 @@ const (
 	KindCounter MetricKind = iota
 	KindGauge
 	KindHistogram
+	KindInfo
 )
 
 // MetricValue is one metric frozen at snapshot time.
 type MetricValue struct {
 	Kind  MetricKind
-	Value float64 // counter total or gauge current value
+	Value float64 // counter total or gauge current value (1 for infos)
 	Max   float64 // gauge/histogram high-water mark
 	Count uint64  // histogram sample count
 	Sum   float64 // histogram sample sum
@@ -311,6 +328,8 @@ type MetricValue struct {
 	// counters/gauges). A fixed array, so snapshot values stay
 	// self-contained — no aliasing of live instrument state.
 	Buckets [histBuckets]uint64
+	// Labels is the info metric's constant label set (nil otherwise).
+	Labels map[string]string
 }
 
 // Mean returns the histogram mean (0 otherwise).
@@ -351,6 +370,13 @@ func (r *Registry) Snapshot() Snapshot {
 		h.mu.Lock()
 		s[name] = MetricValue{Kind: KindHistogram, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Buckets: h.buckets}
 		h.mu.Unlock()
+	}
+	for name, labels := range r.infos {
+		cp := make(map[string]string, len(labels))
+		for k, v := range labels {
+			cp[k] = v
+		}
+		s[name] = MetricValue{Kind: KindInfo, Value: 1, Labels: cp}
 	}
 	return s
 }
@@ -409,6 +435,17 @@ func (s Snapshot) Render(w io.Writer) {
 		case KindHistogram:
 			fmt.Fprintf(w, "  %-*s count=%d mean=%.2f min=%.0f max=%.0f\n",
 				width, name, v.Count, v.Mean(), v.Min, v.Max)
+		case KindInfo:
+			keys := make([]string, 0, len(v.Labels))
+			for k := range v.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(w, "  %-*s", width, name)
+			for _, k := range keys {
+				fmt.Fprintf(w, " %s=%s", k, v.Labels[k])
+			}
+			fmt.Fprintln(w)
 		}
 	}
 }

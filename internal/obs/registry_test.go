@@ -103,3 +103,69 @@ func TestNamesAndRender(t *testing.T) {
 		}
 	}
 }
+
+// bucketQuantile's degenerate inputs: an empty histogram must report 0
+// for every quantile (not NaN, not max garbage), and a histogram whose
+// samples all land in one bucket must report that bucket's bound capped
+// at the observed max for every quantile.
+func TestBucketQuantileEmptyAndSingleBucket(t *testing.T) {
+	var empty [HistBuckets]uint64
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := bucketQuantile(q, 0, &empty, 0); got != 0 {
+			t.Errorf("empty histogram q=%v: got %v, want 0", q, got)
+		}
+	}
+
+	// All 10 samples in bucket 3 ([4,8)), observed max 7: every
+	// quantile must be min(8, 7) = 7 except q=1, which returns max.
+	var single [HistBuckets]uint64
+	single[3] = 10
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := bucketQuantile(q, 10, &single, 7); got != 7 {
+			t.Errorf("single-bucket q=%v: got %v, want 7", q, got)
+		}
+	}
+
+	// Same shape with max above the bucket bound: quantiles stay at the
+	// bound (8) until q=1 hands back the true max.
+	if got := bucketQuantile(0.5, 10, &single, 100); got != 8 {
+		t.Errorf("single-bucket q=0.5 max=100: got %v, want bound 8", got)
+	}
+	if got := bucketQuantile(1, 10, &single, 100); got != 100 {
+		t.Errorf("single-bucket q=1 max=100: got %v, want max 100", got)
+	}
+
+	// Bucket 0 (v < 1): bound is 1, still capped by max.
+	var low [HistBuckets]uint64
+	low[0] = 5
+	if got := bucketQuantile(0.5, 5, &low, 0.25); got != 0.25 {
+		t.Errorf("bucket-0 q=0.5: got %v, want 0.25", got)
+	}
+}
+
+// Info metrics snapshot as constant-1 entries carrying their labels,
+// pass through Delta untouched, and stay isolated from the source map.
+func TestRegistryInfo(t *testing.T) {
+	r := NewRegistry()
+	src := map[string]string{"goversion": "go1.22.0"}
+	r.Info("build.info", src)
+	src["goversion"] = "mutated-after-registration"
+
+	snap := r.Snapshot()
+	v, ok := snap["build.info"]
+	if !ok || v.Kind != KindInfo || v.Value != 1 {
+		t.Fatalf("info snapshot = %+v, ok=%v", v, ok)
+	}
+	if v.Labels["goversion"] != "go1.22.0" {
+		t.Errorf("labels aliased caller map: %v", v.Labels)
+	}
+
+	d := snap.Delta(snap)
+	if dv := d["build.info"]; dv.Kind != KindInfo || dv.Value != 1 {
+		t.Errorf("info through Delta = %+v, want unchanged constant 1", dv)
+	}
+
+	if flat := FlattenSnapshot(snap); len(flat) != 0 {
+		t.Errorf("FlattenSnapshot leaked info metric: %v", flat)
+	}
+}

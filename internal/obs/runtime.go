@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// This file is the host-side half of the observability story: where the
+// rest of the package watches the *simulated* machine (cycles, stalls,
+// memory traffic), the RuntimeCollector watches the Go process running
+// it — goroutines, heap, GC pauses, scheduler responsiveness — so a
+// long-running service (streamd) can observe itself with the same
+// registry/exposition machinery its simulation metrics already use.
+// Collection happens at scrape time only: between scrapes the collector
+// costs nothing, and it never touches simulator state, so simulated
+// cycle counts are byte-identical with the collector attached
+// (DESIGN.md §17 carries the overhead budget).
+
+// RuntimeCollector samples Go runtime telemetry into a Registry.
+// Collect is cheap enough to run on every scrape: one ReadMemStats
+// (microsecond-scale stop-the-world), one NumGoroutine, and one
+// spawn-to-run probe goroutine. Safe for concurrent use.
+type RuntimeCollector struct {
+	reg *Registry
+
+	mu        sync.Mutex
+	lastNumGC uint32
+}
+
+// NewRuntimeCollector returns a collector publishing into reg under the
+// go.* namespace.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	return &RuntimeCollector{reg: reg}
+}
+
+// Collect refreshes the runtime gauges and feeds any GC pauses since
+// the previous Collect into the pause histogram:
+//
+//	go.goroutines           live goroutine count
+//	go.heap.alloc_bytes     bytes of allocated heap objects
+//	go.heap.inuse_bytes     bytes in in-use heap spans
+//	go.heap.objects         live object count
+//	go.heap.sys_bytes       total bytes obtained from the OS
+//	go.gc.num               completed GC cycles
+//	go.gc.next_bytes        heap size that triggers the next cycle
+//	go.gc.cpu_pct           fraction of CPU spent in GC since start, %
+//	go.gc.pause_total_ms    cumulative stop-the-world pause time
+//	go.gc.pause_us          histogram of individual GC pauses (µs)
+//	go.sched.latency_us     histogram of spawn-to-run latency probes:
+//	                        how long a fresh goroutine waited for a
+//	                        thread — a scheduler-pressure proxy (one
+//	                        probe per Collect)
+func (c *RuntimeCollector) Collect() {
+	// Probe scheduler latency before ReadMemStats: the probe goroutine
+	// must not race the collector's own stop-the-world.
+	c.reg.Histogram("go.sched.latency_us").Observe(schedLatencyProbe())
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.reg.Gauge("go.goroutines").Set(float64(runtime.NumGoroutine()))
+	c.reg.Gauge("go.heap.alloc_bytes").Set(float64(ms.HeapAlloc))
+	c.reg.Gauge("go.heap.inuse_bytes").Set(float64(ms.HeapInuse))
+	c.reg.Gauge("go.heap.objects").Set(float64(ms.HeapObjects))
+	c.reg.Gauge("go.heap.sys_bytes").Set(float64(ms.Sys))
+	c.reg.Gauge("go.gc.num").Set(float64(ms.NumGC))
+	c.reg.Gauge("go.gc.next_bytes").Set(float64(ms.NextGC))
+	c.reg.Gauge("go.gc.cpu_pct").Set(100 * ms.GCCPUFraction)
+	c.reg.Gauge("go.gc.pause_total_ms").Set(float64(ms.PauseTotalNs) / 1e6)
+
+	// PauseNs is a 256-entry ring indexed by GC number; replay only the
+	// cycles that completed since the last Collect, so each pause lands
+	// in the histogram exactly once.
+	c.mu.Lock()
+	last := c.lastNumGC
+	c.lastNumGC = ms.NumGC
+	c.mu.Unlock()
+	if ms.NumGC-last > uint32(len(ms.PauseNs)) {
+		last = ms.NumGC - uint32(len(ms.PauseNs))
+	}
+	h := c.reg.Histogram("go.gc.pause_us")
+	for i := last; i < ms.NumGC; i++ {
+		h.Observe(float64(ms.PauseNs[(i+255)%256]) / 1e3)
+	}
+}
+
+// schedLatencyProbe measures how long a freshly spawned goroutine waits
+// before running, in microseconds. Under an idle scheduler this is the
+// bare handoff cost; under thread starvation (every P busy simulating)
+// it grows toward the scheduler's preemption quantum, which is exactly
+// the signal a saturated streamd needs.
+func schedLatencyProbe() float64 {
+	start := time.Now()
+	ch := make(chan time.Duration, 1)
+	go func() { ch <- time.Since(start) }()
+	return float64(<-ch) / float64(time.Microsecond)
+}
+
+// BuildInfoLabels returns the process's build identity as info-metric
+// labels — Go version, main-module version, and VCS revision/dirty
+// state when the binary was built from a checkout — for the standard
+// …_build_info gauge (Registry.Info).
+func BuildInfoLabels() map[string]string {
+	labels := map[string]string{"goversion": runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return labels
+	}
+	if bi.Main.Version != "" {
+		labels["version"] = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			labels["revision"] = s.Value
+		case "vcs.modified":
+			labels["modified"] = s.Value
+		}
+	}
+	return labels
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+// A Collect must leave every gauge populated with live process state:
+// at minimum one goroutine exists and the heap is nonzero.
+func TestRuntimeCollectorGauges(t *testing.T) {
+	r := NewRegistry()
+	c := NewRuntimeCollector(r)
+	c.Collect()
+
+	snap := r.Snapshot()
+	for _, name := range []string{
+		"go.goroutines", "go.heap.alloc_bytes", "go.heap.inuse_bytes",
+		"go.heap.objects", "go.heap.sys_bytes", "go.gc.next_bytes",
+	} {
+		v, ok := snap[name]
+		if !ok || v.Kind != KindGauge {
+			t.Fatalf("%s missing from snapshot (%+v)", name, v)
+		}
+		if v.Value <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v.Value)
+		}
+	}
+	if v := snap["go.sched.latency_us"]; v.Kind != KindHistogram || v.Count != 1 {
+		t.Errorf("go.sched.latency_us = %+v, want one probe per Collect", v)
+	}
+}
+
+// Forced GC cycles between Collects must land in the pause histogram
+// exactly once each: the second Collect picks up the new cycles, a
+// third with no GC in between adds nothing.
+func TestRuntimeCollectorGCPauses(t *testing.T) {
+	r := NewRegistry()
+	c := NewRuntimeCollector(r)
+	c.Collect()
+	h := r.Histogram("go.gc.pause_us")
+	base := h.Count()
+
+	runtime.GC()
+	runtime.GC()
+	c.Collect()
+	after := h.Count()
+	if after < base+2 {
+		t.Errorf("pause histogram count %d after 2 forced GCs (was %d), want >= +2", after, base)
+	}
+
+	var before, now runtime.MemStats
+	runtime.ReadMemStats(&before)
+	c.Collect()
+	got := h.Count()
+	runtime.ReadMemStats(&now)
+	if before.NumGC == now.NumGC && got != after {
+		t.Errorf("pause histogram grew from %d to %d with no GC between Collects", after, got)
+	}
+}
+
+// BuildInfoLabels must always carry the running Go version; the VCS
+// fields depend on how the test binary was built, so only goversion is
+// a hard guarantee.
+func TestBuildInfoLabels(t *testing.T) {
+	labels := BuildInfoLabels()
+	if labels["goversion"] != runtime.Version() {
+		t.Errorf("goversion = %q, want %q", labels["goversion"], runtime.Version())
+	}
+}

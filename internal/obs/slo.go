@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// This file implements the SLO engine: declared service-level
+// objectives evaluated over registry snapshots. An objective is a
+// target fraction of "good" events — requests answered under a latency
+// threshold, responses that were not 5xx — and the engine turns the
+// registry's existing histograms and counters into the two numbers an
+// operator actually pages on: the SLI (good/total over a window) and
+// the error-budget burn rate (how many times faster than "just barely
+// meeting target" the budget is being spent; burn 1.0 exhausts the
+// budget exactly at the window's end, burn 5.0 five times faster).
+//
+// The engine is snapshot-driven and clock-passive: callers hand it
+// timestamped Snapshots (streamd does so on every scrape) and it keeps
+// just enough history — one retained sample per minStep — to subtract
+// a window-ago baseline via Snapshot.Delta. It never reads the clock
+// itself and never touches the simulator, so enabling it cannot move a
+// simulated cycle. Burn-rate math and window semantics are documented
+// in DESIGN.md §17.
+
+// SLOClass selects how an objective derives good/total counts.
+type SLOClass string
+
+// Objective classes.
+const (
+	// SLOLatency counts histogram samples at or under ThresholdMs as
+	// good. Bucket granularity makes this conservative: a bucket
+	// straddling the threshold counts entirely as bad, so the reported
+	// SLI is a lower bound and burn an upper bound.
+	SLOLatency SLOClass = "latency"
+	// SLORatio counts Metric (a counter of bad events) against Total (a
+	// counter of all events): SLI = 1 - bad/total.
+	SLORatio SLOClass = "ratio"
+)
+
+// SLOObjective declares one objective over registry metrics.
+type SLOObjective struct {
+	// Name identifies the objective in reports and gauge names.
+	Name string `json:"name"`
+	// Class is the evaluation rule: latency or ratio.
+	Class SLOClass `json:"class"`
+	// Metric is the histogram (latency) or bad-event counter (ratio).
+	Metric string `json:"metric"`
+	// Total is the all-events counter (ratio class only).
+	Total string `json:"total,omitempty"`
+	// ThresholdMs is the good/bad latency boundary (latency class only).
+	ThresholdMs float64 `json:"threshold_ms,omitempty"`
+	// Target is the objective: the minimum good fraction, e.g. 0.999.
+	Target float64 `json:"target"`
+}
+
+// sloSample is one retained snapshot, pre-filtered to objective metrics.
+type sloSample struct {
+	t    time.Time
+	snap Snapshot
+}
+
+// SLOEngine evaluates objectives over a sliding history of snapshots.
+// Not safe for concurrent use; streamd serialises Record/Report under
+// its scrape path.
+type SLOEngine struct {
+	objectives []SLOObjective
+	windows    []time.Duration
+	start      time.Time
+	// minStep thins retained samples: at most one kept per minStep, so
+	// history stays bounded (longest window / minStep samples) no matter
+	// the scrape rate.
+	minStep time.Duration
+	samples []sloSample
+}
+
+// DefaultSLOWindows are the burn-rate windows when none are given: a
+// fast 5-minute window that pages on sudden breakage and a slow 1-hour
+// window that filters blips.
+func DefaultSLOWindows() []time.Duration {
+	return []time.Duration{5 * time.Minute, time.Hour}
+}
+
+// NewSLOEngine returns an engine evaluating objectives over the given
+// burn-rate windows (DefaultSLOWindows when none), anchored at start —
+// the empty pre-start snapshot is every window's fallback baseline.
+func NewSLOEngine(start time.Time, objectives []SLOObjective, windows ...time.Duration) *SLOEngine {
+	if len(windows) == 0 {
+		windows = DefaultSLOWindows()
+	}
+	ws := append([]time.Duration(nil), windows...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	step := ws[len(ws)-1] / 720
+	if step < time.Second {
+		step = time.Second
+	}
+	return &SLOEngine{
+		objectives: append([]SLOObjective(nil), objectives...),
+		windows:    ws,
+		start:      start,
+		minStep:    step,
+	}
+}
+
+// Objectives returns the declared objectives.
+func (e *SLOEngine) Objectives() []SLOObjective {
+	return append([]SLOObjective(nil), e.objectives...)
+}
+
+// Record retains snap (taken at t) as a future window baseline. Only
+// the metrics the objectives reference are kept, and samples closer
+// than minStep to the previous one are dropped, so memory stays
+// bounded regardless of scrape rate.
+func (e *SLOEngine) Record(t time.Time, snap Snapshot) {
+	if n := len(e.samples); n > 0 && t.Sub(e.samples[n-1].t) < e.minStep {
+		return
+	}
+	kept := make(Snapshot, 2*len(e.objectives))
+	for _, o := range e.objectives {
+		if v, ok := snap[o.Metric]; ok {
+			kept[o.Metric] = v
+		}
+		if o.Total != "" {
+			if v, ok := snap[o.Total]; ok {
+				kept[o.Total] = v
+			}
+		}
+	}
+	e.samples = append(e.samples, sloSample{t: t, snap: kept})
+
+	// Evict samples older than the longest window, keeping the newest
+	// such sample: it is that window's baseline until a younger sample
+	// ages past the boundary.
+	horizon := t.Add(-e.windows[len(e.windows)-1])
+	cut := 0
+	for i, s := range e.samples {
+		if !s.t.After(horizon) {
+			cut = i
+		}
+	}
+	if cut > 0 {
+		e.samples = append(e.samples[:0], e.samples[cut:]...)
+	}
+}
+
+// SLOWindowStatus is one objective evaluated over one window.
+type SLOWindowStatus struct {
+	// Window is the human label ("5m", "1h").
+	Window string `json:"window"`
+	// WindowSec is the window length in seconds.
+	WindowSec float64 `json:"window_sec"`
+	// Partial is true when the process has not been up for a full
+	// window, so the figures cover less history than the label claims.
+	Partial bool `json:"partial,omitempty"`
+	// Total and Bad are the event counts over the window.
+	Total float64 `json:"total"`
+	Bad   float64 `json:"bad"`
+	// SLI is the good fraction over the window (1 when no traffic).
+	SLI float64 `json:"sli"`
+	// BurnRate is (1-SLI)/(1-Target): 1.0 spends the error budget
+	// exactly at the objective's pace, >1 is over-budget.
+	BurnRate float64 `json:"burn_rate"`
+	// QuantileMs is the Target-quantile latency over the window
+	// (latency class only).
+	QuantileMs float64 `json:"quantile_ms,omitempty"`
+}
+
+// SLOStatus is one objective's full evaluation.
+type SLOStatus struct {
+	SLOObjective
+	// Budget is the allowed bad fraction, 1-Target.
+	Budget float64 `json:"budget"`
+	// Windows holds the per-window evaluations, shortest first.
+	Windows []SLOWindowStatus `json:"windows"`
+	// BudgetUsedPct is the lifetime bad fraction as a percentage of the
+	// budget: ≥100 means the whole-process history is out of budget.
+	BudgetUsedPct float64 `json:"budget_used_pct"`
+	// Healthy is false when every window is burning over budget (the
+	// multi-window page condition) or the lifetime budget is spent.
+	Healthy bool `json:"healthy"`
+}
+
+// SLOReport is a full evaluation of every objective at one instant.
+type SLOReport struct {
+	Now        string      `json:"now,omitempty"` // RFC3339, caller-stamped
+	UptimeSec  float64     `json:"uptime_sec"`
+	Objectives []SLOStatus `json:"objectives"`
+	// Healthy is the conjunction over objectives.
+	Healthy bool `json:"healthy"`
+}
+
+// bucketCountAtOrBelow sums bucket counts whose upper bound is ≤ limit:
+// the conservative good-event count for a latency objective (a bucket
+// straddling the limit counts as bad).
+func bucketCountAtOrBelow(limit float64, buckets *[histBuckets]uint64) float64 {
+	bounds := HistBucketBounds()
+	var good uint64
+	for i, n := range buckets {
+		if bounds[i] > limit {
+			break
+		}
+		good += n
+	}
+	return float64(good)
+}
+
+// windowLabel renders a duration the way operators write it: "5m",
+// "1h", "90s".
+func windowLabel(d time.Duration) string {
+	switch {
+	case d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return fmt.Sprintf("%ds", d/time.Second)
+	}
+}
+
+// baseline returns the newest recorded sample at or before t, or an
+// empty snapshot (process start) when none is old enough.
+func (e *SLOEngine) baseline(t time.Time) Snapshot {
+	var best Snapshot
+	for _, s := range e.samples {
+		if s.t.After(t) {
+			break
+		}
+		best = s.snap
+	}
+	if best == nil {
+		return Snapshot{}
+	}
+	return best
+}
+
+// evalWindow evaluates one objective over cur minus the window
+// baseline.
+func (o SLOObjective) evalWindow(delta Snapshot) (total, bad, quantileMs float64) {
+	switch o.Class {
+	case SLOLatency:
+		v := delta[o.Metric]
+		total = float64(v.Count)
+		bad = total - bucketCountAtOrBelow(o.ThresholdMs, &v.Buckets)
+		quantileMs = v.Quantile(o.Target)
+	case SLORatio:
+		bad = delta[o.Metric].Value
+		total = delta[o.Total].Value
+	}
+	return total, bad, quantileMs
+}
+
+// Report evaluates every objective against cur (taken at now) over all
+// windows. Callers should Record(now, cur) afterwards so this scrape
+// becomes a future baseline; Report itself never mutates the engine.
+func (e *SLOEngine) Report(now time.Time, cur Snapshot) SLOReport {
+	uptime := now.Sub(e.start)
+	rep := SLOReport{UptimeSec: uptime.Seconds(), Healthy: true}
+	for _, o := range e.objectives {
+		budget := 1 - o.Target
+		st := SLOStatus{SLOObjective: o, Budget: budget, Healthy: true}
+		allBurning := len(e.windows) > 0
+		for _, w := range e.windows {
+			delta := cur.Delta(e.baseline(now.Add(-w)))
+			total, bad, qms := o.evalWindow(delta)
+			ws := SLOWindowStatus{
+				Window:     windowLabel(w),
+				WindowSec:  w.Seconds(),
+				Partial:    uptime < w,
+				Total:      total,
+				Bad:        bad,
+				SLI:        1,
+				QuantileMs: qms,
+			}
+			if total > 0 {
+				ws.SLI = 1 - bad/total
+			}
+			if budget > 0 {
+				ws.BurnRate = (1 - ws.SLI) / budget
+			} else if ws.SLI < 1 {
+				ws.BurnRate = math.Inf(1)
+			}
+			if ws.BurnRate <= 1 {
+				allBurning = false
+			}
+			st.Windows = append(st.Windows, ws)
+		}
+		// Lifetime budget: everything since process start.
+		total, bad, _ := o.evalWindow(cur.Delta(Snapshot{}))
+		if total > 0 && budget > 0 {
+			st.BudgetUsedPct = (bad / total) / budget * 100
+		}
+		if allBurning || st.BudgetUsedPct >= 100 {
+			st.Healthy = false
+			rep.Healthy = false
+		}
+		rep.Objectives = append(rep.Objectives, st)
+	}
+	return rep
+}
+
+// Render writes the report as an aligned operator-facing table.
+func (r SLOReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "SLO report  uptime=%.0fs  healthy=%v\n", r.UptimeSec, r.Healthy)
+	for _, st := range r.Objectives {
+		ok := "ok"
+		if !st.Healthy {
+			ok = "BREACH"
+		}
+		fmt.Fprintf(w, "\n%s  [%s %s", st.Name, st.Class, st.Metric)
+		if st.Class == SLOLatency {
+			fmt.Fprintf(w, " <= %gms", st.ThresholdMs)
+		}
+		fmt.Fprintf(w, "]  target=%.4g  budget-used=%.1f%%  %s\n", st.Target, st.BudgetUsedPct, ok)
+		fmt.Fprintf(w, "  %-6s %10s %10s %9s %9s %10s %s\n",
+			"window", "total", "bad", "sli", "burn", "q(target)", "")
+		for _, ws := range st.Windows {
+			note := ""
+			if ws.Partial {
+				note = "(partial)"
+			}
+			q := "-"
+			if st.Class == SLOLatency {
+				q = fmt.Sprintf("%.0fms", ws.QuantileMs)
+			}
+			fmt.Fprintf(w, "  %-6s %10.0f %10.0f %9.5f %9.2f %10s %s\n",
+				ws.Window, ws.Total, ws.Bad, ws.SLI, ws.BurnRate, q, note)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloT0 is the fixed engine epoch every SLO test hangs times off.
+var sloT0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Golden latency math: 95 requests at 100ms and 5 at 10s against a
+// 512ms/99% objective give SLI 0.95 and burn exactly (1-0.95)/0.01 =
+// 5.0, with the target quantile at the slow cohort's value.
+func TestSLOLatencyBurnGolden(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("streamd.run_ms")
+	for i := 0; i < 95; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(10000)
+	}
+
+	obj := SLOObjective{
+		Name: "run-latency", Class: SLOLatency,
+		Metric: "streamd.run_ms", ThresholdMs: 512, Target: 0.99,
+	}
+	e := NewSLOEngine(sloT0, []SLOObjective{obj})
+	rep := e.Report(sloT0.Add(2*time.Hour), r.Snapshot())
+
+	if len(rep.Objectives) != 1 {
+		t.Fatalf("objectives = %d, want 1", len(rep.Objectives))
+	}
+	st := rep.Objectives[0]
+	if math.Abs(st.Budget-0.01) > 1e-12 {
+		t.Errorf("budget = %v, want 0.01", st.Budget)
+	}
+	if len(st.Windows) != 2 {
+		t.Fatalf("windows = %d, want default 5m/1h", len(st.Windows))
+	}
+	for _, ws := range st.Windows {
+		if ws.Total != 100 || ws.Bad != 5 {
+			t.Errorf("%s: total=%v bad=%v, want 100/5", ws.Window, ws.Total, ws.Bad)
+		}
+		if ws.SLI != 0.95 {
+			t.Errorf("%s: SLI = %v, want 0.95", ws.Window, ws.SLI)
+		}
+		if ws.BurnRate != 5.0 {
+			t.Errorf("%s: burn = %v, want exactly 5.0", ws.Window, ws.BurnRate)
+		}
+		if ws.QuantileMs != 10000 {
+			t.Errorf("%s: q(0.99) = %v, want 10000", ws.Window, ws.QuantileMs)
+		}
+		if ws.Partial {
+			t.Errorf("%s: partial after 2h uptime", ws.Window)
+		}
+	}
+	// Both windows burn > 1 and lifetime budget is blown: breach.
+	if st.Healthy || rep.Healthy {
+		t.Errorf("healthy = %v/%v, want breach", st.Healthy, rep.Healthy)
+	}
+	if math.Abs(st.BudgetUsedPct-500) > 1e-9 {
+		t.Errorf("budget-used = %v%%, want 500%%", st.BudgetUsedPct)
+	}
+}
+
+// Golden ratio math: 2 bad out of 1000 against 99.9% gives SLI 0.998
+// and burn (1-0.998)/0.001 = 2.0.
+func TestSLORatioBurnGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("streamd.http.responses_5xx").Add(2)
+	r.Counter("streamd.http.requests").Add(1000)
+
+	obj := SLOObjective{
+		Name: "availability", Class: SLORatio,
+		Metric: "streamd.http.responses_5xx", Total: "streamd.http.requests",
+		Target: 0.999,
+	}
+	e := NewSLOEngine(sloT0, []SLOObjective{obj})
+	st := e.Report(sloT0.Add(2*time.Hour), r.Snapshot()).Objectives[0]
+	for _, ws := range st.Windows {
+		if ws.Total != 1000 || ws.Bad != 2 {
+			t.Errorf("%s: total=%v bad=%v, want 1000/2", ws.Window, ws.Total, ws.Bad)
+		}
+		if ws.SLI != 0.998 {
+			t.Errorf("%s: SLI = %v, want 0.998", ws.Window, ws.SLI)
+		}
+		// 0.002/0.001: representable exactly enough that the division
+		// lands on 2.0 — pin it, the gauge feeds alerts.
+		if ws.BurnRate != 2.0 {
+			t.Errorf("%s: burn = %v, want 2.0", ws.Window, ws.BurnRate)
+		}
+	}
+	if st.Healthy {
+		t.Error("burning 2x on every window must breach")
+	}
+}
+
+// Windowing: a baseline recorded before the window boundary is
+// subtracted out, so old errors stop burning the short window while
+// still burning the long one.
+func TestSLOWindowBaselines(t *testing.T) {
+	r := NewRegistry()
+	bad := r.Counter("bad")
+	total := r.Counter("total")
+	obj := SLOObjective{Name: "avail", Class: SLORatio, Metric: "bad", Total: "total", Target: 0.9}
+	e := NewSLOEngine(sloT0, []SLOObjective{obj}, 5*time.Minute, time.Hour)
+
+	// Minute 0-10: 100 requests, 5 bad. Recorded at minute 10.
+	bad.Add(5)
+	total.Add(100)
+	e.Record(sloT0.Add(10*time.Minute), r.Snapshot())
+
+	// Minute 10-30: 100 clean requests. Report at minute 30.
+	total.Add(100)
+	rep := e.Report(sloT0.Add(30*time.Minute), r.Snapshot())
+	ws := rep.Objectives[0].Windows
+
+	// 5m window: baseline is the minute-10 sample (newest at or before
+	// minute 25) — only the clean traffic remains.
+	if ws[0].Window != "5m" || ws[0].Total != 100 || ws[0].Bad != 0 {
+		t.Errorf("5m window = %+v, want total 100 bad 0", ws[0])
+	}
+	if ws[0].SLI != 1 || ws[0].BurnRate != 0 {
+		t.Errorf("5m window SLI/burn = %v/%v, want 1/0", ws[0].SLI, ws[0].BurnRate)
+	}
+
+	// 1h window: no sample is old enough, so the baseline is process
+	// start and the bad minutes still count; uptime 30m < 1h → partial.
+	if ws[1].Window != "1h" || ws[1].Total != 200 || ws[1].Bad != 5 {
+		t.Errorf("1h window = %+v, want total 200 bad 5", ws[1])
+	}
+	if !ws[1].Partial {
+		t.Error("1h window not marked partial at 30m uptime")
+	}
+	// Lifetime bad fraction 5/200 = 25% of budget, and the 5m window is
+	// clean: healthy despite the earlier bad minutes.
+	if !rep.Objectives[0].Healthy {
+		t.Error("objective breached though the 5m window is clean and budget remains")
+	}
+	if used := rep.Objectives[0].BudgetUsedPct; math.Abs(used-25) > 1e-9 {
+		t.Errorf("budget-used = %v%%, want 25%%", used)
+	}
+}
+
+// No traffic at all: SLI is 1 by convention (nothing failed), burn 0,
+// healthy.
+func TestSLONoTraffic(t *testing.T) {
+	r := NewRegistry()
+	objs := []SLOObjective{
+		{Name: "lat", Class: SLOLatency, Metric: "streamd.run_ms", ThresholdMs: 100, Target: 0.99},
+		{Name: "avail", Class: SLORatio, Metric: "bad", Total: "total", Target: 0.999},
+	}
+	e := NewSLOEngine(sloT0, objs)
+	rep := e.Report(sloT0.Add(time.Minute), r.Snapshot())
+	if !rep.Healthy {
+		t.Fatal("idle service reported unhealthy")
+	}
+	for _, st := range rep.Objectives {
+		for _, ws := range st.Windows {
+			if ws.SLI != 1 || ws.BurnRate != 0 {
+				t.Errorf("%s/%s: SLI=%v burn=%v, want 1/0", st.Name, ws.Window, ws.SLI, ws.BurnRate)
+			}
+		}
+	}
+}
+
+// Record must thin by minStep and evict history older than the longest
+// window (keeping the newest such sample as the baseline).
+func TestSLORecordThinsAndEvicts(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("total").Add(1)
+	obj := SLOObjective{Name: "a", Class: SLORatio, Metric: "bad", Total: "total", Target: 0.9}
+	e := NewSLOEngine(sloT0, []SLOObjective{obj}, 5*time.Minute, time.Hour)
+
+	snap := r.Snapshot()
+	e.Record(sloT0, snap)
+	e.Record(sloT0.Add(time.Second), snap) // under minStep (1h/720 = 5s): dropped
+	if len(e.samples) != 1 {
+		t.Fatalf("samples = %d after sub-step Record, want 1", len(e.samples))
+	}
+	for m := 1; m <= 180; m++ {
+		e.Record(sloT0.Add(time.Duration(m)*time.Minute), snap)
+	}
+	// Horizon is now-1h = minute 120; everything older must be gone
+	// except the newest at-or-before-horizon sample (minute 120).
+	if first := e.samples[0].t; first != sloT0.Add(120*time.Minute) {
+		t.Errorf("oldest retained sample at %v, want minute 120", first)
+	}
+	if n := len(e.samples); n != 61 {
+		t.Errorf("retained %d samples, want 61 (minutes 120..180)", n)
+	}
+}
+
+// The human rendering must carry the page-relevant facts: objective
+// names, windows, burn values and the breach marker.
+func TestSLOReportRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bad").Add(10)
+	r.Counter("total").Add(100)
+	obj := SLOObjective{Name: "avail", Class: SLORatio, Metric: "bad", Total: "total", Target: 0.999}
+	e := NewSLOEngine(sloT0, []SLOObjective{obj})
+	rep := e.Report(sloT0.Add(time.Hour), r.Snapshot())
+
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"avail", "5m", "1h", "BREACH", "budget-used"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -15,10 +15,10 @@ type fuzzOp struct {
 	refs    []BulkRef
 	ops     int64
 	overlap uint64
-	idx     []int    // indexed op: record numbers
-	rec     int      // indexed op: record stride in bytes
-	addrs   []Addr   // scalar op
-	writes  []bool   // scalar op
+	idx     []int  // indexed op: record numbers
+	rec     int    // indexed op: record stride in bytes
+	addrs   []Addr // scalar op
+	writes  []bool // scalar op
 	compute int64
 }
 

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	netpprof "net/http/pprof"
 	"strconv"
+	"time"
 
 	"streamgpp/internal/obs"
 )
@@ -47,6 +49,19 @@ import (
 //	GET  /statz               counters (Stats JSON)
 //	GET  /metricz             Prometheus text exposition (obs.WriteProm
 //	                          over the server registry)
+//	GET  /sloz                SLO evaluation (obs.SLOReport JSON:
+//	                          per-objective windows, SLIs, burn rates,
+//	                          budget spent); ?format=text renders the
+//	                          operator table instead
+//	GET  /debug/pprof/        net/http/pprof (goroutine, heap, profile,
+//	                          trace, ...) — mounted only with
+//	                          Options.EnablePprof
+//
+// Every route is wrapped in an access-log middleware: one structured
+// log line per request (method, route pattern, status, duration, job
+// id when the route touches one) plus the streamd.http.requests /
+// streamd.http.responses_5xx counters and streamd.http.latency_ms
+// histogram the availability SLO consumes.
 //
 // The /statz response is the Stats struct: uptime_sec; the admission
 // counters accepted / rejected_full / rejected_draining; terminal
@@ -58,31 +73,124 @@ import (
 // histograms with quantiles — are scrapable at /metricz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
-	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /jobs/{id}/trace", s.handleArtifact("trace"))
-	mux.HandleFunc("GET /jobs/{id}/coverage", s.handleArtifact("coverage"))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	// The mux pattern is passed alongside the handler because the
+	// access log wants the route shape ("/jobs/{id}"), not the concrete
+	// URL — go.mod still says 1.22, so http.Request.Pattern (1.23+) is
+	// off the table.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.logged(pattern, h))
+	}
+	handle("POST /jobs", s.handleSubmit)
+	handle("GET /jobs/{id}", s.handleStatus)
+	handle("GET /jobs/{id}/events", s.handleEvents)
+	handle("GET /jobs/{id}/stream", s.handleStream)
+	handle("GET /jobs/{id}/result", s.handleResult)
+	handle("GET /jobs/{id}/trace", s.handleArtifact("trace"))
+	handle("GET /jobs/{id}/coverage", s.handleArtifact("coverage"))
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
-	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /statz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		obs.WriteProm(w, s.MetricsSnapshot())
 	})
+	handle("GET /sloz", func(w http.ResponseWriter, r *http.Request) {
+		rep := s.SLOReport()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rep.Render(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+	if s.opts.EnablePprof {
+		// Index also routes the named runtime/pprof profiles
+		// (goroutine, heap, block, mutex, ...) under the prefix.
+		handle("GET /debug/pprof/", netpprof.Index)
+		handle("GET /debug/pprof/cmdline", netpprof.Cmdline)
+		handle("GET /debug/pprof/profile", netpprof.Profile)
+		handle("GET /debug/pprof/symbol", netpprof.Symbol)
+		handle("GET /debug/pprof/trace", netpprof.Trace)
+	}
 	return mux
+}
+
+// statusWriter captures the response status (and any job ID a handler
+// notes) for the access log. It implements http.Flusher by delegating,
+// so the SSE handler's streaming keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+	job  string
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func (sw *statusWriter) noteJob(id string) { sw.job = id }
+
+// jobNoter lets a handler attach a job ID to the access-log line when
+// the URL does not carry one (POST /jobs learns the ID only after
+// admission).
+type jobNoter interface{ noteJob(id string) }
+
+// logged wraps a handler with the access log and the HTTP request
+// metrics. pattern is the route as registered on the mux — the label
+// the log line and any per-route analysis group by.
+func (s *Server) logged(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		h(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK // handler wrote nothing: implicit 200
+		}
+		ms := float64(time.Since(t0)) / float64(time.Millisecond)
+		s.reg.Counter("streamd.http.requests").Inc()
+		if sw.code >= 500 {
+			s.reg.Counter("streamd.http.responses_5xx").Inc()
+		}
+		s.reg.Histogram("streamd.http.latency_ms").Observe(ms)
+		job := sw.job
+		if job == "" {
+			job = r.PathValue("id")
+		}
+		attrs := []any{
+			"method", r.Method, "route", pattern,
+			"status", sw.code, "duration_ms", ms,
+		}
+		if job != "" {
+			attrs = append(attrs, "job_id", job)
+		}
+		s.log.Info("http", attrs...)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -110,6 +218,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Submit(spec)
 	switch {
 	case err == nil:
+		if n, ok := w.(jobNoter); ok {
+			n.noteJob(job.ID)
+		}
 		writeJSON(w, http.StatusAccepted, job.Status())
 	case errors.Is(err, ErrFull):
 		// Admission control: the bounded job queue is full. Retry-After

@@ -454,6 +454,15 @@ func TestMetriczAndStatz(t *testing.T) {
 		"streamd_run_ms_p95",
 		"streamd_uptime_sec",
 		"streamd_queue_depth 0",
+		// The self-observation plane rides the same scrape: build
+		// identity, Go runtime telemetry and the SLO burn gauges.
+		"streamd_build_info{",
+		"go_goroutines ",
+		"go_heap_inuse_bytes ",
+		"# TYPE go_gc_pause_us histogram",
+		"slo_run_latency_burn_5m ",
+		"slo_availability_sli_1h ",
+		"slo_healthy 1",
 	} {
 		if !strings.Contains(string(text), want) {
 			t.Errorf("/metricz missing %q", want)
@@ -501,5 +510,8 @@ func TestMetriczAndStatz(t *testing.T) {
 	}
 	if stats.CacheHits != 1 || stats.CacheMisses != 1 {
 		t.Errorf("cache stats %d/%d, want 1 hit 1 miss", stats.CacheHits, stats.CacheMisses)
+	}
+	if stats.BuildInfo["goversion"] == "" {
+		t.Errorf("statz build_info missing goversion: %v", stats.BuildInfo)
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
@@ -58,6 +60,17 @@ type Options struct {
 	// BaseFaultSeed seeds per-job fault derivation for specs that do
 	// not carry their own (default 1).
 	BaseFaultSeed uint64
+	// Logger receives the structured access and job-lifecycle log
+	// lines (log/slog). Every line about a job carries job_id and
+	// config_hash, the same keys the events JSONL and the ledger use,
+	// so the three records join. Nil discards.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// Handler. Off by default: live profiling is opt-in.
+	EnablePprof bool
+	// SLOs are the service-level objectives the /sloz engine evaluates
+	// (burn-rate gauges also ride /metricz). Nil takes DefaultSLOs.
+	SLOs []obs.SLOObjective
 }
 
 func (o *Options) setDefaults() {
@@ -79,40 +92,72 @@ func (o *Options) setDefaults() {
 	if o.EventsPath == "" && o.LedgerPath != "" {
 		o.EventsPath = o.LedgerPath + ".events"
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if o.SLOs == nil {
+		o.SLOs = DefaultSLOs()
+	}
+}
+
+// DefaultSLOs are the objectives a server evaluates when the caller
+// declares none: job runs under 2s at p95, queue wait under 500ms at
+// p99, and three-nines non-5xx availability. Latency thresholds sit on
+// histogram bucket bounds (powers of two) so the conservative
+// bucket-rounding in the SLO engine costs nothing.
+func DefaultSLOs() []obs.SLOObjective {
+	return []obs.SLOObjective{
+		{Name: "run-latency", Class: obs.SLOLatency,
+			Metric: "streamd.run_ms", ThresholdMs: 2048, Target: 0.95},
+		{Name: "queue-wait", Class: obs.SLOLatency,
+			Metric: "streamd.queue_wait_ms", ThresholdMs: 512, Target: 0.99},
+		{Name: "availability", Class: obs.SLORatio,
+			Metric: "streamd.http.responses_5xx", Total: "streamd.http.requests",
+			Target: 0.999},
+	}
 }
 
 // Stats is a snapshot of the server's counters, served at /statz.
 type Stats struct {
-	UptimeSec       float64        `json:"uptime_sec"`
-	Accepted        uint64         `json:"accepted"`
-	RejectedFull    uint64         `json:"rejected_full"`
-	RejectedDrain   uint64         `json:"rejected_draining"`
-	Done            uint64         `json:"done"`
-	Failed          uint64         `json:"failed"`
-	TimedOut        uint64         `json:"timed_out"`
-	Shed            uint64         `json:"shed"`
-	Panics          uint64         `json:"panics"`
-	CacheHits       uint64         `json:"cache_hits"`
-	CacheMisses     uint64         `json:"cache_misses"`
-	CacheEntries    int            `json:"cache_entries"`
-	QueueDepth      int            `json:"queue_depth"`
-	Workers         int            `json:"workers"`
-	Draining        bool           `json:"draining"`
-	JobsByState     map[string]int `json:"jobs_by_state"`
-	LedgerEntries   uint64         `json:"ledger_entries"`
-	LedgerTornTail  bool           `json:"ledger_torn_tail_repaired"`
-	EventsDropped   uint64         `json:"events_dropped,omitempty"`
-	RepairedAtStart bool           `json:"-"`
+	UptimeSec      float64        `json:"uptime_sec"`
+	Accepted       uint64         `json:"accepted"`
+	RejectedFull   uint64         `json:"rejected_full"`
+	RejectedDrain  uint64         `json:"rejected_draining"`
+	Done           uint64         `json:"done"`
+	Failed         uint64         `json:"failed"`
+	TimedOut       uint64         `json:"timed_out"`
+	Shed           uint64         `json:"shed"`
+	Panics         uint64         `json:"panics"`
+	CacheHits      uint64         `json:"cache_hits"`
+	CacheMisses    uint64         `json:"cache_misses"`
+	CacheEntries   int            `json:"cache_entries"`
+	QueueDepth     int            `json:"queue_depth"`
+	Workers        int            `json:"workers"`
+	Draining       bool           `json:"draining"`
+	JobsByState    map[string]int `json:"jobs_by_state"`
+	LedgerEntries  uint64         `json:"ledger_entries"`
+	LedgerTornTail bool           `json:"ledger_torn_tail_repaired"`
+	EventsDropped  uint64         `json:"events_dropped,omitempty"`
+	// BuildInfo is the process's build identity (Go version, VCS
+	// revision) — the /statz twin of the streamd_build_info gauge.
+	BuildInfo       map[string]string `json:"build_info,omitempty"`
+	RepairedAtStart bool              `json:"-"`
 }
 
 // Server is the streamd job service.
 type Server struct {
-	opts   Options
-	cache  *cache
-	queue  chan *Job
-	start  time.Time
-	reg    *obs.Registry // /metricz instruments
-	events *eventLog
+	opts      Options
+	cache     *cache
+	queue     chan *Job
+	start     time.Time
+	reg       *obs.Registry // /metricz instruments
+	events    *eventLog
+	log       *slog.Logger
+	rt        *obs.RuntimeCollector
+	buildInfo map[string]string
+
+	sloMu sync.Mutex // serialises SLO evaluate/record (engine is not concurrency-safe)
+	slo   *obs.SLOEngine
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
@@ -144,8 +189,13 @@ func New(opts Options) (*Server, error) {
 		jobs:        make(map[string]*Job),
 		stateCounts: make(map[State]int),
 		run:         runSpec,
+		log:         opts.Logger,
+		buildInfo:   obs.BuildInfoLabels(),
 	}
 	s.stats.Workers = opts.Workers
+	s.rt = obs.NewRuntimeCollector(s.reg)
+	s.slo = obs.NewSLOEngine(s.start, opts.SLOs)
+	s.reg.Info("streamd.build_info", s.buildInfo)
 	events, err := newEventLog(opts.EventsPath)
 	if err != nil {
 		return nil, err
@@ -185,6 +235,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if s.draining {
 		s.stats.RejectedDrain++
 		s.reg.Counter("streamd.jobs_rejected_draining").Inc()
+		s.log.Warn("job", "event", "reject", "reason", "draining",
+			"app", spec.App, "config_hash", key)
 		return nil, ErrDraining
 	}
 	// The ID is burned whether or not admission succeeds: a rejected
@@ -205,11 +257,15 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.stats.RejectedFull++
 		s.reg.Counter("streamd.jobs_rejected_full").Inc()
 		s.events.append(Event{Job: job.ID, Type: EventReject, App: spec.App, Key: key})
+		s.log.Warn("job", "job_id", job.ID, "event", "reject", "reason", "full",
+			"app", spec.App, "config_hash", key)
 		return nil, ErrFull
 	}
 	s.jobs[job.ID] = job
 	s.stats.Accepted++
 	s.reg.Counter("streamd.jobs_accepted").Inc()
+	s.log.Info("job", "job_id", job.ID, "event", "submit", "state", string(StateQueued),
+		"app", spec.App, "config_hash", key)
 	s.stateCounts[StateQueued]++
 	s.reg.Gauge("streamd.jobs_by_state.queued").Set(float64(s.stateCounts[StateQueued]))
 	return job, nil
@@ -232,8 +288,8 @@ func (s *Server) onTransition(j *Job, from, to State) {
 	// ("streamd.jobs.done" and "streamd.jobs_done" would otherwise both
 	// become the Prometheus family "streamd_jobs_done" with conflicting
 	// types, which a scraper rejects wholesale).
-	s.reg.Gauge("streamd.jobs_by_state."+promStateName(from)).Set(float64(s.stateCounts[from]))
-	s.reg.Gauge("streamd.jobs_by_state."+promStateName(to)).Set(float64(s.stateCounts[to]))
+	s.reg.Gauge("streamd.jobs_by_state." + promStateName(from)).Set(float64(s.stateCounts[from]))
+	s.reg.Gauge("streamd.jobs_by_state." + promStateName(to)).Set(float64(s.stateCounts[to]))
 	s.mu.Unlock()
 
 	st := j.Status()
@@ -263,6 +319,26 @@ func (s *Server) onTransition(j *Job, from, to State) {
 		s.reg.Counter("streamd.jobs_" + promStateName(to)).Inc()
 	}
 	s.events.append(ev)
+
+	// The slog line mirrors the event record key-for-key (job_id,
+	// config_hash, state) so grep-by-hash lands on the same runs in
+	// logs, events JSONL and ledger.
+	attrs := []any{
+		"job_id", j.ID, "event", ev.Type, "state", string(to),
+		"app", j.Spec.App, "config_hash", j.Key,
+	}
+	if ev.Cache != "" {
+		attrs = append(attrs, "cache", ev.Cache)
+	}
+	if ev.Retries > 0 {
+		attrs = append(attrs, "retries", ev.Retries)
+	}
+	if ev.Error != nil {
+		attrs = append(attrs, "error", ev.Error.Message)
+		s.log.Error("job", attrs...)
+		return
+	}
+	s.log.Info("job", attrs...)
 }
 
 // promStateName maps a State to its counter suffix ("timed-out" →
@@ -333,25 +409,67 @@ func (s *Server) Stats() Stats {
 	st.UptimeSec = time.Since(s.start).Seconds()
 	st.CacheHits, st.CacheMisses, st.CacheEntries = s.cache.stats()
 	st.EventsDropped = s.events.dropped()
+	st.BuildInfo = s.buildInfo
 	return st
 }
 
 // MetricsSnapshot refreshes the point-in-time gauges (uptime, queue
-// depth, cache size, drain flag) and returns the registry snapshot
-// /metricz encodes. Counters and histograms are updated at the edges
-// that define them (admission, state transitions), not here.
+// depth, cache size, drain flag), samples the Go runtime collector,
+// evaluates the SLO engine into its burn-rate gauges and returns the
+// registry snapshot /metricz encodes. Counters and histograms are
+// updated at the edges that define them (admission, state
+// transitions), not here — scrape time is when the derived, host-side
+// views refresh.
 func (s *Server) MetricsSnapshot() obs.Snapshot {
 	st := s.Stats()
 	s.reg.Gauge("streamd.uptime_sec").Set(st.UptimeSec)
 	s.reg.Gauge("streamd.queue.depth").Set(float64(st.QueueDepth))
 	s.reg.Gauge("streamd.cache.entries").Set(float64(st.CacheEntries))
 	s.reg.Gauge("streamd.workers").Set(float64(st.Workers))
+	s.reg.Gauge("streamd.events.dropped").Set(float64(st.EventsDropped))
 	var draining float64
 	if st.Draining {
 		draining = 1
 	}
 	s.reg.Gauge("streamd.draining").Set(draining)
+	s.rt.Collect()
+	s.sloEval()
 	return s.reg.Snapshot()
+}
+
+// sloEval runs one SLO evaluation cycle: report against the current
+// registry state, mirror the page-relevant numbers into gauges
+// (slo.<objective>.burn_<window>, .sli_<window>, .budget_used_pct,
+// slo.healthy), and record the snapshot as a future window baseline.
+func (s *Server) sloEval() obs.SLOReport {
+	now := time.Now()
+	s.sloMu.Lock()
+	snap := s.reg.Snapshot()
+	rep := s.slo.Report(now, snap)
+	s.slo.Record(now, snap)
+	s.sloMu.Unlock()
+	rep.Now = now.UTC().Format(time.RFC3339)
+	for _, o := range rep.Objectives {
+		prefix := "slo." + o.Name + "."
+		s.reg.Gauge(prefix + "budget_used_pct").Set(o.BudgetUsedPct)
+		for _, ws := range o.Windows {
+			s.reg.Gauge(prefix + "burn_" + ws.Window).Set(ws.BurnRate)
+			s.reg.Gauge(prefix + "sli_" + ws.Window).Set(ws.SLI)
+		}
+	}
+	var healthy float64
+	if rep.Healthy {
+		healthy = 1
+	}
+	s.reg.Gauge("slo.healthy").Set(healthy)
+	return rep
+}
+
+// SLOReport evaluates the service-level objectives right now — the
+// GET /sloz payload. Each evaluation also feeds the burn-rate gauges
+// and records a baseline sample, exactly like a /metricz scrape.
+func (s *Server) SLOReport() obs.SLOReport {
+	return s.sloEval()
 }
 
 // worker is the job-worker loop. The pool drains the queue until

@@ -16,7 +16,11 @@
 # schema of internal/obs/ledger.go, keyed by `git describe`) to
 # BENCH_history.jsonl, so wall-clock history accumulates across commits
 # and `streambench -compare`/`-validate` can consume it. Each history
-# line carries coverage.fastpath_pct and fastpath_speedup metrics, and
+# line carries coverage.fastpath_pct and fastpath_speedup metrics plus
+# the simulator process's runtime.heap_inuse_bytes and
+# runtime.gc_pause_p99_ns (from the benchmarks' runtime collector
+# sample), so `streamtrace -trend` can flag memory or GC regressions
+# alongside wall-clock ones, and
 # a full run exits 3 if any benchmark's fast path measures >5% slower
 # than the reference path in the same binary. Smoke runs leave the
 # history untouched and skip the gate.
@@ -67,22 +71,30 @@ while [ "$i" -lt "$COUNT" ]; do
 done
 
 awk -v onfile="$ON" -v offfile="$OFF" -v basefile="$BASE" '
-function ingest(file, best, cyc, cov,    n, i, name, ns, c, cv, line, f) {
+function ingest(file, best, cyc, cov,    n, i, name, ns, c, cv, hp, gp, line, f) {
 	while ((getline line <file) > 0) {
 		n = split(line, f, /[ \t]+/)
 		if (f[1] !~ /^Benchmark/) continue
 		name = f[1]
 		sub(/-[0-9]+$/, "", name)
-		ns = -1; c = -1; cv = -1
+		ns = -1; c = -1; cv = -1; hp = -1; gp = -1
 		for (i = 3; i <= n; i++) {
 			if (f[i] == "ns/op") ns = f[i-1]
 			if (f[i] == "sim-cycles") c = f[i-1]
 			if (f[i] == "fastpath-cov-pct") cv = f[i-1]
+			if (f[i] == "heap-inuse-bytes") hp = f[i-1]
+			if (f[i] == "gc-pause-p99-ns") gp = f[i-1]
 		}
 		if (ns < 0) continue
 		if (!(name in best) || ns < best[name]) best[name] = ns
 		if (c >= 0) cyc[name] = c
 		if (cv >= 0) cov[name] = cv
+		# Runtime samples only matter for the fast-path binary under
+		# measurement; keep the last sample per benchmark.
+		if (file == onfile) {
+			if (hp >= 0) heap[name] = hp
+			if (gp >= 0) gcp99[name] = gp
+		}
 		order[++norder] = name
 	}
 	close(file)
@@ -112,6 +124,10 @@ BEGIN {
 		}
 		if (name in covpct)
 			printf ", \"fastpath_coverage_pct\": %.2f", covpct[name]
+		if (name in heap)
+			printf ", \"heap_inuse_bytes\": %.0f", heap[name]
+		if (name in gcp99)
+			printf ", \"gc_pause_p99_ns\": %.0f", gcp99[name]
 		if (name in base) {
 			printf ", \"baseline_ns_per_op\": %.0f", base[name]
 			if (on[name] > 0)
@@ -131,13 +147,15 @@ if [ "$MODE" != "smoke" ] && [ "$MODE" != "--smoke" ]; then
 	NOW="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	awk -v commit="$COMMIT" -v now="$NOW" '
 	/"benchmark"/ {
-		name = ""; ns = ""; cyc = ""; cps = ""; cov = ""; spd = ""
+		name = ""; ns = ""; cyc = ""; cps = ""; cov = ""; spd = ""; hp = ""; gp = ""
 		if (match($0, /"benchmark": "[^"]+"/)) name = substr($0, RSTART + 14, RLENGTH - 15)
 		if (match($0, /"fast_ns_per_op": [0-9]+/)) ns = substr($0, RSTART + 18, RLENGTH - 18)
 		if (match($0, /"sim_cycles": [0-9]+/)) cyc = substr($0, RSTART + 14, RLENGTH - 14)
 		if (match($0, /"sim_cycles_per_sec": [0-9]+/)) cps = substr($0, RSTART + 22, RLENGTH - 22)
 		if (match($0, /"fastpath_coverage_pct": [0-9.]+/)) cov = substr($0, RSTART + 25, RLENGTH - 25)
 		if (match($0, /"fastpath_speedup": [0-9.]+/)) spd = substr($0, RSTART + 20, RLENGTH - 20)
+		if (match($0, /"heap_inuse_bytes": [0-9]+/)) hp = substr($0, RSTART + 20, RLENGTH - 20)
+		if (match($0, /"gc_pause_p99_ns": [0-9]+/)) gp = substr($0, RSTART + 19, RLENGTH - 19)
 		if (name == "" || ns == "") next
 		printf "{\"schema\":2,\"time\":\"%s\",\"experiment\":\"%s\",\"commit\":\"%s\",\"fast_path\":true,\"wall_ns\":%s", now, name, commit, ns
 		if (cyc != "") printf ",\"sim_cycles\":%s", cyc
@@ -145,6 +163,8 @@ if [ "$MODE" != "smoke" ] && [ "$MODE" != "--smoke" ]; then
 		metrics = ""
 		if (cov != "") metrics = "\"coverage.fastpath_pct\":" cov
 		if (spd != "") metrics = metrics (metrics == "" ? "" : ",") "\"fastpath_speedup\":" spd
+		if (hp != "") metrics = metrics (metrics == "" ? "" : ",") "\"runtime.heap_inuse_bytes\":" hp
+		if (gp != "") metrics = metrics (metrics == "" ? "" : ",") "\"runtime.gc_pause_p99_ns\":" gp
 		if (metrics != "") printf ",\"metrics\":{%s}", metrics
 		printf ",\"source\":\"bench.sh\"}\n"
 	}' "$OUT" >>"$HIST"

@@ -8,9 +8,11 @@
 # tolerance), a smoke of the fast-path coverage profiler (known bail
 # reason named, nonzero DRAM attribution), the streamd job-service
 # lifecycle selftest (cache hit byte-identity, mid-run SSE progress,
-# /metricz scrape, SIGTERM drain, valid ledger and event log, the
-# streamtrace -events round-trip) plus a shortened -race soak, and a
-# smoke run of the wall-clock benchmark harness.
+# /metricz scrape, the /sloz report, a live /debug/pprof goroutine
+# profile, the post-drain goroutine-leak gate, SIGTERM drain, valid
+# ledger and event log, the streamtrace -events round-trip and the
+# -trend ledger rollup) plus a shortened -race soak, and a smoke run
+# of the wall-clock benchmark harness.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -147,6 +149,16 @@ grep -q "ledger valid" /tmp/streamd_selftest.txt \
     || { echo "streamd selftest left no valid ledger"; cat /tmp/streamd_selftest.txt; exit 1; }
 grep -q "event log valid" /tmp/streamd_selftest.txt \
     || { echo "streamd selftest left no valid event log"; cat /tmp/streamd_selftest.txt; exit 1; }
+# The self-observability plane must have come up inside the same run:
+# the SLO report served with its objectives, a real goroutine profile
+# fetched over /debug/pprof, and the post-drain goroutine-leak gate
+# held (the selftest exits nonzero if the count never settles).
+grep -q "selftest sloz ok" /tmp/streamd_selftest.txt \
+    || { echo "streamd selftest served no SLO report"; cat /tmp/streamd_selftest.txt; exit 1; }
+grep -q "selftest pprof profile fetched" /tmp/streamd_selftest.txt \
+    || { echo "streamd selftest fetched no pprof profile"; cat /tmp/streamd_selftest.txt; exit 1; }
+grep -q "goroutine-leak gate ok" /tmp/streamd_selftest.txt \
+    || { echo "streamd selftest goroutine-leak gate did not run"; cat /tmp/streamd_selftest.txt; exit 1; }
 # The persisted event JSONL must round-trip through the streamtrace
 # pretty-printer: a table with the lifecycle edges and no torn tail.
 go build -o /tmp/streamtrace.check ./cmd/streamtrace
@@ -159,8 +171,14 @@ grep -q "events over" /tmp/streamd_events.txt \
 if grep -q "torn final line" /tmp/streamd_events.txt; then
     echo "selftest event log has a torn tail"; cat /tmp/streamd_events.txt; exit 1
 fi
+# The same ledger must roll up into a trend report (too few runs per
+# experiment here to flag anomalies — the smoke proves the wiring).
+/tmp/streamtrace.check -trend "$STREAMD_LEDGER" >/tmp/streamd_trend.txt 2>&1 \
+    || { echo "streamtrace -trend failed on the selftest ledger"; cat /tmp/streamd_trend.txt; exit 1; }
+grep -q "wall_ns" /tmp/streamd_trend.txt \
+    || { echo "trend report shows no wall_ns series"; cat /tmp/streamd_trend.txt; exit 1; }
 
-rm -f "$GATE_BASE" "$STREAMD_LEDGER" "$STREAMD_LEDGER.events" /tmp/streambench.check /tmp/streamd.check /tmp/streamd_selftest.txt /tmp/streamd_events.txt
+rm -f "$GATE_BASE" "$STREAMD_LEDGER" "$STREAMD_LEDGER.events" /tmp/streambench.check /tmp/streamd.check /tmp/streamd_selftest.txt /tmp/streamd_events.txt /tmp/streamd_trend.txt
 rm -f /tmp/streamtrace.check /tmp/fault_a.txt /tmp/fault_b.txt /tmp/critpath.txt /tmp/whatif.txt /tmp/coverage.txt
 
 echo "== scripts/bench.sh smoke =="
